@@ -1,0 +1,190 @@
+//! Expected I/O under a sparsity PMF (§V-B of the paper, Figs. 7–8).
+//!
+//! With two versions archived and the delta sparsity `Γ` random, the expected
+//! number of reads to fetch both versions is `E[η] = k + E[min(2Γ, k)]`
+//! (for SEC) versus `2k` (non-differential). Fig. 7 reports the percentage
+//! *reduction* for the joint read; Fig. 8 the percentage *increase* paid to
+//! read the second version alone, for the Basic and Optimized variants.
+
+use sec_versioning::{EncodingStrategy, IoModel};
+use sec_workload::SparsityPmf;
+
+/// Expected number of reads to retrieve both versions `x_1, x_2` under SEC
+/// when the delta sparsity follows `pmf`.
+pub fn expected_joint_reads(model: &IoModel, pmf: &SparsityPmf) -> f64 {
+    let k = model.full_object_reads() as f64;
+    k + pmf.expect(|gamma| model.delta_reads(gamma) as f64)
+}
+
+/// Expected reads for the non-differential baseline (always `2k`).
+pub fn expected_joint_reads_non_differential(model: &IoModel) -> f64 {
+    2.0 * model.full_object_reads() as f64
+}
+
+/// Percentage reduction in I/O reads for fetching both versions, relative to
+/// the non-differential baseline: `(2k − E[η]) / 2k × 100` (Fig. 7).
+pub fn joint_read_reduction_percent(model: &IoModel, pmf: &SparsityPmf) -> f64 {
+    let baseline = expected_joint_reads_non_differential(model);
+    (baseline - expected_joint_reads(model, pmf)) / baseline * 100.0
+}
+
+/// Expected reads to retrieve the *second version alone* (Fig. 8).
+///
+/// * Basic SEC must reconstruct `x_1` first, so the cost equals the joint
+///   cost `E[η(x_1, x_2)]`.
+/// * Optimized SEC stores `x_2` in full whenever `γ ≥ k/2`; otherwise it
+///   still needs `x_1` plus the delta: `t(γ) = k` if `γ ≥ k/2`, else `k + 2γ`.
+pub fn expected_second_version_reads(
+    model: &IoModel,
+    strategy: EncodingStrategy,
+    pmf: &SparsityPmf,
+) -> f64 {
+    let k = model.full_object_reads() as f64;
+    match strategy {
+        EncodingStrategy::NonDifferential => k,
+        EncodingStrategy::BasicSec => expected_joint_reads(model, pmf),
+        EncodingStrategy::OptimizedSec => pmf.expect(|gamma| {
+            if model.optimized_stores_full(gamma) {
+                k
+            } else {
+                k + model.delta_reads(gamma) as f64
+            }
+        }),
+        EncodingStrategy::ReversedSec => {
+            // With two versions, Reversed SEC stores {z_2, x_2}: the second
+            // version is read directly with k reads.
+            k
+        }
+    }
+}
+
+/// Percentage increase in I/O reads to fetch the second version alone,
+/// relative to the non-differential baseline: `(E[η(x_2)] − k) / k × 100`
+/// (Fig. 8).
+pub fn second_version_increase_percent(
+    model: &IoModel,
+    strategy: EncodingStrategy,
+    pmf: &SparsityPmf,
+) -> f64 {
+    let k = model.full_object_reads() as f64;
+    (expected_second_version_reads(model, strategy, pmf) - k) / k * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_erasure::{CodeParams, GeneratorForm};
+
+    fn model_6_3() -> IoModel {
+        IoModel::new(CodeParams::new(6, 3).unwrap(), GeneratorForm::NonSystematic)
+    }
+
+    #[test]
+    fn joint_reads_formula_for_known_pmf() {
+        // Fixed γ = 1: E[η] = 3 + 2 = 5, reduction = (6-5)/6 = 16.7%.
+        let model = model_6_3();
+        let pmf = SparsityPmf::fixed(1, 3).unwrap();
+        assert!((expected_joint_reads(&model, &pmf) - 5.0).abs() < 1e-12);
+        assert!((joint_read_reduction_percent(&model, &pmf) - 100.0 / 6.0).abs() < 1e-9);
+        // Fixed γ = 3 (not exploitable): no reduction.
+        let dense = SparsityPmf::fixed(3, 3).unwrap();
+        assert!((expected_joint_reads(&model, &dense) - 6.0).abs() < 1e-12);
+        assert_eq!(joint_read_reduction_percent(&model, &dense), 0.0);
+    }
+
+    #[test]
+    fn fig7_reduction_increases_with_alpha_decreases_with_lambda() {
+        // Exponential PMFs: larger α concentrates on γ = 1 → larger savings.
+        let model = model_6_3();
+        let alphas = [0.1, 0.6, 1.1, 1.6];
+        let mut prev = -1.0;
+        for &alpha in &alphas {
+            let pmf = SparsityPmf::truncated_exponential(alpha, 3).unwrap();
+            let red = joint_read_reduction_percent(&model, &pmf);
+            assert!(red > prev, "alpha={alpha}");
+            assert!(red > 0.0 && red < 100.0 / 6.0 + 1e-9);
+            prev = red;
+        }
+        // Paper reports reductions roughly in the 6–14% band for these alphas.
+        let low = joint_read_reduction_percent(
+            &model,
+            &SparsityPmf::truncated_exponential(0.1, 3).unwrap(),
+        );
+        let high = joint_read_reduction_percent(
+            &model,
+            &SparsityPmf::truncated_exponential(1.6, 3).unwrap(),
+        );
+        assert!(low > 4.0 && low < 10.0, "low = {low}");
+        assert!(high > 10.0 && high < 15.0, "high = {high}");
+
+        // Poisson PMFs: larger λ pushes mass to γ = 3 → smaller savings.
+        let lambdas = [3.0, 5.0, 7.0, 9.0];
+        let mut prev = f64::INFINITY;
+        for &lambda in &lambdas {
+            let pmf = SparsityPmf::truncated_poisson(lambda, 3).unwrap();
+            let red = joint_read_reduction_percent(&model, &pmf);
+            assert!(red < prev, "lambda={lambda}");
+            assert!(red > 0.0, "lambda={lambda}");
+            prev = red;
+        }
+        // Paper reports reductions roughly in the 0.5–4.5% band for these lambdas.
+        let best = joint_read_reduction_percent(
+            &model,
+            &SparsityPmf::truncated_poisson(3.0, 3).unwrap(),
+        );
+        assert!(best > 2.0 && best < 5.0, "best = {best}");
+    }
+
+    #[test]
+    fn fig8_optimized_never_exceeds_basic() {
+        let model = model_6_3();
+        for &alpha in &[0.1, 0.6, 1.1, 1.6] {
+            let pmf = SparsityPmf::truncated_exponential(alpha, 3).unwrap();
+            let basic = second_version_increase_percent(&model, EncodingStrategy::BasicSec, &pmf);
+            let optimized =
+                second_version_increase_percent(&model, EncodingStrategy::OptimizedSec, &pmf);
+            assert!(optimized <= basic + 1e-12, "alpha={alpha}");
+            assert!(basic > 0.0);
+            assert!(optimized >= 0.0);
+        }
+        for &lambda in &[3.0, 5.0, 7.0, 9.0] {
+            let pmf = SparsityPmf::truncated_poisson(lambda, 3).unwrap();
+            let basic = second_version_increase_percent(&model, EncodingStrategy::BasicSec, &pmf);
+            let optimized =
+                second_version_increase_percent(&model, EncodingStrategy::OptimizedSec, &pmf);
+            assert!(optimized <= basic + 1e-12, "lambda={lambda}");
+        }
+    }
+
+    #[test]
+    fn fig8_limits_for_degenerate_pmfs() {
+        let model = model_6_3();
+        // Always-sparse deltas: basic pays (k+2-k)/k = 66.7%, optimized the same
+        // (it stores the delta when exploitable).
+        let sparse = SparsityPmf::fixed(1, 3).unwrap();
+        let basic = second_version_increase_percent(&model, EncodingStrategy::BasicSec, &sparse);
+        let opt = second_version_increase_percent(&model, EncodingStrategy::OptimizedSec, &sparse);
+        assert!((basic - 200.0 / 3.0).abs() < 1e-9);
+        assert!((opt - 200.0 / 3.0).abs() < 1e-9);
+        // Always-dense deltas: basic pays 100% extra, optimized 0%.
+        let dense = SparsityPmf::fixed(3, 3).unwrap();
+        let basic = second_version_increase_percent(&model, EncodingStrategy::BasicSec, &dense);
+        let opt = second_version_increase_percent(&model, EncodingStrategy::OptimizedSec, &dense);
+        assert!((basic - 100.0).abs() < 1e-9);
+        assert!(opt.abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_and_reversed_have_no_second_version_penalty() {
+        let model = model_6_3();
+        let pmf = SparsityPmf::uniform(3).unwrap();
+        assert_eq!(
+            second_version_increase_percent(&model, EncodingStrategy::NonDifferential, &pmf),
+            0.0
+        );
+        assert_eq!(
+            second_version_increase_percent(&model, EncodingStrategy::ReversedSec, &pmf),
+            0.0
+        );
+    }
+}

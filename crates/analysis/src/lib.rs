@@ -1,0 +1,27 @@
+//! Static resilience and I/O analysis for SEC — the machinery behind every
+//! table and figure of the paper's evaluation.
+//!
+//! * [`resilience`] — closed-form loss probabilities for fully encoded objects
+//!   and sparse deltas (eqs. 6–9, 17–20), plus *exact* loss probabilities
+//!   computed by exhaustive failure-pattern enumeration against a concrete
+//!   generator matrix (used for the systematic SEC, whose qualifying subsets
+//!   are structural rather than count-based).
+//! * [`availability`] — archive-level availability under dispersed and
+//!   colocated placement (eqs. 11–15) and the "nines" transform of Fig. 3.
+//! * [`patterns`] — the §IV-C failure-pattern census (63 patterns, 41
+//!   MDS-recoverable, 56 vs 44 for non-systematic vs systematic SEC).
+//! * [`io`] — average I/O reads `μ_γ` to retrieve a sparse delta under node
+//!   failures (eq. 21, Figs. 4–5), both exact and Monte-Carlo.
+//! * [`expected_io`] — expected I/O and percentage savings under sparsity
+//!   PMFs (Figs. 7–8).
+//! * [`tables`] — the qualitative scheme comparison of Table I.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod expected_io;
+pub mod io;
+pub mod patterns;
+pub mod resilience;
+pub mod tables;

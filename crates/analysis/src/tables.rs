@@ -1,0 +1,182 @@
+//! The qualitative scheme comparison of Table I (differential vs
+//! non-differential erasure coding, for the §IV-C example).
+
+use sec_erasure::{CodeParams, GeneratorForm};
+use sec_versioning::{EncodingStrategy, IoModel};
+
+use crate::availability::Scheme;
+
+/// One column of Table I: how a scheme handles the first and second version
+/// of the §IV-C example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeColumn {
+    /// Which scheme the column describes.
+    pub scheme: Scheme,
+    /// Human-readable encoding description for version 1.
+    pub encoding_v1: String,
+    /// Encoding complexity note for version 1.
+    pub encoding_complexity_v1: String,
+    /// Decoding complexity note for version 1.
+    pub decoding_complexity_v1: String,
+    /// Number of storage nodes used per version.
+    pub nodes: usize,
+    /// I/O reads to retrieve version 1.
+    pub io_reads_v1: usize,
+    /// Human-readable encoding description for version 2.
+    pub encoding_v2: String,
+    /// Decoding complexity note for version 2.
+    pub decoding_complexity_v2: String,
+    /// I/O reads to retrieve the object stored for version 2.
+    pub io_reads_v2: usize,
+}
+
+/// Builds Table I for an `(n, k)` code and a second-version delta of sparsity
+/// `gamma` (the paper uses `(6, 3)` and `γ = 1`).
+pub fn table1(params: CodeParams, gamma: usize) -> Vec<SchemeColumn> {
+    let k = params.k;
+    let non_sys = IoModel::new(params, GeneratorForm::NonSystematic);
+    let sys = IoModel::new(params, GeneratorForm::Systematic);
+    vec![
+        SchemeColumn {
+            scheme: Scheme::NonSystematicSec,
+            encoding_v1: "c1 = G_N x1".to_string(),
+            encoding_complexity_v1: "matrix multiplication".to_string(),
+            decoding_complexity_v1: "inverse operation".to_string(),
+            nodes: params.n,
+            io_reads_v1: k,
+            encoding_v2: "c2 = G_N z2".to_string(),
+            decoding_complexity_v2: "sparse reconstruction".to_string(),
+            io_reads_v2: non_sys.delta_reads(gamma),
+        },
+        SchemeColumn {
+            scheme: Scheme::SystematicSec,
+            encoding_v1: "c1 = G_S x1".to_string(),
+            encoding_complexity_v1: "matrix multiplication for parity only".to_string(),
+            decoding_complexity_v1: "low".to_string(),
+            nodes: params.n,
+            io_reads_v1: k,
+            encoding_v2: "c2 = G_S z2".to_string(),
+            decoding_complexity_v2: "sparse reconstruction".to_string(),
+            io_reads_v2: sys.delta_reads(gamma),
+        },
+        SchemeColumn {
+            scheme: Scheme::NonDifferential,
+            encoding_v1: "c1 = G_S x1".to_string(),
+            encoding_complexity_v1: "matrix multiplication for parity only".to_string(),
+            decoding_complexity_v1: "low".to_string(),
+            nodes: params.n,
+            io_reads_v1: k,
+            encoding_v2: "c2 = G_S x2".to_string(),
+            decoding_complexity_v2: "low".to_string(),
+            io_reads_v2: sys.version_reads(EncodingStrategy::NonDifferential, &[gamma], 2),
+        },
+    ]
+}
+
+/// Renders Table I as aligned text rows (used by the experiment binary).
+pub fn render_table1(columns: &[SchemeColumn]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:<24} {:<24} {:<24}\n",
+        "Parameter",
+        columns[0].scheme,
+        columns[1].scheme,
+        columns[2].scheme
+    ));
+    let row = |label: &str, values: [String; 3]| {
+        format!("{:<28} {:<24} {:<24} {:<24}\n", label, values[0], values[1], values[2])
+    };
+    out.push_str(&row(
+        "1st: encoding",
+        [columns[0].encoding_v1.clone(), columns[1].encoding_v1.clone(), columns[2].encoding_v1.clone()],
+    ));
+    out.push_str(&row(
+        "1st: encoding complexity",
+        [
+            columns[0].encoding_complexity_v1.clone(),
+            columns[1].encoding_complexity_v1.clone(),
+            columns[2].encoding_complexity_v1.clone(),
+        ],
+    ));
+    out.push_str(&row(
+        "1st: nr. of nodes",
+        [columns[0].nodes.to_string(), columns[1].nodes.to_string(), columns[2].nodes.to_string()],
+    ));
+    out.push_str(&row(
+        "1st: decoding complexity",
+        [
+            columns[0].decoding_complexity_v1.clone(),
+            columns[1].decoding_complexity_v1.clone(),
+            columns[2].decoding_complexity_v1.clone(),
+        ],
+    ));
+    out.push_str(&row(
+        "1st: I/O reads",
+        [
+            columns[0].io_reads_v1.to_string(),
+            columns[1].io_reads_v1.to_string(),
+            columns[2].io_reads_v1.to_string(),
+        ],
+    ));
+    out.push_str(&row(
+        "2nd: encoding",
+        [columns[0].encoding_v2.clone(), columns[1].encoding_v2.clone(), columns[2].encoding_v2.clone()],
+    ));
+    out.push_str(&row(
+        "2nd: decoding complexity",
+        [
+            columns[0].decoding_complexity_v2.clone(),
+            columns[1].decoding_complexity_v2.clone(),
+            columns[2].decoding_complexity_v2.clone(),
+        ],
+    ));
+    out.push_str(&row(
+        "2nd: I/O reads",
+        [
+            columns[0].io_reads_v2.to_string(),
+            columns[1].io_reads_v2.to_string(),
+            columns[2].io_reads_v2.to_string(),
+        ],
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_numbers() {
+        let columns = table1(CodeParams::new(6, 3).unwrap(), 1);
+        assert_eq!(columns.len(), 3);
+        // All schemes: 6 nodes, 3 reads for the first version.
+        for c in &columns {
+            assert_eq!(c.nodes, 6);
+            assert_eq!(c.io_reads_v1, 3);
+        }
+        // Second version: 2 reads for both SEC variants, 3 for the baseline.
+        assert_eq!(columns[0].io_reads_v2, 2);
+        assert_eq!(columns[1].io_reads_v2, 2);
+        assert_eq!(columns[2].io_reads_v2, 3);
+        assert!(columns[0].decoding_complexity_v2.contains("sparse"));
+        assert!(columns[2].decoding_complexity_v2.contains("low"));
+    }
+
+    #[test]
+    fn rendering_contains_all_rows_and_schemes() {
+        let columns = table1(CodeParams::new(6, 3).unwrap(), 1);
+        let text = render_table1(&columns);
+        for needle in [
+            "non-systematic SEC",
+            "systematic SEC",
+            "non-differential",
+            "1st: I/O reads",
+            "2nd: I/O reads",
+            "sparse reconstruction",
+            "G_N z2",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+        assert_eq!(text.lines().count(), 9);
+    }
+}

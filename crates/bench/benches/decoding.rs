@@ -1,0 +1,48 @@
+//! Full (MDS) decoding throughput: recover a k-symbol object from k coded
+//! symbols by submatrix inversion, for systematic fast path vs general
+//! inversion, and shard-level decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sec_erasure::{shards, GeneratorForm, SecCode, Share};
+use sec_gf::{GaloisField, Gf1024, Gf256};
+
+fn bench_full_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_full");
+    for (n, k) in [(6usize, 3usize), (10, 5), (20, 10)] {
+        let code: SecCode<Gf1024> = SecCode::cauchy(n, k, GeneratorForm::NonSystematic).unwrap();
+        let data: Vec<Gf1024> = (0..k as u64).map(|v| Gf1024::from_u64(v + 11)).collect();
+        let cw = code.encode(&data).unwrap();
+        // Use the last k shares so the decode always needs a real inversion.
+        let shares: Vec<Share<Gf1024>> = (n - k..n).map(|i| (i, cw[i])).collect();
+        group.bench_with_input(BenchmarkId::new("inversion", format!("{n}x{k}")), &shares, |b, shares| {
+            b.iter(|| code.decode_full(std::hint::black_box(shares)).unwrap());
+        });
+    }
+    let sys: SecCode<Gf1024> = SecCode::cauchy(10, 5, GeneratorForm::Systematic).unwrap();
+    let data: Vec<Gf1024> = (0..5u64).map(|v| Gf1024::from_u64(v + 11)).collect();
+    let cw = sys.encode(&data).unwrap();
+    let systematic_shares: Vec<Share<Gf1024>> = (0..5).map(|i| (i, cw[i])).collect();
+    group.bench_function("systematic_fast_path_10x5", |b| {
+        b.iter(|| sys.decode_full(std::hint::black_box(&systematic_shares)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_shard_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_shards");
+    const SHARD_LEN: usize = 4096;
+    let code: SecCode<Gf256> = SecCode::cauchy(10, 5, GeneratorForm::NonSystematic).unwrap();
+    let data: Vec<Vec<Gf256>> = (0..5)
+        .map(|i| (0..SHARD_LEN).map(|j| Gf256::from_u64((i + 3 * j) as u64)).collect())
+        .collect();
+    let coded = shards::encode_shards(&code, &data).unwrap();
+    let survivors: Vec<(usize, Vec<Gf256>)> = (5..10).map(|i| (i, coded[i].clone())).collect();
+    group.throughput(Throughput::Elements((5 * SHARD_LEN) as u64));
+    group.bench_function("gf256_10x5_4k_parity_only", |b| {
+        b.iter(|| shards::decode_shards(&code, std::hint::black_box(&survivors)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_decode, bench_shard_decode);
+criterion_main!(benches);

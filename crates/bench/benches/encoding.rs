@@ -1,0 +1,57 @@
+//! Encoding throughput: symbol-level and shard-level encoding for the code
+//! shapes used in the paper ((6,3), (10,5), (20,10)) and for different field
+//! widths, plus the Cauchy code-construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sec_erasure::{shards, GeneratorForm, SecCode};
+use sec_gf::{GaloisField, Gf1024, Gf256, Gf65536};
+
+fn bench_symbol_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_symbols");
+    for (n, k) in [(6usize, 3usize), (10, 5), (20, 10)] {
+        let code: SecCode<Gf1024> = SecCode::cauchy(n, k, GeneratorForm::NonSystematic).unwrap();
+        let data: Vec<Gf1024> = (0..k as u64).map(|v| Gf1024::from_u64(v * 7 + 1)).collect();
+        group.bench_with_input(BenchmarkId::new("cauchy_gf1024", format!("{n}x{k}")), &code, |b, code| {
+            b.iter(|| code.encode(std::hint::black_box(&data)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_shard_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_shards");
+    const SHARD_LEN: usize = 4096;
+    fn run<F: GaloisField>(
+        group: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>,
+        name: &str,
+    ) {
+        let code: SecCode<F> = SecCode::cauchy(10, 5, GeneratorForm::Systematic).unwrap();
+        let data: Vec<Vec<F>> = (0..5)
+            .map(|i| (0..SHARD_LEN).map(|j| F::from_u64((i * j + 3) as u64)).collect())
+            .collect();
+        group.throughput(Throughput::Elements((5 * SHARD_LEN) as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| shards::encode_shards(&code, std::hint::black_box(&data)).unwrap());
+        });
+    }
+    run::<Gf256>(&mut group, "gf256_10x5_4k");
+    run::<Gf1024>(&mut group, "gf1024_10x5_4k");
+    run::<Gf65536>(&mut group, "gf65536_10x5_4k");
+    group.finish();
+}
+
+fn bench_code_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("code_construction");
+    for (n, k) in [(6usize, 3usize), (20, 10), (40, 20)] {
+        group.bench_function(BenchmarkId::new("cauchy_non_systematic", format!("{n}x{k}")), |b| {
+            b.iter(|| SecCode::<Gf65536>::cauchy(n, k, GeneratorForm::NonSystematic).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("cauchy_systematic", format!("{n}x{k}")), |b| {
+            b.iter(|| SecCode::<Gf65536>::cauchy(n, k, GeneratorForm::Systematic).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbol_encode, bench_shard_encode, bench_code_construction);
+criterion_main!(benches);

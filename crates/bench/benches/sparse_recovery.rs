@@ -1,0 +1,59 @@
+//! Sparse-recovery decoder cost: recovering a γ-sparse delta from 2γ coded
+//! symbols (support search) versus a full k-symbol MDS decode — the ablation
+//! for SEC's central design choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sec_erasure::read_plan::{plan_read, ReadTarget};
+use sec_erasure::{GeneratorForm, SecCode, Share};
+use sec_gf::{GaloisField, Gf1024};
+
+fn sparse_delta(k: usize, support: &[usize]) -> Vec<Gf1024> {
+    let mut z = vec![Gf1024::ZERO; k];
+    for (i, &pos) in support.iter().enumerate() {
+        z[pos] = Gf1024::from_u64(100 + i as u64);
+    }
+    z
+}
+
+fn bench_sparse_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_vs_full_decode");
+    let code: SecCode<Gf1024> = SecCode::cauchy(20, 10, GeneratorForm::NonSystematic).unwrap();
+    for gamma in [1usize, 2, 3, 4] {
+        let support: Vec<usize> = (0..gamma).map(|i| i * 2 + 1).collect();
+        let z = sparse_delta(10, &support);
+        let cw = code.encode(&z).unwrap();
+        let sparse_shares: Vec<Share<Gf1024>> = (0..2 * gamma).map(|i| (i, cw[i])).collect();
+        let full_shares: Vec<Share<Gf1024>> = (0..10).map(|i| (i, cw[i])).collect();
+        group.bench_with_input(BenchmarkId::new("sparse_2gamma_reads", gamma), &gamma, |b, &gamma| {
+            b.iter(|| code.decode_sparse(std::hint::black_box(&sparse_shares), gamma).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("full_k_reads", gamma), &gamma, |b, _| {
+            b.iter(|| code.decode_full(std::hint::black_box(&full_shares)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_planning");
+    let systematic: SecCode<Gf1024> = SecCode::cauchy(20, 10, GeneratorForm::Systematic).unwrap();
+    let non_systematic: SecCode<Gf1024> = SecCode::cauchy(20, 10, GeneratorForm::NonSystematic).unwrap();
+    // Live set missing a few parity nodes, forcing the systematic planner to search.
+    let live: Vec<usize> = (0..20).filter(|&i| i != 10 && i != 12 && i != 14).collect();
+    for gamma in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("non_systematic", gamma), &gamma, |b, &gamma| {
+            b.iter(|| {
+                plan_read(&non_systematic, std::hint::black_box(&live), ReadTarget::Sparse { gamma }).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("systematic", gamma), &gamma, |b, &gamma| {
+            b.iter(|| {
+                plan_read(&systematic, std::hint::black_box(&live), ReadTarget::Sparse { gamma }).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_vs_full, bench_read_planning);
+criterion_main!(benches);

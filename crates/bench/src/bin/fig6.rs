@@ -1,0 +1,45 @@
+//! Fig. 6 — the truncated Exponential and truncated Poisson PMFs on the
+//! sparsity support `{1, 2, 3}` used by the §V-B expected-I/O study.
+//!
+//! Run with `cargo run -p sec-bench --bin fig6`.
+
+use sec_bench::{fmt_float, ExperimentArgs, ResultTable};
+use sec_workload::SparsityPmf;
+
+fn main() -> std::io::Result<()> {
+    let args = ExperimentArgs::from_env();
+    let k = 3usize;
+
+    let mut table = ResultTable::new(
+        "Fig. 6: sparsity PMFs on {1,2,3}",
+        &["family", "parameter", "P(1)", "P(2)", "P(3)", "mean"],
+    );
+    for alpha in [1.6, 1.1, 0.6, 0.1] {
+        let pmf = SparsityPmf::truncated_exponential(alpha, k).expect("valid alpha");
+        table.push_row(vec![
+            "trunc-exponential".to_string(),
+            fmt_float(alpha, 1),
+            fmt_float(pmf.probability(1), 4),
+            fmt_float(pmf.probability(2), 4),
+            fmt_float(pmf.probability(3), 4),
+            fmt_float(pmf.mean(), 4),
+        ]);
+    }
+    for lambda in [3.0, 5.0, 7.0, 9.0] {
+        let pmf = SparsityPmf::truncated_poisson(lambda, k).expect("valid lambda");
+        table.push_row(vec![
+            "trunc-poisson".to_string(),
+            fmt_float(lambda, 1),
+            fmt_float(pmf.probability(1), 4),
+            fmt_float(pmf.probability(2), 4),
+            fmt_float(pmf.probability(3), 4),
+            fmt_float(pmf.mean(), 4),
+        ]);
+    }
+    table.emit(&args)?;
+    println!(
+        "\nExpected shape: exponential PMFs concentrate on gamma = 1 (more so for larger alpha);\n\
+         Poisson PMFs concentrate on gamma = 3 (more so for larger lambda) — paper Fig. 6."
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! §IV-C / §V-A failure-pattern census — the counting argument behind Fig. 2:
+//! out of 63 failure patterns of the (6, 3) example, 41 are recoverable by
+//! the MDS property alone; non-systematic SEC additionally survives 15
+//! (total 56) while systematic SEC additionally survives only 3 (total 44),
+//! because only 3 of the 15 two-row submatrices of `G_S` satisfy Criterion 2.
+//!
+//! Run with `cargo run -p sec-bench --bin pattern_counts`.
+
+use sec_analysis::patterns::census;
+use sec_bench::{ExperimentArgs, ResultTable};
+use sec_erasure::{CriteriaReport, GeneratorForm, SecCode};
+use sec_gf::Gf1024;
+
+fn main() -> std::io::Result<()> {
+    let args = ExperimentArgs::from_env();
+    let non_systematic: SecCode<Gf1024> =
+        SecCode::cauchy(6, 3, GeneratorForm::NonSystematic).expect("(6,3) fits in GF(1024)");
+    let systematic: SecCode<Gf1024> =
+        SecCode::cauchy(6, 3, GeneratorForm::Systematic).expect("(6,3) fits in GF(1024)");
+
+    let mut table = ResultTable::new(
+        "Failure-pattern census, (6,3) code, gamma = 1",
+        &[
+            "scheme",
+            "criterion2_subsets",
+            "total_2row_subsets",
+            "total_patterns",
+            "mds_recoverable",
+            "sparse_only",
+            "total_recoverable",
+        ],
+    );
+    for (name, code) in [("non-systematic SEC", &non_systematic), ("systematic SEC", &systematic)] {
+        let report = CriteriaReport::for_code(code);
+        let g1 = report.gamma(1).expect("gamma = 1 is exploitable for k = 3");
+        let c = census(code, 1);
+        table.push_row(vec![
+            name.to_string(),
+            g1.qualifying_subsets.to_string(),
+            g1.total_subsets.to_string(),
+            c.total_patterns.to_string(),
+            c.mds_recoverable.to_string(),
+            c.sparse_only_recoverable.to_string(),
+            c.recoverable().to_string(),
+        ]);
+    }
+    table.emit(&args)?;
+    println!(
+        "\nPaper values: 15 vs 3 qualifying submatrices; 63 patterns, 41 MDS-recoverable,\n\
+         56 recoverable for non-systematic SEC and 44 for systematic SEC."
+    );
+    Ok(())
+}

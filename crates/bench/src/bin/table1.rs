@@ -1,0 +1,32 @@
+//! Table I — differential vs non-differential erasure coding for the §IV-C
+//! example: (6, 3) code over GF(1024), second version with a 1-sparse delta.
+//!
+//! Run with `cargo run -p sec-bench --bin table1`.
+
+use sec_analysis::tables::{render_table1, table1};
+use sec_bench::{ExperimentArgs, ResultTable};
+use sec_erasure::CodeParams;
+
+fn main() -> std::io::Result<()> {
+    let args = ExperimentArgs::from_env();
+    let params = CodeParams::new(6, 3).expect("valid (6,3) parameters");
+    let columns = table1(params, 1);
+
+    println!("Table I: differential vs non-differential erasure coding ((6,3), gamma = 1)\n");
+    println!("{}", render_table1(&columns));
+
+    // Also emit a compact numeric table (and CSV) of the I/O-read rows.
+    let mut table = ResultTable::new(
+        "Table I (I/O reads)",
+        &["scheme", "nodes", "io_reads_v1", "io_reads_v2"],
+    );
+    for c in &columns {
+        table.push_row(vec![
+            c.scheme.to_string(),
+            c.nodes.to_string(),
+            c.io_reads_v1.to_string(),
+            c.io_reads_v2.to_string(),
+        ]);
+    }
+    table.emit(&args)
+}

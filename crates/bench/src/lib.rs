@@ -1,0 +1,191 @@
+//! Shared helpers for the SEC experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper.
+//! They print a human-readable table mirroring the paper's axes and, when
+//! `--csv <path>` is passed, also write the raw series as CSV for plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentArgs {
+    /// Optional CSV output path (`--csv <path>`).
+    pub csv: Option<PathBuf>,
+    /// Optional Monte-Carlo trial count override (`--trials <n>`).
+    pub trials: Option<usize>,
+}
+
+impl ExperimentArgs {
+    /// Parses the process arguments, ignoring anything it does not recognize.
+    pub fn from_env() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--csv" => out.csv = args.next().map(PathBuf::from),
+                "--trials" => out.trials = args.next().and_then(|v| v.parse().ok()),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// A simple rectangular result table: a header plus rows of equal length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table with the given title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row/header length mismatch");
+        self.rows.push(row);
+    }
+
+    /// Convenience for rows of displayable values.
+    pub fn push<T: ToString>(&mut self, row: &[T]) {
+        self.push_row(row.iter().map(ToString::to_string).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("== {} ==\n", self.title);
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i] + 2))
+                .collect::<String>()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(w, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Prints the table to stdout and, if requested, writes the CSV file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn emit(&self, args: &ExperimentArgs) -> io::Result<()> {
+        print!("{}", self.render());
+        if let Some(path) = &args.csv {
+            let file = File::create(path)?;
+            self.write_csv(file)?;
+            println!("(csv written to {})", path.display());
+        }
+        Ok(())
+    }
+}
+
+/// The probability grid used by the resilience figures: 0.01 to 0.20.
+pub fn probability_grid() -> Vec<f64> {
+    (1..=20).map(|i| i as f64 * 0.01).collect()
+}
+
+/// Formats a float with a fixed number of significant digits for table output.
+pub fn fmt_float(v: f64, decimals: usize) -> String {
+    if v.abs() < 1e-3 && v != 0.0 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.decimals$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_csv() {
+        let mut t = ResultTable::new("demo", &["p", "value"]);
+        assert!(t.is_empty());
+        t.push(&[0.1, 2.5]);
+        t.push_row(vec!["0.2".into(), "3.5".into()]);
+        assert_eq!(t.len(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("== demo =="));
+        assert!(rendered.contains("value"));
+        assert!(rendered.contains("3.5"));
+        let mut csv = Vec::new();
+        t.write_csv(&mut csv).unwrap();
+        let csv = String::from_utf8(csv).unwrap();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("p,value"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = ResultTable::new("demo", &["a", "b"]);
+        t.push(&[1]);
+    }
+
+    #[test]
+    fn helpers() {
+        let grid = probability_grid();
+        assert_eq!(grid.len(), 20);
+        assert!((grid[0] - 0.01).abs() < 1e-12);
+        assert!((grid[19] - 0.2).abs() < 1e-12);
+        assert_eq!(fmt_float(0.5, 2), "0.50");
+        assert!(fmt_float(1.2e-7, 2).contains('e'));
+        assert_eq!(fmt_float(0.0, 1), "0.0");
+    }
+}

@@ -1,0 +1,167 @@
+//! Baseline redundancy schemes the paper compares against.
+//!
+//! * **Non-differential erasure coding** — encode every version in full with
+//!   the same `(n, k)` code. This needs no extra type: it is simply
+//!   [`SecCode`](crate::SecCode) used without deltas, and the versioning
+//!   layer exposes it as a strategy. Its I/O cost per version is always `k`.
+//! * **Replication** — store `r` verbatim copies of each object. Included
+//!   because it is the classical alternative the introduction contrasts with
+//!   erasure coding (better I/O, much worse storage overhead for the same
+//!   fault tolerance).
+
+use sec_gf::GaloisField;
+
+use crate::error::CodeError;
+
+/// `r`-way replication of a `k`-symbol object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicationCode {
+    replicas: usize,
+    object_len: usize,
+}
+
+impl ReplicationCode {
+    /// Creates an `r`-way replication scheme for objects of `object_len`
+    /// symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] when `replicas == 0` or
+    /// `object_len == 0`.
+    pub fn new(replicas: usize, object_len: usize) -> Result<Self, CodeError> {
+        if replicas == 0 {
+            return Err(CodeError::InvalidParams {
+                n: replicas,
+                k: object_len,
+                reason: "replication factor must be positive",
+            });
+        }
+        if object_len == 0 {
+            return Err(CodeError::InvalidParams {
+                n: replicas,
+                k: object_len,
+                reason: "object length must be positive",
+            });
+        }
+        Ok(Self { replicas, object_len })
+    }
+
+    /// Number of replicas stored.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Number of symbols per object.
+    pub fn object_len(&self) -> usize {
+        self.object_len
+    }
+
+    /// Storage overhead (always the replica count).
+    pub fn overhead(&self) -> f64 {
+        self.replicas as f64
+    }
+
+    /// Number of node failures the scheme tolerates (`r - 1`).
+    pub fn fault_tolerance(&self) -> usize {
+        self.replicas - 1
+    }
+
+    /// "Encodes" by producing `r` identical copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::DataLengthMismatch`] for a wrong object length.
+    pub fn encode<F: GaloisField>(&self, data: &[F]) -> Result<Vec<Vec<F>>, CodeError> {
+        if data.len() != self.object_len {
+            return Err(CodeError::DataLengthMismatch {
+                expected: self.object_len,
+                actual: data.len(),
+            });
+        }
+        Ok(vec![data.to_vec(); self.replicas])
+    }
+
+    /// Decodes from any surviving replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughShares`] when every replica is lost.
+    pub fn decode<F: GaloisField>(&self, replicas: &[Option<Vec<F>>]) -> Result<Vec<F>, CodeError> {
+        replicas
+            .iter()
+            .flatten()
+            .next()
+            .cloned()
+            .ok_or(CodeError::NotEnoughShares { needed: 1, available: 0 })
+    }
+
+    /// I/O reads needed to retrieve the object (one replica's worth of
+    /// symbols — replication never reads redundant data).
+    pub fn io_reads(&self) -> usize {
+        self.object_len
+    }
+
+    /// Probability the object is lost when each replica fails independently
+    /// with probability `p` (all replicas must fail).
+    pub fn loss_probability(&self, p: f64) -> f64 {
+        p.powi(self.replicas as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_gf::{GaloisField, Gf256};
+
+    fn obj(vals: &[u64]) -> Vec<Gf256> {
+        vals.iter().map(|&v| Gf256::from_u64(v)).collect()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(ReplicationCode::new(3, 4).is_ok());
+        assert!(matches!(ReplicationCode::new(0, 4), Err(CodeError::InvalidParams { .. })));
+        assert!(matches!(ReplicationCode::new(3, 0), Err(CodeError::InvalidParams { .. })));
+        let r = ReplicationCode::new(3, 4).unwrap();
+        assert_eq!(r.replicas(), 3);
+        assert_eq!(r.object_len(), 4);
+        assert_eq!(r.overhead(), 3.0);
+        assert_eq!(r.fault_tolerance(), 2);
+        assert_eq!(r.io_reads(), 4);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = ReplicationCode::new(3, 3).unwrap();
+        let x = obj(&[1, 2, 3]);
+        let copies = r.encode(&x).unwrap();
+        assert_eq!(copies.len(), 3);
+        assert!(copies.iter().all(|c| c == &x));
+        // Any surviving replica decodes.
+        let survivors = vec![None, Some(copies[1].clone()), None];
+        assert_eq!(r.decode(&survivors).unwrap(), x);
+        let none: Vec<Option<Vec<Gf256>>> = vec![None, None, None];
+        assert!(matches!(r.decode(&none), Err(CodeError::NotEnoughShares { .. })));
+        assert!(matches!(r.encode(&obj(&[1])), Err(CodeError::DataLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn loss_probability_is_p_to_the_r() {
+        let r = ReplicationCode::new(3, 5).unwrap();
+        assert!((r.loss_probability(0.1) - 0.001).abs() < 1e-12);
+        assert_eq!(r.loss_probability(0.0), 0.0);
+        assert_eq!(r.loss_probability(1.0), 1.0);
+    }
+
+    #[test]
+    fn replication_vs_mds_overhead_for_same_tolerance() {
+        // To tolerate 3 failures, 4-way replication has overhead 4 while a
+        // (6,3) MDS code has overhead 2 — the classical motivation for
+        // erasure coding cited in the paper's introduction.
+        let repl = ReplicationCode::new(4, 3).unwrap();
+        let mds = crate::CodeParams::new(6, 3).unwrap();
+        assert_eq!(repl.fault_tolerance(), 3);
+        assert_eq!(mds.n - mds.k, 3);
+        assert!(mds.overhead() < repl.overhead());
+    }
+}

@@ -1,0 +1,549 @@
+//! The [`SecCode`] type: an `(n, k)` MDS code with both full and sparse
+//! decoding, in systematic or non-systematic form.
+
+use core::fmt;
+
+use sec_gf::GaloisField;
+use sec_linalg::cauchy::{cauchy_matrix, cauchy_parity_block, CauchyError};
+use sec_linalg::{checks, ops, Matrix};
+
+use crate::error::CodeError;
+use crate::sparse;
+
+/// The `(n, k)` parameters of a linear code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeParams {
+    /// Code length: number of coded symbols / storage nodes per object.
+    pub n: usize,
+    /// Code dimension: number of source symbols per object.
+    pub k: usize,
+}
+
+impl CodeParams {
+    /// Creates and validates the parameter pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] unless `0 < k < n`.
+    pub fn new(n: usize, k: usize) -> Result<Self, CodeError> {
+        if k == 0 {
+            return Err(CodeError::InvalidParams { n, k, reason: "k must be positive" });
+        }
+        if k >= n {
+            return Err(CodeError::InvalidParams { n, k, reason: "k must be less than n" });
+        }
+        Ok(Self { n, k })
+    }
+
+    /// Storage overhead `n / k` of the code.
+    pub fn overhead(&self) -> f64 {
+        self.n as f64 / self.k as f64
+    }
+
+    /// Code rate `k / n`.
+    pub fn rate(&self) -> f64 {
+        self.k as f64 / self.n as f64
+    }
+
+    /// Largest sparsity level whose deltas are cheaper to read than a full
+    /// object, i.e. the largest `γ` with `2γ < k`.
+    pub fn max_exploitable_sparsity(&self) -> usize {
+        if self.k == 0 {
+            0
+        } else {
+            (self.k - 1) / 2
+        }
+    }
+}
+
+impl fmt::Display for CodeParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.n, self.k)
+    }
+}
+
+/// Whether the generator matrix is in systematic form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GeneratorForm {
+    /// `G_S = [I_k ; B]`: the first `k` coded symbols are the data itself.
+    Systematic,
+    /// `G_N`: a dense (Cauchy) matrix with no identity block.
+    NonSystematic,
+}
+
+impl fmt::Display for GeneratorForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorForm::Systematic => write!(f, "systematic"),
+            GeneratorForm::NonSystematic => write!(f, "non-systematic"),
+        }
+    }
+}
+
+/// One coded symbol together with the index of the node that stores it.
+pub type Share<F> = (usize, F);
+
+/// An `(n, k)` linear MDS code with SEC's two decoding modes.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecCode<F> {
+    params: CodeParams,
+    form: GeneratorForm,
+    generator: Matrix<F>,
+}
+
+impl<F: GaloisField> SecCode<F> {
+    /// Builds an `(n, k)` Cauchy-matrix code in the requested form
+    /// (paper, Examples 1 and 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] for a bad `(n, k)` pair or
+    /// [`CodeError::FieldTooSmall`] when the field cannot host the Cauchy
+    /// construction.
+    pub fn cauchy(n: usize, k: usize, form: GeneratorForm) -> Result<Self, CodeError> {
+        let params = CodeParams::new(n, k)?;
+        let generator = match form {
+            GeneratorForm::NonSystematic => map_cauchy_err(cauchy_matrix::<F>(n, k), n, k)?,
+            GeneratorForm::Systematic => {
+                let parity = map_cauchy_err(cauchy_parity_block::<F>(n, k), n, k)?;
+                Matrix::identity(k).stack(&parity)?
+            }
+        };
+        Ok(Self { params, form, generator })
+    }
+
+    /// Wraps an arbitrary generator matrix, validating its shape and the MDS
+    /// property (Criterion 1 in its strongest form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] when the matrix shape is not
+    /// `n × k` with `k < n`, or when the matrix is not MDS.
+    pub fn from_generator(generator: Matrix<F>, form: GeneratorForm) -> Result<Self, CodeError> {
+        let (n, k) = generator.shape();
+        let params = CodeParams::new(n, k)?;
+        if !checks::is_mds(&generator) {
+            return Err(CodeError::InvalidParams {
+                n,
+                k,
+                reason: "generator matrix is not MDS (some k rows are linearly dependent)",
+            });
+        }
+        if form == GeneratorForm::Systematic {
+            let top = generator.select_rows(&(0..k).collect::<Vec<_>>())?;
+            if top != Matrix::identity(k) {
+                return Err(CodeError::InvalidParams {
+                    n,
+                    k,
+                    reason: "systematic form requires the first k rows to be the identity",
+                });
+            }
+        }
+        Ok(Self { params, form, generator })
+    }
+
+    /// The `(n, k)` parameters.
+    pub fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    /// Code length `n`.
+    pub fn n(&self) -> usize {
+        self.params.n
+    }
+
+    /// Code dimension `k`.
+    pub fn k(&self) -> usize {
+        self.params.k
+    }
+
+    /// The generator form (systematic or not).
+    pub fn form(&self) -> GeneratorForm {
+        self.form
+    }
+
+    /// The full `n × k` generator matrix.
+    pub fn generator(&self) -> &Matrix<F> {
+        &self.generator
+    }
+
+    /// Rows of the generator restricted to the parity block (`B`) for a
+    /// systematic code, or all rows for a non-systematic one. These are the
+    /// rows from which Criterion-2 submatrices are drawn for systematic codes
+    /// (paper §III-C).
+    pub fn sparse_eligible_rows(&self) -> Vec<usize> {
+        match self.form {
+            GeneratorForm::Systematic => (self.params.k..self.params.n).collect(),
+            GeneratorForm::NonSystematic => (0..self.params.n).collect(),
+        }
+    }
+
+    /// Encodes a `k`-symbol object into its `n`-symbol codeword `c = G·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::DataLengthMismatch`] when `data.len() != k`.
+    pub fn encode(&self, data: &[F]) -> Result<Vec<F>, CodeError> {
+        if data.len() != self.params.k {
+            return Err(CodeError::DataLengthMismatch {
+                expected: self.params.k,
+                actual: data.len(),
+            });
+        }
+        Ok(self
+            .generator
+            .mul_vec(data)
+            .expect("data length validated against generator columns"))
+    }
+
+    /// Validates a share list against the code: indices in range, no
+    /// duplicates.
+    fn validate_shares(&self, shares: &[Share<F>]) -> Result<(), CodeError> {
+        let mut seen = vec![false; self.params.n];
+        for &(idx, _) in shares {
+            if idx >= self.params.n {
+                return Err(CodeError::ShareIndexOutOfRange { index: idx, n: self.params.n });
+            }
+            if seen[idx] {
+                return Err(CodeError::DuplicateShare { index: idx });
+            }
+            seen[idx] = true;
+        }
+        Ok(())
+    }
+
+    /// Recovers the full `k`-symbol object from at least `k` shares
+    /// (Criterion 1 / MDS decoding).
+    ///
+    /// For a systematic code, if the supplied shares contain all `k`
+    /// systematic symbols they are returned directly with no matrix
+    /// inversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughShares`] with fewer than `k` shares, or
+    /// [`CodeError::UndecodableShareSet`] if no invertible `k`-subset exists
+    /// among the supplied shares (impossible for a validated MDS code).
+    pub fn decode_full(&self, shares: &[Share<F>]) -> Result<Vec<F>, CodeError> {
+        self.validate_shares(shares)?;
+        let k = self.params.k;
+        if shares.len() < k {
+            return Err(CodeError::NotEnoughShares { needed: k, available: shares.len() });
+        }
+
+        // Systematic fast path: all data symbols present.
+        if self.form == GeneratorForm::Systematic {
+            let mut data = vec![None; k];
+            for &(idx, value) in shares {
+                if idx < k {
+                    data[idx] = Some(value);
+                }
+            }
+            if data.iter().all(Option::is_some) {
+                return Ok(data.into_iter().map(|v| v.expect("checked by all()")).collect());
+            }
+        }
+
+        // General path: pick the first k shares forming an invertible system.
+        let rows: Vec<usize> = shares.iter().map(|&(idx, _)| idx).collect();
+        let values: Vec<F> = shares.iter().map(|&(_, v)| v).collect();
+        for subset in sec_linalg::combinatorics::Combinations::new(shares.len(), k) {
+            let row_idx: Vec<usize> = subset.iter().map(|&i| rows[i]).collect();
+            let sub = self.generator.select_rows(&row_idx)?;
+            if let Ok(inv) = ops::invert(&sub) {
+                let y: Vec<F> = subset.iter().map(|&i| values[i]).collect();
+                return Ok(inv.mul_vec(&y)?);
+            }
+        }
+        Err(CodeError::UndecodableShareSet)
+    }
+
+    /// Recovers a `γ`-sparse object from `2γ` (or more) shares using the
+    /// Criterion-2 property (Proposition 1 of the paper).
+    ///
+    /// The caller asserts the object is at most `γ`-sparse; if it is not, the
+    /// recovery fails rather than returning a wrong vector (the supplied
+    /// equations over-determine the support search).
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::SparsityNotExploitable`] when `2γ ≥ k` (read the full
+    ///   object instead) or `γ = 0` shares with non-zero syndrome.
+    /// * [`CodeError::NotEnoughShares`] with fewer than `2γ` shares.
+    /// * [`CodeError::SparseRecoveryFailed`] when no `γ`-sparse vector is
+    ///   consistent with the shares.
+    pub fn decode_sparse(&self, shares: &[Share<F>], gamma: usize) -> Result<Vec<F>, CodeError> {
+        self.validate_shares(shares)?;
+        let k = self.params.k;
+        if gamma == 0 || 2 * gamma >= k {
+            return Err(CodeError::SparsityNotExploitable { gamma, k });
+        }
+        let needed = 2 * gamma;
+        if shares.len() < needed {
+            return Err(CodeError::NotEnoughShares { needed, available: shares.len() });
+        }
+        let rows: Vec<usize> = shares.iter().map(|&(idx, _)| idx).collect();
+        let values: Vec<F> = shares.iter().map(|&(_, v)| v).collect();
+        let sub = self.generator.select_rows(&rows)?;
+        sparse::recover_sparse(&sub, &values, gamma)
+            .ok_or(CodeError::SparseRecoveryFailed { gamma })
+    }
+
+    /// Number of I/O reads needed to retrieve an object of sparsity `γ`
+    /// through this code when all nodes are alive: `min(2γ, k)` when the
+    /// sparsity is exploitable, `k` otherwise (paper, eq. 3).
+    ///
+    /// For systematic codes, sparsity is only exploitable when the `2γ`
+    /// symbols can be drawn from the `n − k` parity rows (paper §III-C).
+    pub fn io_reads_for_sparsity(&self, gamma: usize) -> usize {
+        let k = self.params.k;
+        if gamma == 0 {
+            return 0;
+        }
+        if 2 * gamma >= k {
+            return k;
+        }
+        match self.form {
+            GeneratorForm::NonSystematic => 2 * gamma,
+            GeneratorForm::Systematic => {
+                if 2 * gamma <= self.params.n - k {
+                    2 * gamma
+                } else {
+                    k
+                }
+            }
+        }
+    }
+}
+
+fn map_cauchy_err<T>(res: Result<T, CauchyError>, n: usize, k: usize) -> Result<T, CodeError> {
+    res.map_err(|err| match err {
+        CauchyError::FieldTooSmall { field_order, .. } => {
+            CodeError::FieldTooSmall { n, k, field_order }
+        }
+        CauchyError::InvalidPoints => CodeError::Internal("invalid cauchy points".to_string()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_gf::{Gf1024, Gf16, Gf256};
+
+    fn data256(vals: &[u64]) -> Vec<Gf256> {
+        vals.iter().map(|&v| Gf256::from_u64(v)).collect()
+    }
+
+    #[test]
+    fn params_validation_and_accessors() {
+        assert!(CodeParams::new(6, 3).is_ok());
+        assert!(matches!(CodeParams::new(3, 3), Err(CodeError::InvalidParams { .. })));
+        assert!(matches!(CodeParams::new(3, 0), Err(CodeError::InvalidParams { .. })));
+        let p = CodeParams::new(20, 10).unwrap();
+        assert_eq!(p.overhead(), 2.0);
+        assert_eq!(p.rate(), 0.5);
+        assert_eq!(p.max_exploitable_sparsity(), 4);
+        assert_eq!(CodeParams::new(6, 3).unwrap().max_exploitable_sparsity(), 1);
+        assert_eq!(format!("{p}"), "(20, 10)");
+    }
+
+    #[test]
+    fn cauchy_codes_build_in_both_forms() {
+        for form in [GeneratorForm::Systematic, GeneratorForm::NonSystematic] {
+            let code: SecCode<Gf256> = SecCode::cauchy(6, 3, form).unwrap();
+            assert_eq!(code.n(), 6);
+            assert_eq!(code.k(), 3);
+            assert_eq!(code.form(), form);
+            assert_eq!(code.generator().shape(), (6, 3));
+        }
+        assert!(matches!(
+            SecCode::<Gf16>::cauchy(14, 5, GeneratorForm::NonSystematic),
+            Err(CodeError::FieldTooSmall { .. })
+        ));
+        assert!(matches!(
+            SecCode::<Gf256>::cauchy(3, 3, GeneratorForm::Systematic),
+            Err(CodeError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn systematic_generator_starts_with_identity() {
+        let code: SecCode<Gf1024> = SecCode::cauchy(6, 3, GeneratorForm::Systematic).unwrap();
+        let g = code.generator();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { Gf1024::ONE } else { Gf1024::ZERO };
+                assert_eq!(g.get(i, j), expect);
+            }
+        }
+        assert_eq!(code.sparse_eligible_rows(), vec![3, 4, 5]);
+        let ns: SecCode<Gf1024> = SecCode::cauchy(6, 3, GeneratorForm::NonSystematic).unwrap();
+        assert_eq!(ns.sparse_eligible_rows(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn encode_then_decode_full_from_any_k_shares() {
+        let code: SecCode<Gf256> = SecCode::cauchy(6, 3, GeneratorForm::NonSystematic).unwrap();
+        let x = data256(&[17, 0, 202]);
+        let c = code.encode(&x).unwrap();
+        assert_eq!(c.len(), 6);
+        for rows in sec_linalg::combinatorics::combinations(6, 3) {
+            let shares: Vec<Share<Gf256>> = rows.iter().map(|&i| (i, c[i])).collect();
+            assert_eq!(code.decode_full(&shares).unwrap(), x, "rows {rows:?}");
+        }
+    }
+
+    #[test]
+    fn systematic_fast_path_returns_data_directly() {
+        let code: SecCode<Gf256> = SecCode::cauchy(6, 3, GeneratorForm::Systematic).unwrap();
+        let x = data256(&[1, 2, 3]);
+        let c = code.encode(&x).unwrap();
+        assert_eq!(&c[..3], x.as_slice());
+        let shares: Vec<Share<Gf256>> = vec![(0, c[0]), (1, c[1]), (2, c[2])];
+        assert_eq!(code.decode_full(&shares).unwrap(), x);
+        // Decoding from parity symbols also works (general path).
+        let shares: Vec<Share<Gf256>> = vec![(3, c[3]), (4, c[4]), (5, c[5])];
+        assert_eq!(code.decode_full(&shares).unwrap(), x);
+    }
+
+    #[test]
+    fn decode_full_error_paths() {
+        let code: SecCode<Gf256> = SecCode::cauchy(6, 3, GeneratorForm::NonSystematic).unwrap();
+        let x = data256(&[5, 6, 7]);
+        let c = code.encode(&x).unwrap();
+        assert!(matches!(
+            code.decode_full(&[(0, c[0])]),
+            Err(CodeError::NotEnoughShares { needed: 3, available: 1 })
+        ));
+        assert!(matches!(
+            code.decode_full(&[(0, c[0]), (0, c[0]), (1, c[1])]),
+            Err(CodeError::DuplicateShare { index: 0 })
+        ));
+        assert!(matches!(
+            code.decode_full(&[(9, c[0]), (1, c[1]), (2, c[2])]),
+            Err(CodeError::ShareIndexOutOfRange { index: 9, n: 6 })
+        ));
+        assert!(matches!(
+            code.encode(&data256(&[1, 2])),
+            Err(CodeError::DataLengthMismatch { expected: 3, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn sparse_decode_from_two_shares() {
+        let code: SecCode<Gf1024> = SecCode::cauchy(6, 3, GeneratorForm::NonSystematic).unwrap();
+        // 1-sparse delta in an arbitrary position.
+        for pos in 0..3 {
+            let mut z = vec![Gf1024::ZERO; 3];
+            z[pos] = Gf1024::from_u64(999);
+            let c = code.encode(&z).unwrap();
+            // Any 2 shares suffice for the non-systematic Cauchy code.
+            for rows in sec_linalg::combinatorics::combinations(6, 2) {
+                let shares: Vec<Share<Gf1024>> = rows.iter().map(|&i| (i, c[i])).collect();
+                assert_eq!(code.decode_sparse(&shares, 1).unwrap(), z, "rows {rows:?} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_decode_systematic_uses_parity_rows() {
+        let code: SecCode<Gf1024> = SecCode::cauchy(6, 3, GeneratorForm::Systematic).unwrap();
+        let z = vec![Gf1024::from_u64(77), Gf1024::ZERO, Gf1024::ZERO];
+        let c = code.encode(&z).unwrap();
+        // Two parity shares (rows from B) recover the delta.
+        let shares: Vec<Share<Gf1024>> = vec![(3, c[3]), (4, c[4])];
+        assert_eq!(code.decode_sparse(&shares, 1).unwrap(), z);
+        // Two identity rows that both miss the support cannot see the delta:
+        // rows 1 and 2 read zeros and sparse recovery returns the zero vector,
+        // which is *wrong* for z — this is exactly why Criterion 2 restricts
+        // which submatrices may be used.
+        let shares: Vec<Share<Gf1024>> = vec![(1, c[1]), (2, c[2])];
+        let recovered = code.decode_sparse(&shares, 1).unwrap();
+        assert_ne!(recovered, z);
+    }
+
+    #[test]
+    fn sparse_decode_error_paths() {
+        let code: SecCode<Gf256> = SecCode::cauchy(6, 3, GeneratorForm::NonSystematic).unwrap();
+        let z = data256(&[9, 0, 0]);
+        let c = code.encode(&z).unwrap();
+        assert!(matches!(
+            code.decode_sparse(&[(0, c[0])], 1),
+            Err(CodeError::NotEnoughShares { needed: 2, available: 1 })
+        ));
+        // γ too large relative to k.
+        assert!(matches!(
+            code.decode_sparse(&[(0, c[0]), (1, c[1])], 2),
+            Err(CodeError::SparsityNotExploitable { gamma: 2, k: 3 })
+        ));
+        assert!(matches!(
+            code.decode_sparse(&[(0, c[0]), (1, c[1])], 0),
+            Err(CodeError::SparsityNotExploitable { gamma: 0, .. })
+        ));
+        // A non-sparse object cannot be recovered as 1-sparse: the decoder
+        // either reports failure or returns some 1-sparse vector, but never
+        // the true dense object.
+        let dense = data256(&[1, 2, 3]);
+        let cd = code.encode(&dense).unwrap();
+        match code.decode_sparse(&[(0, cd[0]), (1, cd[1])], 1) {
+            Err(CodeError::SparseRecoveryFailed { gamma: 1 }) => {}
+            Ok(wrong) => assert_ne!(wrong, dense),
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_reads_match_paper_formulas() {
+        // (20,10) rate-1/2 code: both forms give min(2γ, k).
+        for form in [GeneratorForm::Systematic, GeneratorForm::NonSystematic] {
+            let code: SecCode<Gf1024> = SecCode::cauchy(20, 10, form).unwrap();
+            assert_eq!(code.io_reads_for_sparsity(0), 0);
+            assert_eq!(code.io_reads_for_sparsity(3), 6);
+            assert_eq!(code.io_reads_for_sparsity(4), 8);
+            assert_eq!(code.io_reads_for_sparsity(5), 10);
+            assert_eq!(code.io_reads_for_sparsity(8), 10);
+        }
+        // High-rate (6,4) systematic code: only γ ≤ (n-k)/2 = 1 exploitable.
+        let sys: SecCode<Gf256> = SecCode::cauchy(6, 4, GeneratorForm::Systematic).unwrap();
+        assert_eq!(sys.io_reads_for_sparsity(1), 2);
+        // γ = 2 would need 4 parity rows but only 2 exist → falls back to k.
+        // (2γ = 4 ≥ k = 4 anyway, so both forms read k.)
+        assert_eq!(sys.io_reads_for_sparsity(2), 4);
+        // High-rate (8, 5): non-systematic exploits γ = 2, systematic cannot.
+        let ns: SecCode<Gf256> = SecCode::cauchy(8, 5, GeneratorForm::NonSystematic).unwrap();
+        let sy: SecCode<Gf256> = SecCode::cauchy(8, 5, GeneratorForm::Systematic).unwrap();
+        assert_eq!(ns.io_reads_for_sparsity(2), 4);
+        assert_eq!(sy.io_reads_for_sparsity(2), 5);
+    }
+
+    #[test]
+    fn from_generator_validates() {
+        let g = sec_linalg::cauchy::cauchy_matrix::<Gf256>(5, 2).unwrap();
+        let code = SecCode::from_generator(g.clone(), GeneratorForm::NonSystematic).unwrap();
+        assert_eq!(code.params(), CodeParams::new(5, 2).unwrap());
+        // Claiming systematic form for a dense matrix is rejected.
+        assert!(matches!(
+            SecCode::from_generator(g, GeneratorForm::Systematic),
+            Err(CodeError::InvalidParams { .. })
+        ));
+        // A rank-deficient generator is rejected.
+        let bad = Matrix::<Gf256>::zeros(4, 2);
+        assert!(matches!(
+            SecCode::from_generator(bad, GeneratorForm::NonSystematic),
+            Err(CodeError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_example_table1_io_reads() {
+        // §IV-C / Table I: (6,3) code, z2 1-sparse → 2 I/O reads for both SEC
+        // forms, 3 for the non-differential scheme (full object read).
+        let ns: SecCode<Gf1024> = SecCode::cauchy(6, 3, GeneratorForm::NonSystematic).unwrap();
+        let sy: SecCode<Gf1024> = SecCode::cauchy(6, 3, GeneratorForm::Systematic).unwrap();
+        assert_eq!(ns.io_reads_for_sparsity(1), 2);
+        assert_eq!(sy.io_reads_for_sparsity(1), 2);
+        assert_eq!(ns.k(), 3);
+    }
+}

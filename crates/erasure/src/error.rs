@@ -1,0 +1,166 @@
+//! Error type shared by the erasure-coding layer.
+
+use core::fmt;
+
+/// Errors returned by code construction, encoding and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// The requested `(n, k)` pair is invalid (`k` must satisfy `0 < k < n`).
+    InvalidParams {
+        /// Requested code length.
+        n: usize,
+        /// Requested code dimension.
+        k: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The field cannot accommodate the requested code (too few elements).
+    FieldTooSmall {
+        /// Requested code length.
+        n: usize,
+        /// Requested code dimension.
+        k: usize,
+        /// Field size.
+        field_order: u64,
+    },
+    /// The data object passed to `encode` has the wrong number of symbols.
+    DataLengthMismatch {
+        /// Expected length (the code dimension `k`).
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+    },
+    /// A share referenced a coded-symbol index outside `0..n`.
+    ShareIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Code length `n`.
+        n: usize,
+    },
+    /// The same coded-symbol index was supplied more than once.
+    DuplicateShare {
+        /// The duplicated index.
+        index: usize,
+    },
+    /// Not enough shares were supplied for the requested decode.
+    NotEnoughShares {
+        /// Number of shares required.
+        needed: usize,
+        /// Number of shares supplied.
+        available: usize,
+    },
+    /// The selected shares do not form a decodable set (singular submatrix).
+    UndecodableShareSet,
+    /// Sparse recovery failed: no vector of the requested sparsity is
+    /// consistent with the supplied shares.
+    SparseRecoveryFailed {
+        /// The sparsity bound that was attempted.
+        gamma: usize,
+    },
+    /// The requested sparsity level cannot be exploited by this code
+    /// (e.g. `γ ≥ k/2`, or a systematic code with `γ > (n-k)/2`).
+    SparsityNotExploitable {
+        /// The requested sparsity level.
+        gamma: usize,
+        /// Code dimension.
+        k: usize,
+    },
+    /// Shards passed to a bulk operation have inconsistent lengths.
+    ShardSizeMismatch {
+        /// Length of the first shard.
+        expected: usize,
+        /// Length of the offending shard.
+        actual: usize,
+    },
+    /// Underlying matrix failure that should not occur for validated codes.
+    Internal(String),
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParams { n, k, reason } => {
+                write!(f, "invalid code parameters (n={n}, k={k}): {reason}")
+            }
+            CodeError::FieldTooSmall { n, k, field_order } => write!(
+                f,
+                "field of order {field_order} is too small for an (n={n}, k={k}) Cauchy code"
+            ),
+            CodeError::DataLengthMismatch { expected, actual } => {
+                write!(f, "data object has {actual} symbols but the code dimension is {expected}")
+            }
+            CodeError::ShareIndexOutOfRange { index, n } => {
+                write!(f, "share index {index} out of range for code length {n}")
+            }
+            CodeError::DuplicateShare { index } => {
+                write!(f, "share index {index} supplied more than once")
+            }
+            CodeError::NotEnoughShares { needed, available } => {
+                write!(f, "decode needs {needed} shares but only {available} were supplied")
+            }
+            CodeError::UndecodableShareSet => {
+                write!(f, "the supplied shares do not form an invertible decoding system")
+            }
+            CodeError::SparseRecoveryFailed { gamma } => {
+                write!(f, "no {gamma}-sparse vector is consistent with the supplied shares")
+            }
+            CodeError::SparsityNotExploitable { gamma, k } => {
+                write!(f, "sparsity level {gamma} cannot be exploited by this code (k={k})")
+            }
+            CodeError::ShardSizeMismatch { expected, actual } => {
+                write!(f, "shard length mismatch: expected {expected}, got {actual}")
+            }
+            CodeError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+impl From<sec_linalg::MatrixError> for CodeError {
+    fn from(err: sec_linalg::MatrixError) -> Self {
+        CodeError::Internal(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(CodeError, &str)> = vec![
+            (
+                CodeError::InvalidParams { n: 3, k: 5, reason: "k must be less than n" },
+                "k must be less than n",
+            ),
+            (CodeError::FieldTooSmall { n: 300, k: 100, field_order: 256 }, "256"),
+            (CodeError::DataLengthMismatch { expected: 3, actual: 7 }, "dimension is 3"),
+            (CodeError::ShareIndexOutOfRange { index: 9, n: 6 }, "out of range"),
+            (CodeError::DuplicateShare { index: 2 }, "more than once"),
+            (CodeError::NotEnoughShares { needed: 3, available: 1 }, "needs 3"),
+            (CodeError::UndecodableShareSet, "invertible"),
+            (CodeError::SparseRecoveryFailed { gamma: 2 }, "2-sparse"),
+            (CodeError::SparsityNotExploitable { gamma: 4, k: 6 }, "cannot be exploited"),
+            (CodeError::ShardSizeMismatch { expected: 8, actual: 9 }, "mismatch"),
+            (CodeError::Internal("boom".into()), "boom"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn matrix_error_converts() {
+        let merr = sec_linalg::MatrixError::Singular;
+        let cerr: CodeError = merr.into();
+        assert!(matches!(cerr, CodeError::Internal(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodeError>();
+    }
+}

@@ -1,0 +1,227 @@
+//! Shard-level bulk encoding and decoding.
+//!
+//! A real storage object is much larger than `k` field symbols. The standard
+//! layout splits it into `k` equally sized *data shards*; each coded symbol
+//! of the `(n, k)` code then becomes a *coded shard* of the same length,
+//! where the generator coefficient multiplies the whole shard element-wise.
+//! This module provides that layer on top of [`SecCode`], using the bulk
+//! kernels from `sec-gf` for the inner loops.
+
+use sec_gf::{bulk, GaloisField};
+use sec_linalg::ops;
+
+use crate::code::{SecCode, Share};
+use crate::error::CodeError;
+
+/// Encodes `k` equally sized data shards into `n` coded shards.
+///
+/// # Errors
+///
+/// * [`CodeError::DataLengthMismatch`] if the number of shards is not `k`.
+/// * [`CodeError::ShardSizeMismatch`] if the shards are not equally sized.
+pub fn encode_shards<F: GaloisField>(
+    code: &SecCode<F>,
+    data_shards: &[Vec<F>],
+) -> Result<Vec<Vec<F>>, CodeError> {
+    let k = code.k();
+    if data_shards.len() != k {
+        return Err(CodeError::DataLengthMismatch { expected: k, actual: data_shards.len() });
+    }
+    let shard_len = data_shards.first().map_or(0, Vec::len);
+    for shard in data_shards {
+        if shard.len() != shard_len {
+            return Err(CodeError::ShardSizeMismatch { expected: shard_len, actual: shard.len() });
+        }
+    }
+    let g = code.generator();
+    let mut out = vec![vec![F::ZERO; shard_len]; code.n()];
+    for (row, coded) in out.iter_mut().enumerate() {
+        for (col, data) in data_shards.iter().enumerate() {
+            bulk::mul_add_assign(coded, g.get(row, col), data);
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes the original `k` data shards from any `k` coded shards
+/// (given with their node indices).
+///
+/// # Errors
+///
+/// * [`CodeError::NotEnoughShares`] with fewer than `k` shards.
+/// * [`CodeError::ShardSizeMismatch`] if the shards are not equally sized.
+/// * [`CodeError::ShareIndexOutOfRange`] / [`CodeError::DuplicateShare`] for
+///   malformed indices.
+pub fn decode_shards<F: GaloisField>(
+    code: &SecCode<F>,
+    coded_shards: &[(usize, Vec<F>)],
+) -> Result<Vec<Vec<F>>, CodeError> {
+    let k = code.k();
+    let n = code.n();
+    if coded_shards.len() < k {
+        return Err(CodeError::NotEnoughShares { needed: k, available: coded_shards.len() });
+    }
+    let shard_len = coded_shards[0].1.len();
+    let mut seen = vec![false; n];
+    for (idx, shard) in coded_shards {
+        if *idx >= n {
+            return Err(CodeError::ShareIndexOutOfRange { index: *idx, n });
+        }
+        if seen[*idx] {
+            return Err(CodeError::DuplicateShare { index: *idx });
+        }
+        seen[*idx] = true;
+        if shard.len() != shard_len {
+            return Err(CodeError::ShardSizeMismatch { expected: shard_len, actual: shard.len() });
+        }
+    }
+
+    // Use the first k shards; the MDS property guarantees invertibility.
+    let rows: Vec<usize> = coded_shards.iter().take(k).map(|(i, _)| *i).collect();
+    let sub = code.generator().select_rows(&rows)?;
+    let inv = ops::invert(&sub).map_err(|_| CodeError::UndecodableShareSet)?;
+
+    let mut data = vec![vec![F::ZERO; shard_len]; k];
+    for (out_row, data_shard) in data.iter_mut().enumerate() {
+        for (in_row, (_, coded_shard)) in coded_shards.iter().take(k).enumerate() {
+            bulk::mul_add_assign(data_shard, inv.get(out_row, in_row), coded_shard);
+        }
+    }
+    Ok(data)
+}
+
+/// Splits a flat symbol buffer into `k` equally sized shards, zero-padding the
+/// tail — the "application object → fixed-size coding object" transformation
+/// the paper assumes implicitly.
+pub fn split_into_shards<F: GaloisField>(data: &[F], k: usize) -> Vec<Vec<F>> {
+    assert!(k > 0, "cannot split into zero shards");
+    let shard_len = data.len().div_ceil(k);
+    let mut shards = Vec::with_capacity(k);
+    for i in 0..k {
+        let start = (i * shard_len).min(data.len());
+        let end = ((i + 1) * shard_len).min(data.len());
+        let mut shard = data[start..end].to_vec();
+        shard.resize(shard_len, F::ZERO);
+        shards.push(shard);
+    }
+    shards
+}
+
+/// Reassembles shards produced by [`split_into_shards`], trimming the final
+/// zero padding down to `original_len` symbols.
+pub fn join_shards<F: GaloisField>(shards: &[Vec<F>], original_len: usize) -> Vec<F> {
+    let mut out: Vec<F> = shards.iter().flatten().copied().collect();
+    out.truncate(original_len);
+    out
+}
+
+/// Reconstructs the shares of one *symbol position* across shards — a helper
+/// for turning shard-level storage into the per-symbol [`Share`] form used by
+/// the sparse decoder.
+pub fn symbol_shares<F: GaloisField>(coded_shards: &[(usize, Vec<F>)], position: usize) -> Vec<Share<F>> {
+    coded_shards
+        .iter()
+        .filter(|(_, shard)| position < shard.len())
+        .map(|(idx, shard)| (*idx, shard[position]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::GeneratorForm;
+    use sec_gf::Gf256;
+
+    fn code63() -> SecCode<Gf256> {
+        SecCode::cauchy(6, 3, GeneratorForm::NonSystematic).unwrap()
+    }
+
+    fn shard(vals: &[u64]) -> Vec<Gf256> {
+        vals.iter().map(|&v| Gf256::from_u64(v)).collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let code = code63();
+        let data = vec![shard(&[1, 2, 3, 4]), shard(&[5, 6, 7, 8]), shard(&[9, 10, 11, 12])];
+        let coded = encode_shards(&code, &data).unwrap();
+        assert_eq!(coded.len(), 6);
+        for rows in sec_linalg::combinatorics::combinations(6, 3) {
+            let shares: Vec<(usize, Vec<Gf256>)> =
+                rows.iter().map(|&i| (i, coded[i].clone())).collect();
+            assert_eq!(decode_shards(&code, &shares).unwrap(), data, "rows {rows:?}");
+        }
+    }
+
+    #[test]
+    fn systematic_coded_shards_start_with_data() {
+        let code: SecCode<Gf256> = SecCode::cauchy(6, 3, GeneratorForm::Systematic).unwrap();
+        let data = vec![shard(&[1, 2]), shard(&[3, 4]), shard(&[5, 6])];
+        let coded = encode_shards(&code, &data).unwrap();
+        assert_eq!(&coded[..3], data.as_slice());
+    }
+
+    #[test]
+    fn shard_errors() {
+        let code = code63();
+        assert!(matches!(
+            encode_shards(&code, &[shard(&[1])]),
+            Err(CodeError::DataLengthMismatch { expected: 3, actual: 1 })
+        ));
+        assert!(matches!(
+            encode_shards(&code, &[shard(&[1, 2]), shard(&[3]), shard(&[4, 5])]),
+            Err(CodeError::ShardSizeMismatch { expected: 2, actual: 1 })
+        ));
+        let data = vec![shard(&[1]), shard(&[2]), shard(&[3])];
+        let coded = encode_shards(&code, &data).unwrap();
+        assert!(matches!(
+            decode_shards(&code, &[(0, coded[0].clone()), (1, coded[1].clone())]),
+            Err(CodeError::NotEnoughShares { .. })
+        ));
+        assert!(matches!(
+            decode_shards(&code, &[(0, coded[0].clone()), (0, coded[0].clone()), (1, coded[1].clone())]),
+            Err(CodeError::DuplicateShare { index: 0 })
+        ));
+        assert!(matches!(
+            decode_shards(&code, &[(9, coded[0].clone()), (1, coded[1].clone()), (2, coded[2].clone())]),
+            Err(CodeError::ShareIndexOutOfRange { .. })
+        ));
+        let ragged = vec![(0, coded[0].clone()), (1, shard(&[1, 2, 3])), (2, coded[2].clone())];
+        assert!(matches!(
+            decode_shards(&code, &ragged),
+            Err(CodeError::ShardSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn split_and_join_round_trip_with_padding() {
+        let data = shard(&[1, 2, 3, 4, 5, 6, 7]);
+        let shards = split_into_shards(&data, 3);
+        assert_eq!(shards.len(), 3);
+        assert!(shards.iter().all(|s| s.len() == 3));
+        assert_eq!(join_shards(&shards, data.len()), data);
+        // Exact division, no padding.
+        let data = shard(&[1, 2, 3, 4]);
+        let shards = split_into_shards(&data, 2);
+        assert_eq!(join_shards(&shards, 4), data);
+        // Fewer symbols than shards.
+        let data = shard(&[9]);
+        let shards = split_into_shards(&data, 3);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 3);
+        assert_eq!(join_shards(&shards, 1), data);
+    }
+
+    #[test]
+    fn symbol_shares_extracts_one_position() {
+        let code = code63();
+        let data = vec![shard(&[1, 2]), shard(&[3, 4]), shard(&[5, 6])];
+        let coded = encode_shards(&code, &data).unwrap();
+        let stored: Vec<(usize, Vec<Gf256>)> = coded.iter().cloned().enumerate().collect();
+        let pos0 = symbol_shares(&stored, 0);
+        assert_eq!(pos0.len(), 6);
+        // Decoding position 0 symbol-wise matches the shard decode.
+        let decoded = code.decode_full(&pos0[..3]).unwrap();
+        assert_eq!(decoded, vec![data[0][0], data[1][0], data[2][0]]);
+        assert!(symbol_shares(&stored, 99).is_empty());
+    }
+}

@@ -1,0 +1,430 @@
+//! Concrete binary-extension fields used throughout the SEC stack.
+//!
+//! Four field sizes are provided:
+//!
+//! | Type | Field | Reduction polynomial | Typical use |
+//! |------|-------|----------------------|-------------|
+//! | [`Gf16`] | `GF(2^4)` | `x^4 + x + 1` | exhaustive tests |
+//! | [`Gf256`] | `GF(2^8)` | `x^8 + x^4 + x^3 + x^2 + 1` | byte-oriented erasure coding |
+//! | [`Gf1024`] | `GF(2^10)` | `x^10 + x^3 + 1` | the SEC paper's `q = 1024` example |
+//! | [`Gf65536`] | `GF(2^16)` | `x^16 + x^12 + x^3 + x + 1` | wide-symbol codes (`n` up to 65535) |
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::OnceLock;
+
+use crate::field::GaloisField;
+use crate::tables::{build_tables, FieldTables};
+
+macro_rules! define_gf {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $repr:ty, $bits:expr, $poly:expr, $tables_fn:ident
+    ) => {
+        fn $tables_fn() -> &'static FieldTables {
+            static TABLES: OnceLock<FieldTables> = OnceLock::new();
+            TABLES.get_or_init(|| build_tables($poly, $bits))
+        }
+
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name($repr);
+
+        impl $name {
+            /// The irreducible reduction polynomial (leading term included).
+            pub const POLYNOMIAL: u32 = $poly;
+
+            /// Creates an element from its canonical integer representation.
+            ///
+            /// Unlike [`GaloisField::from_u64`] this is `const` and does not
+            /// mask, so it must only be called with `v < 2^BITS`.
+            pub(crate) const fn new_unchecked(v: $repr) -> Self {
+                Self(v)
+            }
+
+            /// Returns the raw integer representation.
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+        }
+
+        impl GaloisField for $name {
+            const BITS: u32 = $bits;
+            const ORDER: u64 = 1 << $bits;
+            const ZERO: Self = Self::new_unchecked(0);
+            const ONE: Self = Self::new_unchecked(1);
+
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                Self((v & (Self::ORDER - 1)) as $repr)
+            }
+
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self.0 as u64
+            }
+
+            #[inline]
+            fn inv(self) -> Option<Self> {
+                if self.0 == 0 {
+                    None
+                } else {
+                    Some(Self($tables_fn().inv(self.0 as u32) as $repr))
+                }
+            }
+
+            #[inline]
+            fn generator() -> Self {
+                Self($tables_fn().generator as $repr)
+            }
+
+            #[inline]
+            fn pow(self, e: u64) -> Self {
+                Self($tables_fn().pow(self.0 as u32, e) as $repr)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::Binary for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Binary::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::Octal for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Octal::fmt(&self.0, f)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 ^ rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 ^= rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                // Characteristic 2: subtraction is addition.
+                Self(self.0 ^ rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 ^= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                self
+            }
+        }
+
+        impl Mul for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                Self($tables_fn().mul(self.0 as u32, rhs.0 as u32) as $repr)
+            }
+        }
+
+        impl MulAssign for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl Div for $name {
+            type Output = Self;
+            /// # Panics
+            ///
+            /// Panics when `rhs` is zero, mirroring integer division.
+            #[inline]
+            fn div(self, rhs: Self) -> Self {
+                assert!(rhs.0 != 0, "division by zero in {}", stringify!($name));
+                Self($tables_fn().div(self.0 as u32, rhs.0 as u32) as $repr)
+            }
+        }
+
+        impl DivAssign for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: Self) {
+                *self = *self / rhs;
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |a, b| a + b)
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |a, b| a + *b)
+            }
+        }
+
+        impl Product for $name {
+            fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ONE, |a, b| a * b)
+            }
+        }
+
+        impl<'a> Product<&'a $name> for $name {
+            fn product<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                iter.fold(Self::ONE, |a, b| a * *b)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(v: $repr) -> Self {
+                <Self as GaloisField>::from_u64(v as u64)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(v: $name) -> u64 {
+                v.to_u64()
+            }
+        }
+    };
+}
+
+define_gf!(
+    /// The 16-element field `GF(2^4)`, reduction polynomial `x^4 + x + 1`.
+    ///
+    /// Small enough for exhaustive verification of algebraic properties and
+    /// of the MDS / Criterion-2 checks in `sec-linalg`.
+    Gf16,
+    u8,
+    4,
+    0x13,
+    gf16_tables
+);
+
+define_gf!(
+    /// The 256-element field `GF(2^8)`, reduction polynomial
+    /// `x^8 + x^4 + x^3 + x^2 + 1` (0x11D, the classical Reed-Solomon choice).
+    ///
+    /// This is the default symbol alphabet for byte-oriented erasure coding.
+    Gf256,
+    u8,
+    8,
+    0x11D,
+    gf256_tables
+);
+
+define_gf!(
+    /// The 1024-element field `GF(2^10)`, reduction polynomial `x^10 + x^3 + 1`.
+    ///
+    /// The SEC paper's running example represents a 3 KB object as a vector of
+    /// three symbols over an alphabet of size `q = 1024`; this type makes that
+    /// example directly expressible.
+    Gf1024,
+    u16,
+    10,
+    0x409,
+    gf1024_tables
+);
+
+define_gf!(
+    /// The 65536-element field `GF(2^16)`, reduction polynomial
+    /// `x^16 + x^12 + x^3 + x + 1` (0x1100B, as used by Jerasure).
+    ///
+    /// Needed when a single code must span more than 255 storage nodes or when
+    /// wider symbols reduce table-lookup overhead per byte.
+    Gf65536,
+    u16,
+    16,
+    0x1100B,
+    gf65536_tables
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_field_axioms_exhaustive<F: GaloisField>(step: u64) {
+        let elems: Vec<F> = (0..F::ORDER).step_by(step as usize).map(F::from_u64).collect();
+        for &a in &elems {
+            // Identities.
+            assert_eq!(a + F::ZERO, a);
+            assert_eq!(a * F::ONE, a);
+            assert_eq!(a * F::ZERO, F::ZERO);
+            // Characteristic 2.
+            assert_eq!(a + a, F::ZERO);
+            assert_eq!(-a, a);
+            // Inverse.
+            if !a.is_zero() {
+                let ai = a.inv().expect("non-zero element has an inverse");
+                assert_eq!(a * ai, F::ONE);
+                assert_eq!(F::ONE / a, ai);
+            } else {
+                assert!(a.inv().is_none());
+            }
+            for &b in &elems {
+                assert_eq!(a + b, b + a);
+                assert_eq!(a * b, b * a);
+                assert_eq!(a - b, a + b);
+                for &c in elems.iter().take(8) {
+                    assert_eq!((a + b) + c, a + (b + c));
+                    assert_eq!((a * b) * c, a * (b * c));
+                    assert_eq!(a * (b + c), a * b + a * c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gf16_axioms_exhaustive() {
+        check_field_axioms_exhaustive::<Gf16>(1);
+    }
+
+    #[test]
+    fn gf256_axioms_sampled() {
+        check_field_axioms_exhaustive::<Gf256>(5);
+    }
+
+    #[test]
+    fn gf1024_axioms_sampled() {
+        check_field_axioms_exhaustive::<Gf1024>(23);
+    }
+
+    #[test]
+    fn gf65536_axioms_sampled() {
+        check_field_axioms_exhaustive::<Gf65536>(509);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        fn check<F: GaloisField>() {
+            let g = F::generator();
+            assert_eq!(g.pow(F::ORDER - 1), F::ONE);
+            // The generator's order is exactly ORDER - 1: for every proper
+            // prime divisor d of ORDER - 1, g^((ORDER-1)/d) != 1.
+            let group = F::ORDER - 1;
+            let mut m = group;
+            let mut p = 2u64;
+            let mut divisors = Vec::new();
+            while p * p <= m {
+                if m % p == 0 {
+                    divisors.push(p);
+                    while m % p == 0 {
+                        m /= p;
+                    }
+                }
+                p += 1;
+            }
+            if m > 1 {
+                divisors.push(m);
+            }
+            for d in divisors {
+                assert_ne!(g.pow(group / d), F::ONE, "generator order divides {}", group / d);
+            }
+        }
+        check::<Gf16>();
+        check::<Gf256>();
+        check::<Gf1024>();
+        check::<Gf65536>();
+    }
+
+    #[test]
+    fn from_u64_masks_high_bits() {
+        assert_eq!(Gf256::from_u64(0x1_00), Gf256::ZERO);
+        assert_eq!(Gf256::from_u64(0x1_2A), Gf256::from_u64(0x2A));
+        assert_eq!(Gf1024::from_u64(1 << 10), Gf1024::ZERO);
+        assert_eq!(Gf16::from_u64(16), Gf16::ZERO);
+    }
+
+    #[test]
+    fn display_and_hex_formatting() {
+        let a = Gf256::from_u64(0xAB);
+        assert_eq!(format!("{a}"), "171");
+        assert_eq!(format!("{a:x}"), "ab");
+        assert_eq!(format!("{a:X}"), "AB");
+        assert_eq!(format!("{a:b}"), "10101011");
+        assert_eq!(format!("{a:o}"), "253");
+    }
+
+    #[test]
+    fn sum_and_product_impls() {
+        let xs = [Gf256::from_u64(1), Gf256::from_u64(2), Gf256::from_u64(3)];
+        let s: Gf256 = xs.iter().sum();
+        assert_eq!(s, Gf256::from_u64(1 ^ 2 ^ 3));
+        let p: Gf256 = xs.iter().product();
+        assert_eq!(p, Gf256::from_u64(1) * Gf256::from_u64(2) * Gf256::from_u64(3));
+        let empty: [Gf256; 0] = [];
+        assert_eq!(empty.iter().sum::<Gf256>(), Gf256::ZERO);
+        assert_eq!(empty.iter().product::<Gf256>(), Gf256::ONE);
+    }
+
+    #[test]
+    fn conversions_via_from() {
+        let a: Gf256 = 7u8.into();
+        assert_eq!(a.to_u64(), 7);
+        let v: u64 = a.into();
+        assert_eq!(v, 7);
+        let b: Gf1024 = 1000u16.into();
+        assert_eq!(b.raw(), 1000);
+    }
+
+    #[test]
+    fn gf256_known_products() {
+        // Known values for the 0x11D polynomial.
+        let a = Gf256::from_u64(0x80);
+        let two = Gf256::from_u64(2);
+        assert_eq!(a * two, Gf256::from_u64(0x1D));
+        assert_eq!(Gf256::from_u64(0x53) * Gf256::from_u64(0xCA) / Gf256::from_u64(0xCA), Gf256::from_u64(0x53));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256::ONE / Gf256::ZERO;
+    }
+
+    #[test]
+    fn send_sync_impls() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Gf16>();
+        assert_send_sync::<Gf256>();
+        assert_send_sync::<Gf1024>();
+        assert_send_sync::<Gf65536>();
+    }
+}

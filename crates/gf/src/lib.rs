@@ -1,0 +1,46 @@
+//! Finite-field arithmetic for the SEC (Sparsity Exploiting Coding) stack.
+//!
+//! The SEC paper works with data objects `x ∈ F_q^k` where `q` is a power of
+//! two; its running example uses `q = 1024` (i.e. `GF(2^10)`) and practical
+//! erasure-coding deployments use `GF(2^8)` or `GF(2^16)`. This crate
+//! provides:
+//!
+//! * the [`GaloisField`] trait describing a binary-extension field,
+//! * concrete fields [`Gf16`], [`Gf256`], [`Gf1024`] and [`Gf65536`]
+//!   (characteristic-2 fields of 2^4, 2^8, 2^10 and 2^16 elements) built from
+//!   log/exp tables generated at first use,
+//! * dense polynomial arithmetic over any such field ([`poly::Poly`]),
+//!   including Lagrange interpolation used by decoder tests,
+//! * bulk slice kernels ([`bulk`]) used by the erasure encoder to apply a
+//!   scalar coefficient to a whole block of symbols at once.
+//!
+//! # Example
+//!
+//! ```rust
+//! use sec_gf::{GaloisField, Gf256};
+//!
+//! let a = Gf256::from_u64(0x53);
+//! let b = Gf256::from_u64(0xCA);
+//! let p = a * b;
+//! // Multiplication is invertible for non-zero elements.
+//! assert_eq!(p / b, a);
+//! // Addition is XOR in characteristic two, so every element is its own negative.
+//! assert_eq!(a + a, Gf256::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod fields;
+mod tables;
+
+pub mod bulk;
+pub mod poly;
+
+pub use field::GaloisField;
+pub use fields::{Gf1024, Gf16, Gf256, Gf65536};
+pub use poly::Poly;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,155 @@
+//! Property-based tests of the field axioms and polynomial algebra.
+
+use proptest::prelude::*;
+
+use crate::{GaloisField, Gf1024, Gf16, Gf256, Gf65536, Poly};
+
+fn elem<F: GaloisField>() -> impl Strategy<Value = F> {
+    (0..F::ORDER).prop_map(F::from_u64)
+}
+
+macro_rules! field_axioms {
+    ($modname:ident, $field:ty) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn addition_is_commutative_group(a in elem::<$field>(), b in elem::<$field>(), c in elem::<$field>()) {
+                    prop_assert_eq!(a + b, b + a);
+                    prop_assert_eq!((a + b) + c, a + (b + c));
+                    prop_assert_eq!(a + <$field>::ZERO, a);
+                    prop_assert_eq!(a + a, <$field>::ZERO); // characteristic 2
+                }
+
+                #[test]
+                fn multiplication_is_commutative_monoid(a in elem::<$field>(), b in elem::<$field>(), c in elem::<$field>()) {
+                    prop_assert_eq!(a * b, b * a);
+                    prop_assert_eq!((a * b) * c, a * (b * c));
+                    prop_assert_eq!(a * <$field>::ONE, a);
+                    prop_assert_eq!(a * <$field>::ZERO, <$field>::ZERO);
+                }
+
+                #[test]
+                fn distributivity(a in elem::<$field>(), b in elem::<$field>(), c in elem::<$field>()) {
+                    prop_assert_eq!(a * (b + c), a * b + a * c);
+                }
+
+                #[test]
+                fn inverse_and_division(a in elem::<$field>(), b in elem::<$field>()) {
+                    if !a.is_zero() {
+                        let ai = a.inv().unwrap();
+                        prop_assert_eq!(a * ai, <$field>::ONE);
+                        prop_assert_eq!(b / a * a, b);
+                    } else {
+                        prop_assert!(a.inv().is_none());
+                    }
+                }
+
+                #[test]
+                fn pow_is_repeated_multiplication(a in elem::<$field>(), e in 0u64..64) {
+                    let mut expect = <$field>::ONE;
+                    for _ in 0..e {
+                        expect *= a;
+                    }
+                    prop_assert_eq!(a.pow(e), expect);
+                }
+
+                #[test]
+                fn to_from_u64_round_trip(a in elem::<$field>()) {
+                    prop_assert_eq!(<$field>::from_u64(a.to_u64()), a);
+                    prop_assert!(a.to_u64() < <$field>::ORDER);
+                }
+
+                #[test]
+                fn frobenius_is_additive(a in elem::<$field>(), b in elem::<$field>()) {
+                    // In characteristic 2, squaring is a field automorphism.
+                    prop_assert_eq!((a + b) * (a + b), a * a + b * b);
+                }
+            }
+        }
+    };
+}
+
+field_axioms!(gf16_axioms, Gf16);
+field_axioms!(gf256_axioms, Gf256);
+field_axioms!(gf1024_axioms, Gf1024);
+field_axioms!(gf65536_axioms, Gf65536);
+
+fn poly256(max_len: usize) -> impl Strategy<Value = Poly<Gf256>> {
+    prop::collection::vec(0u64..256, 0..max_len)
+        .prop_map(|cs| Poly::new(cs.into_iter().map(Gf256::from_u64).collect()))
+}
+
+proptest! {
+    #[test]
+    fn poly_add_commutes_and_mul_distributes(p in poly256(8), q in poly256(8), r in poly256(6)) {
+        prop_assert_eq!(p.add(&q), q.add(&p));
+        prop_assert_eq!(p.mul(&q), q.mul(&p));
+        prop_assert_eq!(p.mul(&q.add(&r)), p.mul(&q).add(&p.mul(&r)));
+    }
+
+    #[test]
+    fn poly_div_rem_invariant(p in poly256(10), d in poly256(6)) {
+        prop_assume!(!d.is_zero());
+        let (q, r) = p.div_rem(&d);
+        prop_assert_eq!(q.mul(&d).add(&r), p);
+        if let (Some(rd), Some(dd)) = (r.degree(), d.degree()) {
+            prop_assert!(rd < dd);
+        }
+    }
+
+    #[test]
+    fn poly_eval_is_ring_homomorphism(p in poly256(8), q in poly256(8), x in 0u64..256) {
+        let x = Gf256::from_u64(x);
+        prop_assert_eq!(p.add(&q).eval(x), p.eval(x) + q.eval(x));
+        prop_assert_eq!(p.mul(&q).eval(x), p.eval(x) * q.eval(x));
+    }
+
+    #[test]
+    fn poly_interpolation_round_trip(coeffs in prop::collection::vec(0u64..256, 1..7)) {
+        let p = Poly::new(coeffs.into_iter().map(Gf256::from_u64).collect());
+        let deg = p.degree().map_or(0, |d| d + 1).max(1);
+        let points: Vec<(Gf256, Gf256)> = (1..=deg as u64)
+            .map(|v| { let x = Gf256::from_u64(v); (x, p.eval(x)) })
+            .collect();
+        prop_assert_eq!(Poly::interpolate(&points), p);
+    }
+
+    #[test]
+    fn bulk_kernels_match_scalar_loop(
+        a in prop::collection::vec(0u64..256, 1..64),
+        c in 0u64..256,
+    ) {
+        let src: Vec<Gf256> = a.iter().map(|&v| Gf256::from_u64(v)).collect();
+        let c = Gf256::from_u64(c);
+        let mut dst = vec![Gf256::ZERO; src.len()];
+        crate::bulk::mul_add_assign(&mut dst, c, &src);
+        let expect: Vec<Gf256> = src.iter().map(|&s| c * s).collect();
+        prop_assert_eq!(&dst, &expect);
+        let mut dst2 = vec![Gf256::ZERO; src.len()];
+        crate::bulk::mul_into(&mut dst2, c, &src);
+        prop_assert_eq!(dst2, expect);
+    }
+
+    #[test]
+    fn delta_weight_matches_positions_changed(
+        base in prop::collection::vec(0u64..256, 1..64),
+        edits in prop::collection::vec((0usize..64, 1u64..256), 0..16),
+    ) {
+        let a: Vec<Gf256> = base.iter().map(|&v| Gf256::from_u64(v)).collect();
+        let mut b = a.clone();
+        let mut touched = std::collections::BTreeSet::new();
+        for (idx, val) in edits {
+            let idx = idx % b.len();
+            let v = Gf256::from_u64(val);
+            if b[idx] + v != a[idx] {
+                // record only edits that actually change the symbol relative to `a`
+            }
+            b[idx] = a[idx] + v; // v != 0 so this symbol now differs from a[idx]
+            touched.insert(idx);
+        }
+        let d = crate::bulk::diff(&b, &a);
+        prop_assert_eq!(crate::bulk::weight(&d), touched.len());
+    }
+}

@@ -1,0 +1,221 @@
+//! Log/exp table construction for binary extension fields.
+//!
+//! Each concrete field builds, on first use, a pair of tables
+//! `exp[i] = g^i` and `log[g^i] = i` for a generator `g` of the multiplicative
+//! group. Multiplication, division, inversion and exponentiation then reduce
+//! to small integer arithmetic on discrete logarithms, which is the classical
+//! implementation strategy of erasure-coding libraries (Jerasure, ISA-L).
+//!
+//! The construction is deliberately defensive: the generator is *searched*
+//! rather than assumed, so a mistakenly non-primitive reduction polynomial
+//! cannot silently produce a broken field — table construction would fail
+//! loudly in that case (it cannot, for the irreducible polynomials used by
+//! this crate, but the invariant is checked anyway).
+
+/// Precomputed discrete-log tables for one `GF(2^w)` instance.
+#[derive(Debug)]
+pub(crate) struct FieldTables {
+    /// `exp[i] = g^i` for `i` in `0..2*(order-1)` (doubled to skip a modulo in mul).
+    pub exp: Vec<u32>,
+    /// `log[x] = i` such that `g^i = x`, for `x` in `1..order`. `log[0]` is unused.
+    pub log: Vec<u32>,
+    /// The generator that was used to build the tables.
+    pub generator: u32,
+    /// Multiplicative group order, `2^w - 1`.
+    pub group_order: u32,
+}
+
+/// Multiplies two elements of `GF(2^w)` represented as integers, reducing by
+/// the irreducible polynomial `poly` (which includes the leading `x^w` term).
+///
+/// This is the slow carry-less "schoolbook" product used only while building
+/// tables and in tests that cross-check the table-based arithmetic.
+pub(crate) fn polymul_mod(a: u32, b: u32, poly: u32, bits: u32) -> u32 {
+    let mut a = a as u64;
+    let mut b = b as u64;
+    let poly = poly as u64;
+    let high_bit = 1u64 << bits;
+    let mask = high_bit - 1;
+    let mut acc: u64 = 0;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        b >>= 1;
+        a <<= 1;
+        if a & high_bit != 0 {
+            a ^= poly;
+        }
+        a &= mask | high_bit;
+    }
+    (acc & mask) as u32
+}
+
+/// Computes the multiplicative order of `x` in `GF(2^w)` defined by `poly`,
+/// or returns `0` when `x` is not invertible (which can only happen when
+/// `poly` is reducible and the quotient ring has zero divisors).
+fn element_order(x: u32, poly: u32, bits: u32) -> u32 {
+    debug_assert!(x != 0);
+    let group_order = (1u32 << bits) - 1;
+    let mut acc = x;
+    let mut order = 1u32;
+    while acc != 1 {
+        if acc == 0 || order > group_order {
+            return 0;
+        }
+        acc = polymul_mod(acc, x, poly, bits);
+        order += 1;
+    }
+    order
+}
+
+/// Builds the log/exp tables for `GF(2^w)` defined by the irreducible
+/// polynomial `poly` (with the `x^w` term included, e.g. `0x11D` for w = 8).
+///
+/// # Panics
+///
+/// Panics if no generator can be found, which would indicate that `poly` is
+/// not irreducible. All polynomials used by this crate are checked by tests.
+pub(crate) fn build_tables(poly: u32, bits: u32) -> FieldTables {
+    let order: u32 = 1 << bits;
+    let group_order = order - 1;
+
+    // Find a generator: the candidate must have multiplicative order 2^w - 1.
+    // For primitive polynomials x = 2 succeeds immediately.
+    let mut generator = 0u32;
+    for candidate in 2..order {
+        if element_order(candidate, poly, bits) == group_order {
+            generator = candidate;
+            break;
+        }
+    }
+    assert!(
+        generator != 0,
+        "no generator found for GF(2^{bits}) with polynomial {poly:#x}; polynomial is not irreducible"
+    );
+
+    let mut exp = vec![0u32; 2 * group_order as usize];
+    let mut log = vec![0u32; order as usize];
+    let mut acc = 1u32;
+    for i in 0..group_order as usize {
+        exp[i] = acc;
+        exp[i + group_order as usize] = acc;
+        log[acc as usize] = i as u32;
+        acc = polymul_mod(acc, generator, poly, bits);
+    }
+    assert_eq!(acc, 1, "generator order mismatch while building GF(2^{bits}) tables");
+
+    FieldTables {
+        exp,
+        log,
+        generator,
+        group_order,
+    }
+}
+
+impl FieldTables {
+    /// Table-based multiplication.
+    #[inline]
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let idx = self.log[a as usize] + self.log[b as usize];
+        self.exp[idx as usize]
+    }
+
+    /// Table-based division. `b` must be non-zero.
+    #[inline]
+    pub fn div(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(b != 0, "division by zero in GF table");
+        if a == 0 {
+            return 0;
+        }
+        let idx = self.log[a as usize] + self.group_order - self.log[b as usize];
+        self.exp[idx as usize]
+    }
+
+    /// Table-based multiplicative inverse of a non-zero element.
+    #[inline]
+    pub fn inv(&self, a: u32) -> u32 {
+        debug_assert!(a != 0, "inverse of zero in GF table");
+        self.exp[(self.group_order - self.log[a as usize]) as usize]
+    }
+
+    /// Table-based exponentiation of a non-zero element.
+    #[inline]
+    pub fn pow(&self, a: u32, e: u64) -> u32 {
+        if a == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        let e = (e % self.group_order as u64) as u32;
+        let idx = (self.log[a as usize] as u64 * e as u64) % self.group_order as u64;
+        self.exp[idx as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLY8: u32 = 0x11D;
+
+    #[test]
+    fn polymul_small_cases() {
+        // In GF(2^8)/0x11D: 2 * 2 = 4, 0x80 * 2 = 0x11D ^ 0x100 = 0x1D.
+        assert_eq!(polymul_mod(2, 2, POLY8, 8), 4);
+        assert_eq!(polymul_mod(0x80, 2, POLY8, 8), 0x1D);
+        assert_eq!(polymul_mod(0, 0x57, POLY8, 8), 0);
+        assert_eq!(polymul_mod(1, 0x57, POLY8, 8), 0x57);
+    }
+
+    #[test]
+    fn gf256_tables_round_trip() {
+        let t = build_tables(POLY8, 8);
+        assert_eq!(t.group_order, 255);
+        // exp/log are inverse permutations on non-zero elements.
+        for x in 1u32..256 {
+            assert_eq!(t.exp[t.log[x as usize] as usize], x);
+        }
+        // Table multiplication agrees with schoolbook multiplication.
+        for a in 0u32..256 {
+            for b in (0u32..256).step_by(7) {
+                assert_eq!(t.mul(a, b), polymul_mod(a, b, POLY8, 8), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf256_inverse_is_correct() {
+        let t = build_tables(POLY8, 8);
+        for a in 1u32..256 {
+            let ai = t.inv(a);
+            assert_eq!(t.mul(a, ai), 1, "inv({a})");
+            assert_eq!(t.div(1, a), ai);
+        }
+    }
+
+    #[test]
+    fn gf16_tables_build() {
+        let t = build_tables(0x13, 4);
+        assert_eq!(t.group_order, 15);
+        for a in 1u32..16 {
+            assert_eq!(t.mul(a, t.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn gf1024_tables_build() {
+        let t = build_tables(0x409, 10);
+        assert_eq!(t.group_order, 1023);
+        assert_eq!(t.mul(3, t.inv(3)), 1);
+        assert_eq!(t.pow(t.generator, 1023), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not irreducible")]
+    fn reducible_polynomial_is_rejected() {
+        // x^4 + 1 = (x+1)^4 over GF(2) is not irreducible.
+        build_tables(0x11, 4);
+    }
+}

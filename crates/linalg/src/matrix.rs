@@ -1,0 +1,552 @@
+//! The dense row-major [`Matrix`] type.
+
+use core::fmt;
+
+use sec_gf::GaloisField;
+
+/// Errors produced by matrix construction and shape-sensitive operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The requested dimensions do not match the supplied data length.
+    DimensionMismatch {
+        /// Number of rows requested.
+        rows: usize,
+        /// Number of columns requested.
+        cols: usize,
+        /// Length of the data vector supplied.
+        data_len: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// A row or column index was out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it had to satisfy.
+        bound: usize,
+    },
+    /// The matrix is singular where an invertible matrix was required.
+    Singular,
+    /// An operation required a square matrix but got a rectangular one.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { rows, cols, data_len } => write!(
+                f,
+                "matrix of shape {rows}x{cols} needs {} entries but {data_len} were supplied",
+                rows * cols
+            ),
+            MatrixError::ShapeMismatch { left, right } => write!(
+                f,
+                "incompatible shapes {}x{} and {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::IndexOutOfRange { index, bound } => {
+                write!(f, "index {index} out of range (bound {bound})")
+            }
+            MatrixError::Singular => write!(f, "matrix is singular"),
+            MatrixError::NotSquare { rows, cols } => {
+                write!(f, "operation requires a square matrix, got {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// A dense, row-major matrix over a Galois field.
+///
+/// # Example
+///
+/// ```rust
+/// use sec_gf::{GaloisField, Gf256};
+/// use sec_linalg::Matrix;
+///
+/// let m = Matrix::<Gf256>::identity(3);
+/// let v: Vec<Gf256> = [1u64, 2, 3].iter().map(|&x| Gf256::from_u64(x)).collect();
+/// assert_eq!(m.mul_vec(&v).unwrap(), v);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Matrix<F> {
+    rows: usize,
+    cols: usize,
+    data: Vec<F>,
+}
+
+impl<F: GaloisField> Matrix<F> {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<F>) -> Result<Self, MatrixError> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::DimensionMismatch {
+                rows,
+                cols,
+                data_len: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<F>]) -> Result<Self, MatrixError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(MatrixError::ShapeMismatch {
+                    left: (nrows, ncols),
+                    right: (1, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// The all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![F::ZERO; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { F::ONE } else { F::ZERO })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, row: usize, col: usize) -> F {
+        assert!(row < self.rows && col < self.cols, "matrix index out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: F) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of range");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of one row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> &[F] {
+        assert!(row < self.rows, "row index out of range");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// A copy of one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn col(&self, col: usize) -> Vec<F> {
+        assert!(col < self.cols, "column index out of range");
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Iterator over the rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[F]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Row-major view of the underlying data.
+    pub fn as_slice(&self) -> &[F] {
+        &self.data
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when the inner dimensions differ.
+    pub fn mul_mat(&self, rhs: &Self) -> Result<Self, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.get(i, l);
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + a * rhs.get(l, j));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[F]) -> Result<Vec<F>, MatrixError> {
+        if v.len() != self.cols {
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        Ok(self
+            .iter_rows()
+            .map(|row| row.iter().zip(v).fold(F::ZERO, |acc, (&a, &b)| acc + a * b))
+            .collect())
+    }
+
+    /// New matrix consisting of the selected rows, in the given order
+    /// (duplicates allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfRange`] if any index is invalid.
+    pub fn select_rows(&self, rows: &[usize]) -> Result<Self, MatrixError> {
+        let mut data = Vec::with_capacity(rows.len() * self.cols);
+        for &r in rows {
+            if r >= self.rows {
+                return Err(MatrixError::IndexOutOfRange {
+                    index: r,
+                    bound: self.rows,
+                });
+            }
+            data.extend_from_slice(self.row(r));
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// New matrix consisting of the selected columns, in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfRange`] if any index is invalid.
+    pub fn select_cols(&self, cols: &[usize]) -> Result<Self, MatrixError> {
+        for &c in cols {
+            if c >= self.cols {
+                return Err(MatrixError::IndexOutOfRange {
+                    index: c,
+                    bound: self.cols,
+                });
+            }
+        }
+        Ok(Self::from_fn(self.rows, cols.len(), |r, j| self.get(r, cols[j])))
+    }
+
+    /// Submatrix given by explicit row and column index sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfRange`] if any index is invalid.
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> Result<Self, MatrixError> {
+        self.select_rows(rows)?.select_cols(cols)
+    }
+
+    /// Vertical concatenation `[self; bottom]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when the column counts differ.
+    pub fn stack(&self, bottom: &Self) -> Result<Self, MatrixError> {
+        if self.cols != bottom.cols {
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape(),
+                right: bottom.shape(),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&bottom.data);
+        Ok(Self {
+            rows: self.rows + bottom.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Horizontal concatenation `[self | right]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when the row counts differ.
+    pub fn augment(&self, right: &Self) -> Result<Self, MatrixError> {
+        if self.rows != right.rows {
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape(),
+                right: right.shape(),
+            });
+        }
+        let mut out = Self::zeros(self.rows, self.cols + right.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(r, c, self.get(r, c));
+            }
+            for c in 0..right.cols {
+                out.set(r, self.cols + c, right.get(r, c));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Swaps two rows in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of range");
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    /// Multiplies a row by a scalar in place.
+    pub(crate) fn scale_row(&mut self, row: usize, factor: F) {
+        for c in 0..self.cols {
+            let v = self.get(row, c);
+            self.set(row, c, v * factor);
+        }
+    }
+
+    /// Adds `factor * source_row` to `target_row` in place.
+    pub(crate) fn add_scaled_row(&mut self, target_row: usize, source_row: usize, factor: F) {
+        if factor.is_zero() {
+            return;
+        }
+        for c in 0..self.cols {
+            let v = self.get(target_row, c) + factor * self.get(source_row, c);
+            self.set(target_row, c, v);
+        }
+    }
+
+    /// `true` when every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|v| v.is_zero())
+    }
+}
+
+impl<F: GaloisField> fmt::Display for Matrix<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}x{} matrix]", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:>6}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_gf::Gf256;
+
+    fn m(rows: usize, cols: usize, vals: &[u64]) -> Matrix<Gf256> {
+        Matrix::from_vec(rows, cols, vals.iter().map(|&v| Gf256::from_u64(v)).collect()).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = m(2, 3, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(a.shape(), (2, 3));
+        assert_eq!(a.get(1, 2), Gf256::from_u64(6));
+        assert_eq!(a.row(0), &[Gf256::from_u64(1), Gf256::from_u64(2), Gf256::from_u64(3)]);
+        assert_eq!(a.col(1), vec![Gf256::from_u64(2), Gf256::from_u64(5)]);
+        assert!(!a.is_square());
+        assert!(Matrix::<Gf256>::identity(4).is_square());
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        let err = Matrix::<Gf256>::from_vec(2, 2, vec![Gf256::ZERO; 3]).unwrap_err();
+        assert!(matches!(err, MatrixError::DimensionMismatch { .. }));
+        assert!(err.to_string().contains("2x2"));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_rows() {
+        let rows = vec![vec![Gf256::ZERO; 2], vec![Gf256::ZERO; 3]];
+        assert!(matches!(
+            Matrix::from_rows(&rows),
+            Err(MatrixError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = m(3, 3, &[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        let i = Matrix::<Gf256>::identity(3);
+        assert_eq!(a.mul_mat(&i).unwrap(), a);
+        assert_eq!(i.mul_mat(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul_mat_with_column() {
+        let a = m(2, 3, &[1, 2, 3, 4, 5, 6]);
+        let v = vec![Gf256::from_u64(7), Gf256::from_u64(8), Gf256::from_u64(9)];
+        let col = Matrix::from_vec(3, 1, v.clone()).unwrap();
+        let prod = a.mul_mat(&col).unwrap();
+        assert_eq!(a.mul_vec(&v).unwrap(), prod.col(0));
+    }
+
+    #[test]
+    fn mul_shape_mismatch_errors() {
+        let a = m(2, 3, &[0; 6]);
+        let b = m(2, 3, &[0; 6]);
+        assert!(matches!(a.mul_mat(&b), Err(MatrixError::ShapeMismatch { .. })));
+        assert!(matches!(a.mul_vec(&[Gf256::ZERO; 2]), Err(MatrixError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(2, 3, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose().get(2, 1), a.get(1, 2));
+    }
+
+    #[test]
+    fn selection_and_submatrix() {
+        let a = m(3, 3, &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let rows = a.select_rows(&[2, 0]).unwrap();
+        assert_eq!(rows.row(0), a.row(2));
+        assert_eq!(rows.row(1), a.row(0));
+        let cols = a.select_cols(&[1]).unwrap();
+        assert_eq!(cols.col(0), a.col(1));
+        let sub = a.submatrix(&[0, 2], &[0, 2]).unwrap();
+        assert_eq!(sub, m(2, 2, &[1, 3, 7, 9]));
+        assert!(matches!(
+            a.select_rows(&[5]),
+            Err(MatrixError::IndexOutOfRange { index: 5, bound: 3 })
+        ));
+        assert!(matches!(a.select_cols(&[9]), Err(MatrixError::IndexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn stack_and_augment() {
+        let a = m(1, 2, &[1, 2]);
+        let b = m(1, 2, &[3, 4]);
+        assert_eq!(a.stack(&b).unwrap(), m(2, 2, &[1, 2, 3, 4]));
+        assert_eq!(a.augment(&b).unwrap(), m(1, 4, &[1, 2, 3, 4]));
+        let c = m(2, 1, &[9, 9]);
+        assert!(a.stack(&c).is_err());
+        assert!(a.augment(&c).is_err());
+    }
+
+    #[test]
+    fn swap_and_row_operations() {
+        let mut a = m(2, 2, &[1, 2, 3, 4]);
+        a.swap_rows(0, 1);
+        assert_eq!(a, m(2, 2, &[3, 4, 1, 2]));
+        a.swap_rows(1, 1);
+        assert_eq!(a, m(2, 2, &[3, 4, 1, 2]));
+        a.scale_row(0, Gf256::from_u64(2));
+        assert_eq!(a.row(0), &[Gf256::from_u64(6), Gf256::from_u64(8)]);
+        let before = a.clone();
+        a.add_scaled_row(1, 0, Gf256::ZERO);
+        assert_eq!(a, before);
+        a.add_scaled_row(1, 0, Gf256::ONE);
+        assert_eq!(a.get(1, 0), before.get(1, 0) + before.get(0, 0));
+    }
+
+    #[test]
+    fn display_contains_shape_and_entries() {
+        let a = m(2, 2, &[1, 2, 3, 4]);
+        let s = format!("{a}");
+        assert!(s.contains("2x2"));
+        assert!(s.contains('4'));
+    }
+
+    #[test]
+    fn zeros_and_is_zero() {
+        assert!(Matrix::<Gf256>::zeros(3, 4).is_zero());
+        assert!(!Matrix::<Gf256>::identity(2).is_zero());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the linear-algebra layer.
+
+use proptest::prelude::*;
+
+use sec_gf::{GaloisField, Gf256};
+
+use crate::cauchy::cauchy_from_points;
+use crate::{ops, Matrix};
+
+fn gf256() -> impl Strategy<Value = Gf256> {
+    (0u64..256).prop_map(Gf256::from_u64)
+}
+
+fn matrix(rows: core::ops::Range<usize>, cols: core::ops::Range<usize>) -> impl Strategy<Value = Matrix<Gf256>> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(gf256(), r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("generated data has matching length"))
+    })
+}
+
+fn square_matrix(max: usize) -> impl Strategy<Value = Matrix<Gf256>> {
+    (1..=max).prop_flat_map(|n| {
+        prop::collection::vec(gf256(), n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data).expect("generated data has matching length"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in matrix(1..6, 1..6)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matrix_multiplication_is_associative(
+        a in matrix(1..4, 1..4),
+        bdata in prop::collection::vec(gf256(), 16),
+        cdata in prop::collection::vec(gf256(), 16),
+    ) {
+        // Shape-compatible chain: (r x c) * (c x d) * (d x e)
+        let c_dim = a.cols();
+        let d_dim = 1 + bdata.len() % 3;
+        let e_dim = 1 + cdata.len() % 3;
+        let b = Matrix::from_vec(c_dim, d_dim, bdata.into_iter().cycle().take(c_dim * d_dim).collect()).unwrap();
+        let c = Matrix::from_vec(d_dim, e_dim, cdata.into_iter().cycle().take(d_dim * e_dim).collect()).unwrap();
+        let left = a.mul_mat(&b).unwrap().mul_mat(&c).unwrap();
+        let right = a.mul_mat(&b.mul_mat(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn rank_bounded_and_transpose_invariant(m in matrix(1..7, 1..7)) {
+        let r = ops::rank(&m);
+        prop_assert!(r <= m.rows().min(m.cols()));
+        prop_assert_eq!(r, ops::rank(&m.transpose()));
+    }
+
+    #[test]
+    fn rref_has_rank_many_pivots(m in matrix(1..6, 1..6)) {
+        let e = ops::rref(&m);
+        prop_assert_eq!(e.pivot_cols.len(), e.rank);
+        // Pivot columns are strictly increasing and each pivot entry is one.
+        for w in e.pivot_cols.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for (row, &col) in e.pivot_cols.iter().enumerate() {
+            prop_assert_eq!(e.rref.get(row, col), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn inverse_multiplies_to_identity(m in square_matrix(5)) {
+        match ops::invert(&m) {
+            Ok(inv) => {
+                prop_assert_eq!(m.mul_mat(&inv).unwrap(), Matrix::identity(m.rows()));
+                prop_assert_eq!(inv.mul_mat(&m).unwrap(), Matrix::identity(m.rows()));
+                prop_assert!(!ops::determinant(&m).unwrap().is_zero());
+            }
+            Err(_) => {
+                prop_assert_eq!(ops::determinant(&m).unwrap(), Gf256::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_round_trips_through_mul(m in square_matrix(5), xs in prop::collection::vec(gf256(), 5)) {
+        prop_assume!(ops::is_invertible(&m));
+        let x: Vec<Gf256> = xs.into_iter().cycle().take(m.rows()).collect();
+        let b = m.mul_vec(&x).unwrap();
+        prop_assert_eq!(ops::solve(&m, &b).unwrap(), x);
+    }
+
+    #[test]
+    fn null_space_vectors_are_in_kernel(m in matrix(1..6, 1..6)) {
+        let ns = ops::null_space(&m);
+        prop_assert_eq!(ns.rows(), m.cols() - ops::rank(&m));
+        for r in 0..ns.rows() {
+            let v = ns.row(r).to_vec();
+            prop_assert!(m.mul_vec(&v).unwrap().iter().all(|c| c.is_zero()));
+        }
+    }
+
+    #[test]
+    fn random_cauchy_matrices_are_superregular(
+        perm_seed in 0u64..1_000_000,
+    ) {
+        // Draw 4 + 3 distinct points pseudo-randomly from the seed.
+        let mut points: Vec<u64> = (0..256).collect();
+        // Simple deterministic shuffle driven by the seed (no RNG dependency here).
+        let mut s = perm_seed;
+        for i in (1..points.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s % (i as u64 + 1)) as usize;
+            points.swap(i, j);
+        }
+        let h: Vec<Gf256> = points[..4].iter().map(|&v| Gf256::from_u64(v)).collect();
+        let f: Vec<Gf256> = points[4..7].iter().map(|&v| Gf256::from_u64(v)).collect();
+        let m = cauchy_from_points(&h, &f).unwrap();
+        prop_assert!(crate::checks::is_superregular(&m));
+    }
+}

@@ -1,0 +1,124 @@
+//! Vandermonde matrices — the classical alternative MDS construction, used by
+//! the benches to compare against the Cauchy construction and by tests as an
+//! independent source of Criterion-2-satisfying submatrices.
+//!
+//! A Vandermonde matrix `V[i][j] = x_i^j` with distinct evaluation points
+//! `x_i` has every *maximal* square submatrix (any `k` rows of an `n × k`
+//! matrix) invertible, so it is MDS as a generator. Unlike a Cauchy matrix,
+//! *arbitrary* square submatrices are not guaranteed invertible, which is why
+//! the paper prefers Cauchy matrices for SEC's Criterion 2.
+
+use sec_gf::GaloisField;
+
+use crate::cauchy::CauchyError;
+use crate::Matrix;
+
+/// Builds the `n × k` Vandermonde matrix `V[i][j] = x_i^j` from explicit,
+/// distinct evaluation points.
+///
+/// # Errors
+///
+/// Returns [`CauchyError::InvalidPoints`] if the points are not distinct.
+pub fn vandermonde_from_points<F: GaloisField>(
+    points: &[F],
+    k: usize,
+) -> Result<Matrix<F>, CauchyError> {
+    for (i, &a) in points.iter().enumerate() {
+        if points[i + 1..].contains(&a) {
+            return Err(CauchyError::InvalidPoints);
+        }
+    }
+    Ok(Matrix::from_fn(points.len(), k, |i, j| points[i].pow(j as u64)))
+}
+
+/// Builds an `n × k` Vandermonde matrix with the canonical evaluation points
+/// `0, 1, 2, …, n-1`.
+///
+/// # Errors
+///
+/// Returns [`CauchyError::FieldTooSmall`] when `n > q`.
+pub fn vandermonde_matrix<F: GaloisField>(n: usize, k: usize) -> Result<Matrix<F>, CauchyError> {
+    if n as u64 > F::ORDER {
+        return Err(CauchyError::FieldTooSmall {
+            rows: n,
+            cols: k,
+            field_order: F::ORDER,
+        });
+    }
+    let points: Vec<F> = (0..n as u64).map(F::from_u64).collect();
+    vandermonde_from_points(&points, k)
+}
+
+/// Closed-form determinant of a square Vandermonde matrix:
+/// `Π_{i < j} (x_j - x_i)`.
+pub fn vandermonde_determinant<F: GaloisField>(points: &[F]) -> F {
+    let mut acc = F::ONE;
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            acc *= points[j] - points[i];
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinatorics::combinations;
+    use crate::ops;
+    use sec_gf::{GaloisField, Gf16, Gf256};
+
+    #[test]
+    fn shape_and_entries() {
+        let v: Matrix<Gf256> = vandermonde_matrix(5, 3).unwrap();
+        assert_eq!(v.shape(), (5, 3));
+        let x = Gf256::from_u64(3);
+        assert_eq!(v.get(3, 0), Gf256::ONE);
+        assert_eq!(v.get(3, 1), x);
+        assert_eq!(v.get(3, 2), x * x);
+    }
+
+    #[test]
+    fn any_k_rows_are_invertible() {
+        let v: Matrix<Gf16> = vandermonde_matrix(8, 4).unwrap();
+        for rows in combinations(8, 4) {
+            let sub = v.select_rows(&rows).unwrap();
+            assert!(ops::is_invertible(&sub), "rows {rows:?} gave a singular matrix");
+        }
+    }
+
+    #[test]
+    fn determinant_closed_form_matches_elimination() {
+        let points: Vec<Gf256> = [2u64, 5, 9, 77].iter().map(|&v| Gf256::from_u64(v)).collect();
+        let v = vandermonde_from_points(&points, 4).unwrap();
+        assert_eq!(ops::determinant(&v).unwrap(), vandermonde_determinant(&points));
+    }
+
+    #[test]
+    fn duplicate_points_rejected() {
+        let p = [Gf256::from_u64(1), Gf256::from_u64(1)];
+        assert_eq!(
+            vandermonde_from_points(&p, 2).unwrap_err(),
+            CauchyError::InvalidPoints
+        );
+    }
+
+    #[test]
+    fn field_too_small_rejected() {
+        assert!(matches!(
+            vandermonde_matrix::<Gf16>(17, 3),
+            Err(CauchyError::FieldTooSmall { .. })
+        ));
+        assert!(vandermonde_matrix::<Gf16>(16, 3).is_ok());
+    }
+
+    #[test]
+    fn not_every_square_submatrix_is_invertible() {
+        // Documents why Cauchy is preferred for Criterion 2: a Vandermonde
+        // matrix that includes the zero evaluation point has singular proper
+        // submatrices (e.g. the 1x1 submatrix picking row of point 0, col 1).
+        let v: Matrix<Gf256> = vandermonde_matrix(4, 3).unwrap();
+        let sub = v.submatrix(&[0], &[1]).unwrap();
+        assert!(!ops::is_invertible(&sub));
+    }
+}

@@ -1,0 +1,184 @@
+//! Failure patterns: which nodes are down.
+//!
+//! The paper's static-resilience analysis assumes independent node failures
+//! with probability `p`. For the small clusters of its examples (`n = 6`,
+//! `n = 10`) every one of the `2^n` patterns can be enumerated exactly; for
+//! larger clusters and Monte-Carlo experiments, patterns are sampled.
+
+use rand::Rng;
+
+/// A failure pattern over `n` nodes: `true` means the node has failed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FailurePattern {
+    failed: Vec<bool>,
+}
+
+impl FailurePattern {
+    /// The all-alive pattern.
+    pub fn none(n: usize) -> Self {
+        Self { failed: vec![false; n] }
+    }
+
+    /// A pattern with exactly the listed nodes failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn with_failures(n: usize, failed_nodes: &[usize]) -> Self {
+        let mut failed = vec![false; n];
+        for &idx in failed_nodes {
+            assert!(idx < n, "node index {idx} out of range for {n} nodes");
+            failed[idx] = true;
+        }
+        Self { failed }
+    }
+
+    /// Decodes a bitmask (bit `i` set means node `i` failed) — used by the
+    /// exhaustive enumerations.
+    pub fn from_mask(n: usize, mask: u64) -> Self {
+        assert!(n <= 64, "mask-based patterns support at most 64 nodes");
+        Self { failed: (0..n).map(|i| mask & (1 << i) != 0).collect() }
+    }
+
+    /// Samples a pattern where each node fails independently with
+    /// probability `p`.
+    pub fn sample<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Self {
+        Self { failed: (0..n).map(|_| rng.gen::<f64>() < p).collect() }
+    }
+
+    /// Number of nodes covered by the pattern.
+    pub fn len(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// `true` when the pattern covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Whether the given node has failed.
+    pub fn is_failed(&self, node: usize) -> bool {
+        self.failed.get(node).copied().unwrap_or(false)
+    }
+
+    /// Number of failed nodes.
+    pub fn failed_count(&self) -> usize {
+        self.failed.iter().filter(|&&f| f).count()
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.len() - self.failed_count()
+    }
+
+    /// Indices of the failed nodes.
+    pub fn failed_nodes(&self) -> Vec<usize> {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of the live nodes.
+    pub fn live_nodes(&self) -> Vec<usize> {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| !f)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Probability of this exact pattern under i.i.d. failures with
+    /// probability `p`.
+    pub fn probability(&self, p: f64) -> f64 {
+        let f = self.failed_count() as i32;
+        let a = self.live_count() as i32;
+        p.powi(f) * (1.0 - p).powi(a)
+    }
+}
+
+/// Iterates over all `2^n` failure patterns of an `n`-node cluster.
+///
+/// # Panics
+///
+/// Panics when `n > 24` — exhaustive enumeration beyond that is a usage error;
+/// use [`FailurePattern::sample`] instead.
+pub fn enumerate_patterns(n: usize) -> impl Iterator<Item = FailurePattern> {
+    assert!(n <= 24, "exhaustive enumeration is limited to 24 nodes");
+    (0u64..(1 << n)).map(move |mask| FailurePattern::from_mask(n, mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_queries() {
+        let p = FailurePattern::with_failures(6, &[1, 4]);
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+        assert_eq!(p.failed_count(), 2);
+        assert_eq!(p.live_count(), 4);
+        assert!(p.is_failed(1));
+        assert!(!p.is_failed(0));
+        assert!(!p.is_failed(99));
+        assert_eq!(p.failed_nodes(), vec![1, 4]);
+        assert_eq!(p.live_nodes(), vec![0, 2, 3, 5]);
+        assert_eq!(FailurePattern::none(3).failed_count(), 0);
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        let p = FailurePattern::from_mask(6, 0b100110);
+        assert_eq!(p.failed_nodes(), vec![1, 2, 5]);
+        let q = FailurePattern::with_failures(6, &[1, 2, 5]);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn enumeration_covers_all_patterns_once() {
+        let patterns: Vec<FailurePattern> = enumerate_patterns(6).collect();
+        assert_eq!(patterns.len(), 64);
+        let distinct: std::collections::HashSet<Vec<usize>> =
+            patterns.iter().map(|p| p.failed_nodes()).collect();
+        assert_eq!(distinct.len(), 64);
+        // Exactly C(6, j) patterns have j failures.
+        for j in 0..=6usize {
+            let count = patterns.iter().filter(|p| p.failed_count() == j).count();
+            let binom = sec_linalg::combinatorics::binomial_exact(6, j as u64) as usize;
+            assert_eq!(count, binom, "patterns with {j} failures");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for &p in &[0.05, 0.2, 0.5] {
+            let total: f64 = enumerate_patterns(8).map(|pat| pat.probability(p)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "p = {p}: {total}");
+        }
+    }
+
+    #[test]
+    fn sampling_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 20_000;
+        let p = 0.3;
+        let mut failures = 0usize;
+        for _ in 0..trials {
+            failures += FailurePattern::sample(10, p, &mut rng).failed_count();
+        }
+        let rate = failures as f64 / (trials * 10) as f64;
+        assert!((rate - p).abs() < 0.01, "empirical failure rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_failure_index_panics() {
+        let _ = FailurePattern::with_failures(3, &[3]);
+    }
+}

@@ -1,0 +1,67 @@
+//! I/O accounting for the simulated store.
+
+/// Counters accumulated by a [`DistributedStore`](crate::DistributedStore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoMetrics {
+    /// Symbols read from live nodes.
+    pub symbol_reads: u64,
+    /// Symbols written to nodes (initial placement plus repairs).
+    pub symbol_writes: u64,
+    /// Read requests that could not be served because the node was dead or
+    /// missing the symbol.
+    pub failed_reads: u64,
+    /// Number of retrieval operations performed.
+    pub retrievals: u64,
+    /// Number of repair operations performed.
+    pub repairs: u64,
+}
+
+impl IoMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Average symbol reads per retrieval, or `None` before any retrieval.
+    pub fn reads_per_retrieval(&self) -> Option<f64> {
+        if self.retrievals == 0 {
+            None
+        } else {
+            Some(self.symbol_reads as f64 / self.retrievals as f64)
+        }
+    }
+}
+
+impl core::fmt::Display for IoMetrics {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} failed_reads={} retrievals={} repairs={}",
+            self.symbol_reads, self.symbol_writes, self.failed_reads, self.retrievals, self.repairs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_averages() {
+        let mut m = IoMetrics::new();
+        assert_eq!(m.reads_per_retrieval(), None);
+        m.symbol_reads = 10;
+        m.retrievals = 4;
+        assert_eq!(m.reads_per_retrieval(), Some(2.5));
+        let s = m.to_string();
+        assert!(s.contains("reads=10"));
+        assert!(s.contains("retrievals=4"));
+        m.reset();
+        assert_eq!(m, IoMetrics::default());
+    }
+}

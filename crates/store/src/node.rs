@@ -1,0 +1,134 @@
+//! A single simulated storage node.
+
+use std::collections::BTreeMap;
+
+use sec_gf::GaloisField;
+
+/// Key of one stored coded symbol: which archive entry it belongs to and its
+/// position within that entry's codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolKey {
+    /// Index of the stored object (archive entry) the symbol encodes.
+    pub entry: usize,
+    /// Position of the symbol within the entry's codeword (`0..n`).
+    pub position: usize,
+}
+
+/// One storage node: a failure flag plus the coded symbols it holds and a
+/// read counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageNode<F> {
+    id: usize,
+    alive: bool,
+    symbols: BTreeMap<SymbolKey, F>,
+    reads: u64,
+}
+
+impl<F: GaloisField> StorageNode<F> {
+    /// Creates an empty, healthy node.
+    pub fn new(id: usize) -> Self {
+        Self { id, alive: true, symbols: BTreeMap::new(), reads: 0 }
+    }
+
+    /// The node's identifier within its cluster.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Whether the node is currently alive.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Marks the node failed. Its contents become unreadable until revived.
+    pub fn fail(&mut self) {
+        self.alive = false;
+    }
+
+    /// Revives the node, keeping whatever it stored before failing
+    /// (a crash-recovery model; use [`StorageNode::wipe`] for disk loss).
+    pub fn revive(&mut self) {
+        self.alive = true;
+    }
+
+    /// Clears the node's contents (models permanent data loss).
+    pub fn wipe(&mut self) {
+        self.symbols.clear();
+    }
+
+    /// Stores one coded symbol.
+    pub fn put(&mut self, key: SymbolKey, value: F) {
+        self.symbols.insert(key, value);
+    }
+
+    /// Reads one coded symbol, counting the I/O, or `None` when the node is
+    /// dead or does not hold the symbol.
+    pub fn read(&mut self, key: SymbolKey) -> Option<F> {
+        if !self.alive {
+            return None;
+        }
+        let value = self.symbols.get(&key).copied();
+        if value.is_some() {
+            self.reads += 1;
+        }
+        value
+    }
+
+    /// Inspects a symbol without counting a read (used by repair planning).
+    pub fn peek(&self, key: SymbolKey) -> Option<F> {
+        if self.alive {
+            self.symbols.get(&key).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Number of symbols stored on this node.
+    pub fn stored_symbols(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Number of read operations served so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_gf::Gf256;
+
+    #[test]
+    fn put_read_and_counters() {
+        let mut node: StorageNode<Gf256> = StorageNode::new(3);
+        assert_eq!(node.id(), 3);
+        assert!(node.is_alive());
+        let key = SymbolKey { entry: 0, position: 2 };
+        assert_eq!(node.read(key), None);
+        assert_eq!(node.reads(), 0);
+        node.put(key, Gf256::from_u64(9));
+        assert_eq!(node.stored_symbols(), 1);
+        assert_eq!(node.read(key), Some(Gf256::from_u64(9)));
+        assert_eq!(node.reads(), 1);
+        assert_eq!(node.peek(key), Some(Gf256::from_u64(9)));
+        // Peek does not count.
+        assert_eq!(node.reads(), 1);
+    }
+
+    #[test]
+    fn failed_node_serves_nothing() {
+        let mut node: StorageNode<Gf256> = StorageNode::new(0);
+        let key = SymbolKey { entry: 1, position: 0 };
+        node.put(key, Gf256::ONE);
+        node.fail();
+        assert!(!node.is_alive());
+        assert_eq!(node.read(key), None);
+        assert_eq!(node.peek(key), None);
+        node.revive();
+        assert_eq!(node.read(key), Some(Gf256::ONE));
+        node.wipe();
+        assert_eq!(node.read(key), None);
+        assert_eq!(node.stored_symbols(), 0);
+    }
+}

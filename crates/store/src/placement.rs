@@ -1,0 +1,163 @@
+//! Redundancy placement strategies (§IV of the paper).
+//!
+//! * **Colocated** — the coded pieces of every stored object (first version
+//!   and all deltas) live on the same set of `n` nodes; node `i` holds
+//!   position `i` of every codeword. The paper shows this placement maximizes
+//!   whole-archive resilience.
+//! * **Dispersed** — each stored object gets its own disjoint set of `n`
+//!   nodes, for `n·L` nodes in total.
+
+use crate::node::SymbolKey;
+
+/// Which placement strategy a store uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementStrategy {
+    /// All entries share one set of `n` nodes.
+    Colocated,
+    /// Every entry gets its own disjoint set of `n` nodes.
+    Dispersed,
+}
+
+impl core::fmt::Display for PlacementStrategy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlacementStrategy::Colocated => write!(f, "colocated"),
+            PlacementStrategy::Dispersed => write!(f, "dispersed"),
+        }
+    }
+}
+
+/// A concrete node assignment for `entries` stored objects of codeword length
+/// `n` each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    strategy: PlacementStrategy,
+    n: usize,
+    entries: usize,
+}
+
+impl Placement {
+    /// Creates a placement for `entries` codewords of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(strategy: PlacementStrategy, n: usize, entries: usize) -> Self {
+        assert!(n > 0, "codeword length must be positive");
+        Self { strategy, n, entries }
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+
+    /// Codeword length `n`.
+    pub fn codeword_len(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored objects covered by the placement.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Total number of distinct nodes required.
+    pub fn node_count(&self) -> usize {
+        match self.strategy {
+            PlacementStrategy::Colocated => self.n,
+            PlacementStrategy::Dispersed => self.n * self.entries.max(1),
+        }
+    }
+
+    /// The node that stores the given coded symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is outside the placement (entry or position too
+    /// large).
+    pub fn node_for(&self, key: SymbolKey) -> usize {
+        assert!(key.position < self.n, "symbol position {} out of range", key.position);
+        assert!(
+            key.entry < self.entries.max(1),
+            "entry {} out of range for {} entries",
+            key.entry,
+            self.entries
+        );
+        match self.strategy {
+            PlacementStrategy::Colocated => key.position,
+            PlacementStrategy::Dispersed => key.entry * self.n + key.position,
+        }
+    }
+
+    /// The set of nodes holding the given entry, in codeword-position order.
+    pub fn nodes_for_entry(&self, entry: usize) -> Vec<usize> {
+        (0..self.n)
+            .map(|position| self.node_for(SymbolKey { entry, position }))
+            .collect()
+    }
+
+    /// Grows the placement to cover more entries (used when versions are
+    /// appended after the store was created).
+    pub fn grow_to(&mut self, entries: usize) {
+        self.entries = self.entries.max(entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colocated_reuses_the_same_nodes() {
+        let p = Placement::new(PlacementStrategy::Colocated, 6, 5);
+        assert_eq!(p.node_count(), 6);
+        assert_eq!(p.nodes_for_entry(0), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(p.nodes_for_entry(4), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(p.node_for(SymbolKey { entry: 3, position: 2 }), 2);
+        assert_eq!(p.strategy(), PlacementStrategy::Colocated);
+        assert_eq!(p.codeword_len(), 6);
+        assert_eq!(p.entries(), 5);
+    }
+
+    #[test]
+    fn dispersed_uses_disjoint_node_sets() {
+        let p = Placement::new(PlacementStrategy::Dispersed, 6, 5);
+        assert_eq!(p.node_count(), 30);
+        assert_eq!(p.nodes_for_entry(0), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(p.nodes_for_entry(2), vec![12, 13, 14, 15, 16, 17]);
+        // Node sets of different entries never intersect.
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                let na = p.nodes_for_entry(a);
+                let nb = p.nodes_for_entry(b);
+                assert!(na.iter().all(|x| !nb.contains(x)));
+            }
+        }
+    }
+
+    #[test]
+    fn grow_extends_entry_range() {
+        let mut p = Placement::new(PlacementStrategy::Dispersed, 4, 1);
+        assert_eq!(p.node_count(), 4);
+        p.grow_to(3);
+        assert_eq!(p.entries(), 3);
+        assert_eq!(p.node_count(), 12);
+        // Growing never shrinks.
+        p.grow_to(2);
+        assert_eq!(p.entries(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_position_panics() {
+        let p = Placement::new(PlacementStrategy::Colocated, 4, 1);
+        let _ = p.node_for(SymbolKey { entry: 0, position: 4 });
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", PlacementStrategy::Colocated), "colocated");
+        assert_eq!(format!("{}", PlacementStrategy::Dispersed), "dispersed");
+    }
+}

@@ -1,0 +1,118 @@
+//! Cache of the latest plaintext version.
+//!
+//! SEC stores only deltas, yet computing the next delta `z_{j+1} = x_{j+1} −
+//! x_j` requires `x_j`. The paper's practical answer is to "cache a full copy
+//! of the latest version until a new version arrives", which also speeds up
+//! reads of the newest version. [`LatestVersionCache`] is that cache, with hit
+//! and miss counters so experiments can report its effect.
+
+use sec_gf::GaloisField;
+
+use crate::object::VersionId;
+
+/// Cache holding the plaintext of the most recently appended version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatestVersionCache<F> {
+    entry: Option<(VersionId, Vec<F>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<F: GaloisField> LatestVersionCache<F> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self { entry: None, hits: 0, misses: 0 }
+    }
+
+    /// Replaces the cached version.
+    pub fn put(&mut self, id: VersionId, data: Vec<F>) {
+        self.entry = Some((id, data));
+    }
+
+    /// Returns the cached data if it is exactly version `id`, recording a hit
+    /// or miss.
+    pub fn get(&mut self, id: VersionId) -> Option<&[F]> {
+        match &self.entry {
+            Some((cached_id, data)) if *cached_id == id => {
+                self.hits += 1;
+                Some(data.as_slice())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The cached version id, if any (does not affect hit/miss counters).
+    pub fn cached_version(&self) -> Option<VersionId> {
+        self.entry.as_ref().map(|(id, _)| *id)
+    }
+
+    /// A view of the cached data, if any (does not affect counters).
+    pub fn peek(&self) -> Option<(&VersionId, &[F])> {
+        self.entry.as_ref().map(|(id, data)| (id, data.as_slice()))
+    }
+
+    /// Clears the cache.
+    pub fn clear(&mut self) {
+        self.entry = None;
+    }
+
+    /// Number of lookups that found the requested version.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that did not find the requested version.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+impl<F: GaloisField> Default for LatestVersionCache<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_gf::Gf256;
+
+    fn obj(vals: &[u64]) -> Vec<Gf256> {
+        vals.iter().map(|&v| Gf256::from_u64(v)).collect()
+    }
+
+    #[test]
+    fn put_get_and_counters() {
+        let mut cache = LatestVersionCache::new();
+        assert!(cache.cached_version().is_none());
+        assert!(cache.peek().is_none());
+        assert!(cache.get(VersionId(1)).is_none());
+        assert_eq!(cache.misses(), 1);
+
+        cache.put(VersionId(1), obj(&[1, 2, 3]));
+        assert_eq!(cache.cached_version(), Some(VersionId(1)));
+        assert_eq!(cache.get(VersionId(1)).unwrap(), obj(&[1, 2, 3]).as_slice());
+        assert_eq!(cache.hits(), 1);
+        // Asking for a different version misses.
+        assert!(cache.get(VersionId(2)).is_none());
+        assert_eq!(cache.misses(), 2);
+
+        // A newer version replaces the older one.
+        cache.put(VersionId(2), obj(&[9]));
+        assert_eq!(cache.peek().unwrap().0, &VersionId(2));
+        cache.clear();
+        assert!(cache.cached_version().is_none());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let cache: LatestVersionCache<Gf256> = LatestVersionCache::default();
+        assert!(cache.peek().is_none());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+    }
+}

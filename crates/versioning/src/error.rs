@@ -1,0 +1,94 @@
+//! Error type of the versioning layer.
+
+use core::fmt;
+
+use sec_erasure::CodeError;
+
+/// Errors returned by archive construction, appending and retrieval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VersioningError {
+    /// A version had the wrong number of symbols for the configured object
+    /// dimension `k`.
+    ObjectLengthMismatch {
+        /// The configured dimension `k`.
+        expected: usize,
+        /// The supplied length.
+        actual: usize,
+    },
+    /// The requested version index does not exist (versions are numbered from
+    /// 1, as in the paper).
+    NoSuchVersion {
+        /// Requested version number.
+        requested: usize,
+        /// Number of versions currently archived.
+        available: usize,
+    },
+    /// The archive holds no versions yet.
+    EmptyArchive,
+    /// A byte object was too large to fit in the configured `k` symbols.
+    ObjectTooLarge {
+        /// Maximum number of bytes the codec accepts.
+        max_bytes: usize,
+        /// Supplied number of bytes.
+        actual_bytes: usize,
+    },
+    /// An underlying erasure-coding error.
+    Code(CodeError),
+}
+
+impl fmt::Display for VersioningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VersioningError::ObjectLengthMismatch { expected, actual } => {
+                write!(f, "version has {actual} symbols but the archive stores {expected}-symbol objects")
+            }
+            VersioningError::NoSuchVersion { requested, available } => {
+                write!(f, "version {requested} does not exist ({available} versions archived)")
+            }
+            VersioningError::EmptyArchive => write!(f, "the archive holds no versions"),
+            VersioningError::ObjectTooLarge { max_bytes, actual_bytes } => {
+                write!(f, "object of {actual_bytes} bytes exceeds the {max_bytes}-byte capacity")
+            }
+            VersioningError::Code(err) => write!(f, "erasure coding error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for VersioningError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VersioningError::Code(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodeError> for VersioningError {
+    fn from(err: CodeError) -> Self {
+        VersioningError::Code(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(VersioningError::ObjectLengthMismatch { expected: 3, actual: 5 }
+            .to_string()
+            .contains("3-symbol"));
+        assert!(VersioningError::NoSuchVersion { requested: 7, available: 2 }
+            .to_string()
+            .contains("7"));
+        assert!(VersioningError::EmptyArchive.to_string().contains("no versions"));
+        assert!(VersioningError::ObjectTooLarge { max_bytes: 10, actual_bytes: 20 }
+            .to_string()
+            .contains("20 bytes"));
+        let wrapped = VersioningError::from(CodeError::UndecodableShareSet);
+        assert!(wrapped.to_string().contains("erasure coding"));
+        use std::error::Error;
+        assert!(wrapped.source().is_some());
+        assert!(VersioningError::EmptyArchive.source().is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests: any randomly edited version history is stored and
+//! retrieved exactly by every strategy, and SEC never costs more I/O than the
+//! non-differential baseline for whole-archive reads.
+
+use proptest::prelude::*;
+
+use sec_erasure::GeneratorForm;
+use sec_gf::{GaloisField, Gf256};
+
+use crate::archive::{ArchiveConfig, EncodingStrategy, VersionedArchive};
+use crate::delta::sparsity_profile;
+
+const N: usize = 12;
+const K: usize = 6;
+
+/// Strategy producing a random version history: a base object plus a list of
+/// per-version edit sets (position, new value).
+fn history() -> impl Strategy<Value = Vec<Vec<Gf256>>> {
+    let base = prop::collection::vec((0u64..256).prop_map(Gf256::from_u64), K);
+    let edits = prop::collection::vec(
+        prop::collection::vec((0usize..K, 1u64..256), 1..=K),
+        1..6,
+    );
+    (base, edits).prop_map(|(base, edits)| {
+        let mut versions = vec![base];
+        for edit_set in edits {
+            let mut next = versions.last().expect("non-empty").clone();
+            for (pos, val) in edit_set {
+                next[pos] = next[pos] + Gf256::from_u64(val);
+            }
+            versions.push(next);
+        }
+        versions
+    })
+}
+
+fn all_strategies() -> [EncodingStrategy; 4] {
+    [
+        EncodingStrategy::BasicSec,
+        EncodingStrategy::OptimizedSec,
+        EncodingStrategy::ReversedSec,
+        EncodingStrategy::NonDifferential,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_strategy_round_trips_random_histories(versions in history()) {
+        for strategy in all_strategies() {
+            for form in [GeneratorForm::Systematic, GeneratorForm::NonSystematic] {
+                let config = ArchiveConfig::new(N, K, form, strategy).unwrap();
+                let mut archive: VersionedArchive<Gf256> = VersionedArchive::new(config).unwrap();
+                archive.append_all(&versions).unwrap();
+                prop_assert_eq!(archive.len(), versions.len());
+                for (l, expect) in versions.iter().enumerate() {
+                    let r = archive.retrieve_version(l + 1).unwrap();
+                    prop_assert_eq!(&r.data, expect);
+                }
+                let prefix = archive.retrieve_prefix(versions.len()).unwrap();
+                prop_assert_eq!(&prefix.versions, &versions);
+            }
+        }
+    }
+
+    #[test]
+    fn archive_io_matches_io_model_and_beats_baseline(versions in history()) {
+        let profile = sparsity_profile(&versions).unwrap();
+        for strategy in [EncodingStrategy::BasicSec, EncodingStrategy::OptimizedSec] {
+            let config = ArchiveConfig::new(N, K, GeneratorForm::NonSystematic, strategy).unwrap();
+            let mut archive: VersionedArchive<Gf256> = VersionedArchive::new(config).unwrap();
+            archive.append_all(&versions).unwrap();
+            prop_assert_eq!(archive.sparsity_profile(), profile.as_slice());
+            let model = archive.config().io_model();
+            for l in 1..=versions.len() {
+                let measured = archive.retrieve_version(l).unwrap().io_reads;
+                let predicted = model.version_reads(strategy, &profile, l);
+                prop_assert_eq!(measured, predicted, "{} version {}", strategy, l);
+                let prefix_measured = archive.retrieve_prefix(l).unwrap().io_reads;
+                let prefix_predicted = model.prefix_reads(strategy, &profile, l);
+                prop_assert_eq!(prefix_measured, prefix_predicted);
+                // SEC never reads more than the non-differential baseline for
+                // whole-prefix retrieval.
+                prop_assert!(prefix_measured <= l * K);
+            }
+        }
+    }
+
+    #[test]
+    fn sparsity_profile_is_strategy_independent(versions in history()) {
+        let mut profiles = Vec::new();
+        for strategy in all_strategies() {
+            let config = ArchiveConfig::new(N, K, GeneratorForm::NonSystematic, strategy).unwrap();
+            let mut archive: VersionedArchive<Gf256> = VersionedArchive::new(config).unwrap();
+            archive.append_all(&versions).unwrap();
+            profiles.push(archive.sparsity_profile().to_vec());
+        }
+        for pair in profiles.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1]);
+        }
+    }
+
+    #[test]
+    fn storage_footprint_is_l_times_n(versions in history()) {
+        for strategy in all_strategies() {
+            let config = ArchiveConfig::new(N, K, GeneratorForm::NonSystematic, strategy).unwrap();
+            let mut archive: VersionedArchive<Gf256> = VersionedArchive::new(config).unwrap();
+            archive.append_all(&versions).unwrap();
+            prop_assert_eq!(archive.stored_symbols(), versions.len() * N, "{}", strategy);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Probability mass functions on the delta sparsity level `Γ ∈ {1, …, k}`.
+//!
+//! The truncated Exponential family concentrates mass on small sparsity
+//! (favourable to SEC); the truncated Poisson family concentrates mass on
+//! large sparsity (unfavourable). Together they bracket the paper's
+//! best-case / worst-case analysis (§V-B, Figs. 6–8).
+
+use core::fmt;
+
+use rand::Rng;
+
+/// Errors from PMF construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmfError {
+    /// The support size `k` must be at least 1.
+    EmptySupport,
+    /// A distribution parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+    },
+    /// An explicit weight vector contained a negative or non-finite entry, or
+    /// summed to zero.
+    InvalidWeights,
+}
+
+impl fmt::Display for PmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmfError::EmptySupport => write!(f, "sparsity support must contain at least one level"),
+            PmfError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} must be positive and finite, got {value}")
+            }
+            PmfError::InvalidWeights => write!(f, "weights must be non-negative, finite and not all zero"),
+        }
+    }
+}
+
+impl std::error::Error for PmfError {}
+
+/// A probability mass function on the sparsity support `{1, 2, …, k}`.
+///
+/// Internally stored as normalized probabilities indexed by `γ - 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityPmf {
+    probs: Vec<f64>,
+    description: String,
+}
+
+impl SparsityPmf {
+    /// Truncated exponential PMF `P(γ) ∝ e^{-α γ}` on `{1, …, k}`
+    /// (paper, eq. 22).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::InvalidParameter`] for non-positive or non-finite
+    /// `alpha`, and [`PmfError::EmptySupport`] for `k = 0`.
+    pub fn truncated_exponential(alpha: f64, k: usize) -> Result<Self, PmfError> {
+        if !(alpha > 0.0) || !alpha.is_finite() {
+            return Err(PmfError::InvalidParameter { name: "alpha", value: alpha });
+        }
+        let weights: Vec<f64> = (1..=k).map(|g| (-alpha * g as f64).exp()).collect();
+        Self::from_weights_internal(weights, format!("truncated-exponential(alpha={alpha})"))
+    }
+
+    /// Truncated Poisson PMF `P(γ) ∝ λ^γ e^{-λ} / γ!` on `{1, …, k}`
+    /// (paper, eq. 23).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::InvalidParameter`] for non-positive or non-finite
+    /// `lambda`, and [`PmfError::EmptySupport`] for `k = 0`.
+    pub fn truncated_poisson(lambda: f64, k: usize) -> Result<Self, PmfError> {
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(PmfError::InvalidParameter { name: "lambda", value: lambda });
+        }
+        let mut weights = Vec::with_capacity(k);
+        let mut factorial = 1.0f64;
+        for g in 1..=k {
+            factorial *= g as f64;
+            weights.push(lambda.powi(g as i32) * (-lambda).exp() / factorial);
+        }
+        Self::from_weights_internal(weights, format!("truncated-poisson(lambda={lambda})"))
+    }
+
+    /// Uniform PMF on `{1, …, k}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::EmptySupport`] for `k = 0`.
+    pub fn uniform(k: usize) -> Result<Self, PmfError> {
+        Self::from_weights_internal(vec![1.0; k], "uniform".to_string())
+    }
+
+    /// Degenerate PMF that always produces sparsity `gamma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::EmptySupport`] when `gamma` is zero or exceeds `k`.
+    pub fn fixed(gamma: usize, k: usize) -> Result<Self, PmfError> {
+        if gamma == 0 || gamma > k {
+            return Err(PmfError::EmptySupport);
+        }
+        let mut weights = vec![0.0; k];
+        weights[gamma - 1] = 1.0;
+        Self::from_weights_internal(weights, format!("fixed(gamma={gamma})"))
+    }
+
+    /// PMF from explicit (unnormalized) weights for `γ = 1, …, k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::InvalidWeights`] for negative/non-finite weights or
+    /// an all-zero vector, and [`PmfError::EmptySupport`] for an empty vector.
+    pub fn from_weights(weights: Vec<f64>) -> Result<Self, PmfError> {
+        Self::from_weights_internal(weights, "empirical".to_string())
+    }
+
+    /// Empirical PMF from observed sparsity levels (values above `k` are
+    /// clamped to `k`; zeros are clamped to 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::EmptySupport`] when `k = 0` or `samples` is empty.
+    pub fn from_samples(samples: &[usize], k: usize) -> Result<Self, PmfError> {
+        if k == 0 || samples.is_empty() {
+            return Err(PmfError::EmptySupport);
+        }
+        let mut weights = vec![0.0; k];
+        for &s in samples {
+            let g = s.clamp(1, k);
+            weights[g - 1] += 1.0;
+        }
+        Self::from_weights_internal(weights, format!("empirical({} samples)", samples.len()))
+    }
+
+    fn from_weights_internal(weights: Vec<f64>, description: String) -> Result<Self, PmfError> {
+        if weights.is_empty() {
+            return Err(PmfError::EmptySupport);
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(PmfError::InvalidWeights);
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(PmfError::InvalidWeights);
+        }
+        Ok(Self {
+            probs: weights.into_iter().map(|w| w / total).collect(),
+            description,
+        })
+    }
+
+    /// Size of the support, i.e. the object dimension `k`.
+    pub fn support_size(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// `P(Γ = gamma)`; zero outside the support.
+    pub fn probability(&self, gamma: usize) -> f64 {
+        if gamma == 0 || gamma > self.probs.len() {
+            0.0
+        } else {
+            self.probs[gamma - 1]
+        }
+    }
+
+    /// The normalized probabilities for `γ = 1, …, k`.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Expected value `E[Γ]`.
+    pub fn mean(&self) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i + 1) as f64 * p)
+            .sum()
+    }
+
+    /// Expectation `E[f(Γ)]` of an arbitrary function of the sparsity level.
+    ///
+    /// This is the workhorse of the expected-I/O analysis: e.g.
+    /// `E[min(2Γ, k)]` is the expected delta-read cost.
+    pub fn expect(&self, mut f: impl FnMut(usize) -> f64) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p * f(i + 1))
+            .sum()
+    }
+
+    /// Draws one sparsity level according to the PMF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i + 1;
+            }
+        }
+        self.probs.len()
+    }
+
+    /// Human-readable description (family and parameter).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+impl fmt::Display for SparsityPmf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {{1..{}}}", self.description, self.probs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_pmf_normalizes_and_decreases() {
+        for &alpha in &[0.1, 0.6, 1.1, 1.6] {
+            let pmf = SparsityPmf::truncated_exponential(alpha, 3).unwrap();
+            let p = pmf.probabilities();
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12, "alpha={alpha}");
+            assert!(p[0] > p[1] && p[1] > p[2], "alpha={alpha}: {p:?}");
+            // Closed form: P(γ) = e^{-αγ} / Σ e^{-αj}.
+            let norm: f64 = (1..=3).map(|j| (-alpha * j as f64).exp()).sum();
+            assert!((pmf.probability(1) - (-alpha).exp() / norm).abs() < 1e-12);
+        }
+        // Larger alpha concentrates more mass on γ = 1.
+        let small = SparsityPmf::truncated_exponential(0.1, 3).unwrap();
+        let large = SparsityPmf::truncated_exponential(1.6, 3).unwrap();
+        assert!(large.probability(1) > small.probability(1));
+        assert!(large.mean() < small.mean());
+    }
+
+    #[test]
+    fn poisson_pmf_concentrates_on_large_gamma() {
+        for &lambda in &[3.0, 5.0, 7.0, 9.0] {
+            let pmf = SparsityPmf::truncated_poisson(lambda, 3).unwrap();
+            let p = pmf.probabilities();
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            // For λ ≥ 3 the truncated mass increases with γ on {1,2,3}.
+            assert!(p[2] > p[0], "lambda={lambda}: {p:?}");
+        }
+        let low = SparsityPmf::truncated_poisson(3.0, 3).unwrap();
+        let high = SparsityPmf::truncated_poisson(9.0, 3).unwrap();
+        assert!(high.mean() > low.mean());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(matches!(
+            SparsityPmf::truncated_exponential(0.0, 3),
+            Err(PmfError::InvalidParameter { name: "alpha", .. })
+        ));
+        assert!(matches!(
+            SparsityPmf::truncated_exponential(f64::NAN, 3),
+            Err(PmfError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            SparsityPmf::truncated_poisson(-1.0, 3),
+            Err(PmfError::InvalidParameter { name: "lambda", .. })
+        ));
+        assert!(matches!(
+            SparsityPmf::truncated_exponential(1.0, 0),
+            Err(PmfError::EmptySupport)
+        ));
+        assert!(matches!(SparsityPmf::uniform(0), Err(PmfError::EmptySupport)));
+        assert!(matches!(SparsityPmf::fixed(0, 3), Err(PmfError::EmptySupport)));
+        assert!(matches!(SparsityPmf::fixed(4, 3), Err(PmfError::EmptySupport)));
+        assert!(matches!(
+            SparsityPmf::from_weights(vec![0.0, 0.0]),
+            Err(PmfError::InvalidWeights)
+        ));
+        assert!(matches!(
+            SparsityPmf::from_weights(vec![1.0, -1.0]),
+            Err(PmfError::InvalidWeights)
+        ));
+        assert!(matches!(SparsityPmf::from_samples(&[], 3), Err(PmfError::EmptySupport)));
+    }
+
+    #[test]
+    fn uniform_and_fixed_behave() {
+        let u = SparsityPmf::uniform(4).unwrap();
+        assert_eq!(u.probability(2), 0.25);
+        assert_eq!(u.probability(0), 0.0);
+        assert_eq!(u.probability(5), 0.0);
+        assert!((u.mean() - 2.5).abs() < 1e-12);
+        let f = SparsityPmf::fixed(2, 5).unwrap();
+        assert_eq!(f.probability(2), 1.0);
+        assert_eq!(f.mean(), 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(f.sample(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn expectation_of_min_2gamma_k() {
+        // E[min(2Γ, k)] with k = 3 and uniform Γ: (2 + 3 + 3)/3.
+        let u = SparsityPmf::uniform(3).unwrap();
+        let e = u.expect(|g| (2 * g).min(3) as f64);
+        assert!((e - (2.0 + 3.0 + 3.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let pmf = SparsityPmf::truncated_exponential(0.6, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000usize;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[pmf.sample(&mut rng) - 1] += 1;
+        }
+        for g in 1..=3usize {
+            let empirical = counts[g - 1] as f64 / n as f64;
+            assert!(
+                (empirical - pmf.probability(g)).abs() < 0.01,
+                "gamma={g} empirical={empirical} expected={}",
+                pmf.probability(g)
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_pmf_from_samples() {
+        let samples = vec![1, 1, 2, 3, 3, 3, 9, 0];
+        let pmf = SparsityPmf::from_samples(&samples, 3).unwrap();
+        // 9 clamps to 3, 0 clamps to 1.
+        assert!((pmf.probability(1) - 3.0 / 8.0).abs() < 1e-12);
+        assert!((pmf.probability(2) - 1.0 / 8.0).abs() < 1e-12);
+        assert!((pmf.probability(3) - 4.0 / 8.0).abs() < 1e-12);
+        assert!(pmf.description().contains("8 samples"));
+    }
+
+    #[test]
+    fn display_and_description() {
+        let pmf = SparsityPmf::truncated_poisson(5.0, 3).unwrap();
+        let s = format!("{pmf}");
+        assert!(s.contains("poisson"));
+        assert!(s.contains("1..3"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # sec — Sparsity Exploiting Erasure Coding for versioned storage
+//!
+//! A reproduction of *"Sparsity Exploiting Erasure Coding for Resilient
+//! Storage and Efficient I/O Access in Delta based Versioning Systems"*
+//! (Harshan, Oggier, Datta — ICDCS 2015) as a production-quality Rust
+//! workspace. This facade crate re-exports the public API of every
+//! subsystem:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`gf`] | `sec-gf` | finite fields `GF(2^w)`, polynomials, bulk kernels |
+//! | [`linalg`] | `sec-linalg` | matrices, Gaussian elimination, Cauchy/Vandermonde, criteria checks |
+//! | [`erasure`] | `sec-erasure` | systematic / non-systematic Cauchy MDS codes, sparse recovery, read planning |
+//! | [`versioning`] | `sec-versioning` | delta archives, Basic/Optimized/Reversed SEC, I/O model |
+//! | [`store`] | `sec-store` | simulated distributed storage, placement, failures, repair |
+//! | [`analysis`] | `sec-analysis` | static resilience, availability, average-I/O, expected-I/O |
+//! | [`workload`] | `sec-workload` | sparsity PMFs and synthetic edit traces |
+//!
+//! The most common entry points are re-exported at the crate root.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use sec::{ArchiveConfig, EncodingStrategy, GeneratorForm, VersionedArchive};
+//! use sec::gf::{GaloisField, Gf1024};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A (6, 3) non-systematic SEC archive, as in the paper's running example.
+//! let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)?;
+//! let mut archive: VersionedArchive<Gf1024> = VersionedArchive::new(config)?;
+//!
+//! let v1: Vec<Gf1024> = [3u64, 1, 4].iter().map(|&v| Gf1024::from_u64(v)).collect();
+//! let mut v2 = v1.clone();
+//! v2[1] = Gf1024::from_u64(59);
+//! archive.append_all(&[v1, v2.clone()])?;
+//!
+//! let both = archive.retrieve_prefix(2)?;
+//! assert_eq!(both.io_reads, 5); // k + 2γ = 3 + 2, instead of 2k = 6
+//! assert_eq!(both.versions[1], v2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sec_analysis as analysis;
+pub use sec_erasure as erasure;
+pub use sec_gf as gf;
+pub use sec_linalg as linalg;
+pub use sec_store as store;
+pub use sec_versioning as versioning;
+pub use sec_workload as workload;
+
+pub use sec_erasure::{CodeParams, GeneratorForm, SecCode};
+pub use sec_store::{DistributedStore, PlacementStrategy};
+pub use sec_versioning::{ArchiveConfig, EncodingStrategy, IoModel, VersionedArchive};
+pub use sec_workload::SparsityPmf;
