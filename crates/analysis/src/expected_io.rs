@@ -106,14 +106,10 @@ mod tests {
             prev = red;
         }
         // Paper reports reductions roughly in the 6–14% band for these alphas.
-        let low = joint_read_reduction_percent(
-            &model,
-            &SparsityPmf::truncated_exponential(0.1, 3).unwrap(),
-        );
-        let high = joint_read_reduction_percent(
-            &model,
-            &SparsityPmf::truncated_exponential(1.6, 3).unwrap(),
-        );
+        let low =
+            joint_read_reduction_percent(&model, &SparsityPmf::truncated_exponential(0.1, 3).unwrap());
+        let high =
+            joint_read_reduction_percent(&model, &SparsityPmf::truncated_exponential(1.6, 3).unwrap());
         assert!(low > 4.0 && low < 10.0, "low = {low}");
         assert!(high > 10.0 && high < 15.0, "high = {high}");
 
@@ -128,10 +124,8 @@ mod tests {
             prev = red;
         }
         // Paper reports reductions roughly in the 0.5–4.5% band for these lambdas.
-        let best = joint_read_reduction_percent(
-            &model,
-            &SparsityPmf::truncated_poisson(3.0, 3).unwrap(),
-        );
+        let best =
+            joint_read_reduction_percent(&model, &SparsityPmf::truncated_poisson(3.0, 3).unwrap());
         assert!(best > 2.0 && best < 5.0, "best = {best}");
     }
 

@@ -278,8 +278,14 @@ mod tests {
                 let a_sys = average_io_exact(&sys, IoScheme::Sec(GeneratorForm::Systematic), gamma, p);
                 let a_nd = average_io_exact(&ns, IoScheme::NonDifferential, gamma, p);
                 // Ordering of the three curves in Fig. 5.
-                assert!(a_ns.average_reads <= a_sys.average_reads + 1e-12, "gamma={gamma} p={p}");
-                assert!(a_sys.average_reads <= a_nd.average_reads + 1e-12, "gamma={gamma} p={p}");
+                assert!(
+                    a_ns.average_reads <= a_sys.average_reads + 1e-12,
+                    "gamma={gamma} p={p}"
+                );
+                assert!(
+                    a_sys.average_reads <= a_nd.average_reads + 1e-12,
+                    "gamma={gamma} p={p}"
+                );
                 assert!((a_ns.average_reads - (2 * gamma) as f64).abs() < 1e-12);
                 assert!((a_nd.average_reads - 5.0).abs() < 1e-12);
             }

@@ -14,9 +14,7 @@ use sec_linalg::combinatorics::{binomial, Combinations};
 pub fn prob_lose_full(n: usize, k: usize, p: f64) -> f64 {
     (0..k)
         .map(|alive| {
-            binomial(n as u64, alive as u64)
-                * p.powi((n - alive) as i32)
-                * (1.0 - p).powi(alive as i32)
+            binomial(n as u64, alive as u64) * p.powi((n - alive) as i32) * (1.0 - p).powi(alive as i32)
         })
         .sum()
 }
@@ -28,9 +26,7 @@ pub fn prob_lose_sparse_non_systematic(n: usize, k: usize, gamma: usize, p: f64)
     let upsilon = (2 * gamma).min(k);
     (0..upsilon)
         .map(|alive| {
-            binomial(n as u64, alive as u64)
-                * p.powi((n - alive) as i32)
-                * (1.0 - p).powi(alive as i32)
+            binomial(n as u64, alive as u64) * p.powi((n - alive) as i32) * (1.0 - p).powi(alive as i32)
         })
         .sum()
 }
@@ -161,7 +157,10 @@ mod tests {
             let closed = prob_lose_sparse_non_systematic(6, 3, 1, p);
             let exact = prob_lose_sparse_exact(&c, 1, p);
             assert!((closed - exact).abs() < 1e-12, "p={p}");
-            assert!((closed - paper_eq18_non_systematic_loss(p)).abs() < 1e-12, "p={p}");
+            assert!(
+                (closed - paper_eq18_non_systematic_loss(p)).abs() < 1e-12,
+                "p={p}"
+            );
         }
     }
 

@@ -78,17 +78,21 @@ pub fn render_table1(columns: &[SchemeColumn]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<28} {:<24} {:<24} {:<24}\n",
-        "Parameter",
-        columns[0].scheme,
-        columns[1].scheme,
-        columns[2].scheme
+        "Parameter", columns[0].scheme, columns[1].scheme, columns[2].scheme
     ));
     let row = |label: &str, values: [String; 3]| {
-        format!("{:<28} {:<24} {:<24} {:<24}\n", label, values[0], values[1], values[2])
+        format!(
+            "{:<28} {:<24} {:<24} {:<24}\n",
+            label, values[0], values[1], values[2]
+        )
     };
     out.push_str(&row(
         "1st: encoding",
-        [columns[0].encoding_v1.clone(), columns[1].encoding_v1.clone(), columns[2].encoding_v1.clone()],
+        [
+            columns[0].encoding_v1.clone(),
+            columns[1].encoding_v1.clone(),
+            columns[2].encoding_v1.clone(),
+        ],
     ));
     out.push_str(&row(
         "1st: encoding complexity",
@@ -100,7 +104,11 @@ pub fn render_table1(columns: &[SchemeColumn]) -> String {
     ));
     out.push_str(&row(
         "1st: nr. of nodes",
-        [columns[0].nodes.to_string(), columns[1].nodes.to_string(), columns[2].nodes.to_string()],
+        [
+            columns[0].nodes.to_string(),
+            columns[1].nodes.to_string(),
+            columns[2].nodes.to_string(),
+        ],
     ));
     out.push_str(&row(
         "1st: decoding complexity",
@@ -120,7 +128,11 @@ pub fn render_table1(columns: &[SchemeColumn]) -> String {
     ));
     out.push_str(&row(
         "2nd: encoding",
-        [columns[0].encoding_v2.clone(), columns[1].encoding_v2.clone(), columns[2].encoding_v2.clone()],
+        [
+            columns[0].encoding_v2.clone(),
+            columns[1].encoding_v2.clone(),
+            columns[2].encoding_v2.clone(),
+        ],
     ));
     out.push_str(&row(
         "2nd: decoding complexity",

@@ -14,9 +14,13 @@ fn bench_full_decode(c: &mut Criterion) {
         let cw = code.encode(&data).unwrap();
         // Use the last k shares so the decode always needs a real inversion.
         let shares: Vec<Share<Gf1024>> = (n - k..n).map(|i| (i, cw[i])).collect();
-        group.bench_with_input(BenchmarkId::new("inversion", format!("{n}x{k}")), &shares, |b, shares| {
-            b.iter(|| code.decode_full(std::hint::black_box(shares)).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("inversion", format!("{n}x{k}")),
+            &shares,
+            |b, shares| {
+                b.iter(|| code.decode_full(std::hint::black_box(shares)).unwrap());
+            },
+        );
     }
     let sys: SecCode<Gf1024> = SecCode::cauchy(10, 5, GeneratorForm::Systematic).unwrap();
     let data: Vec<Gf1024> = (0..5u64).map(|v| Gf1024::from_u64(v + 11)).collect();
@@ -33,7 +37,11 @@ fn bench_shard_decode(c: &mut Criterion) {
     const SHARD_LEN: usize = 4096;
     let code: SecCode<Gf256> = SecCode::cauchy(10, 5, GeneratorForm::NonSystematic).unwrap();
     let data: Vec<Vec<Gf256>> = (0..5)
-        .map(|i| (0..SHARD_LEN).map(|j| Gf256::from_u64((i + 3 * j) as u64)).collect())
+        .map(|i| {
+            (0..SHARD_LEN)
+                .map(|j| Gf256::from_u64((i + 3 * j) as u64))
+                .collect()
+        })
         .collect();
     let coded = shards::encode_shards(&code, &data).unwrap();
     let survivors: Vec<(usize, Vec<Gf256>)> = (5..10).map(|i| (i, coded[i].clone())).collect();

@@ -11,9 +11,13 @@ fn bench_symbol_encode(c: &mut Criterion) {
     for (n, k) in [(6usize, 3usize), (10, 5), (20, 10)] {
         let code: SecCode<Gf1024> = SecCode::cauchy(n, k, GeneratorForm::NonSystematic).unwrap();
         let data: Vec<Gf1024> = (0..k as u64).map(|v| Gf1024::from_u64(v * 7 + 1)).collect();
-        group.bench_with_input(BenchmarkId::new("cauchy_gf1024", format!("{n}x{k}")), &code, |b, code| {
-            b.iter(|| code.encode(std::hint::black_box(&data)).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cauchy_gf1024", format!("{n}x{k}")),
+            &code,
+            |b, code| {
+                b.iter(|| code.encode(std::hint::black_box(&data)).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -43,9 +47,12 @@ fn bench_shard_encode(c: &mut Criterion) {
 fn bench_code_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("code_construction");
     for (n, k) in [(6usize, 3usize), (20, 10), (40, 20)] {
-        group.bench_function(BenchmarkId::new("cauchy_non_systematic", format!("{n}x{k}")), |b| {
-            b.iter(|| SecCode::<Gf65536>::cauchy(n, k, GeneratorForm::NonSystematic).unwrap());
-        });
+        group.bench_function(
+            BenchmarkId::new("cauchy_non_systematic", format!("{n}x{k}")),
+            |b| {
+                b.iter(|| SecCode::<Gf65536>::cauchy(n, k, GeneratorForm::NonSystematic).unwrap());
+            },
+        );
         group.bench_function(BenchmarkId::new("cauchy_systematic", format!("{n}x{k}")), |b| {
             b.iter(|| SecCode::<Gf65536>::cauchy(n, k, GeneratorForm::Systematic).unwrap());
         });
@@ -53,5 +60,10 @@ fn bench_code_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_symbol_encode, bench_shard_encode, bench_code_construction);
+criterion_group!(
+    benches,
+    bench_symbol_encode,
+    bench_shard_encode,
+    bench_code_construction
+);
 criterion_main!(benches);

@@ -24,9 +24,16 @@ fn bench_sparse_vs_full(c: &mut Criterion) {
         let cw = code.encode(&z).unwrap();
         let sparse_shares: Vec<Share<Gf1024>> = (0..2 * gamma).map(|i| (i, cw[i])).collect();
         let full_shares: Vec<Share<Gf1024>> = (0..10).map(|i| (i, cw[i])).collect();
-        group.bench_with_input(BenchmarkId::new("sparse_2gamma_reads", gamma), &gamma, |b, &gamma| {
-            b.iter(|| code.decode_sparse(std::hint::black_box(&sparse_shares), gamma).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sparse_2gamma_reads", gamma),
+            &gamma,
+            |b, &gamma| {
+                b.iter(|| {
+                    code.decode_sparse(std::hint::black_box(&sparse_shares), gamma)
+                        .unwrap()
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("full_k_reads", gamma), &gamma, |b, _| {
             b.iter(|| code.decode_full(std::hint::black_box(&full_shares)).unwrap());
         });
@@ -43,12 +50,22 @@ fn bench_read_planning(c: &mut Criterion) {
     for gamma in [2usize, 4] {
         group.bench_with_input(BenchmarkId::new("non_systematic", gamma), &gamma, |b, &gamma| {
             b.iter(|| {
-                plan_read(&non_systematic, std::hint::black_box(&live), ReadTarget::Sparse { gamma }).unwrap()
+                plan_read(
+                    &non_systematic,
+                    std::hint::black_box(&live),
+                    ReadTarget::Sparse { gamma },
+                )
+                .unwrap()
             });
         });
         group.bench_with_input(BenchmarkId::new("systematic", gamma), &gamma, |b, &gamma| {
             b.iter(|| {
-                plan_read(&systematic, std::hint::black_box(&live), ReadTarget::Sparse { gamma }).unwrap()
+                plan_read(
+                    &systematic,
+                    std::hint::black_box(&live),
+                    ReadTarget::Sparse { gamma },
+                )
+                .unwrap()
             });
         });
     }

@@ -62,7 +62,12 @@ fn bench_analysis(c: &mut Criterion) {
     });
     group.bench_function("exact_average_io_10x5", |b| {
         b.iter(|| {
-            average_io_exact(std::hint::black_box(&sys), IoScheme::Sec(GeneratorForm::Systematic), 2, 0.1)
+            average_io_exact(
+                std::hint::black_box(&sys),
+                IoScheme::Sec(GeneratorForm::Systematic),
+                2,
+                0.1,
+            )
         });
     });
     group.finish();

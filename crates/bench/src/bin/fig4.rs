@@ -23,7 +23,13 @@ fn main() -> std::io::Result<()> {
 
     let mut table = ResultTable::new(
         "Fig. 4: average I/O reads mu_1 for z2 (gamma = 1), (6,3) code",
-        &["p", "systematic_sec", "non_systematic_sec", "non_differential", "systematic_mc"],
+        &[
+            "p",
+            "systematic_sec",
+            "non_systematic_sec",
+            "non_differential",
+            "systematic_mc",
+        ],
     );
     for p in probability_grid() {
         let sys = average_io_exact(&systematic, IoScheme::Sec(GeneratorForm::Systematic), 1, p);

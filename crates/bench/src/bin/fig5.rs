@@ -17,7 +17,13 @@ fn main() -> std::io::Result<()> {
 
     let mut table = ResultTable::new(
         "Fig. 5: average I/O reads mu_gamma for z2, (10,5) code",
-        &["gamma", "p", "systematic_sec", "non_systematic_sec", "non_differential"],
+        &[
+            "gamma",
+            "p",
+            "systematic_sec",
+            "non_systematic_sec",
+            "non_differential",
+        ],
     );
     for gamma in [1usize, 2] {
         for p in probability_grid() {

@@ -13,12 +13,21 @@ use sec_workload::SparsityPmf;
 
 fn main() -> std::io::Result<()> {
     let args = ExperimentArgs::from_env();
-    let model = IoModel::new(CodeParams::new(6, 3).expect("valid (6,3)"), GeneratorForm::NonSystematic);
+    let model = IoModel::new(
+        CodeParams::new(6, 3).expect("valid (6,3)"),
+        GeneratorForm::NonSystematic,
+    );
     let k = 3usize;
 
     let mut table = ResultTable::new(
         "Fig. 7: % reduction in I/O reads to access x1 and x2, (6,3) code",
-        &["family", "parameter", "expected_reads", "baseline_reads", "reduction_percent"],
+        &[
+            "family",
+            "parameter",
+            "expected_reads",
+            "baseline_reads",
+            "reduction_percent",
+        ],
     );
     let alphas: Vec<f64> = (0..=16).map(|i| 0.1 * i as f64).filter(|a| *a > 0.0).collect();
     for &alpha in &alphas {

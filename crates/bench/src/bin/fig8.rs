@@ -12,12 +12,20 @@ use sec_workload::SparsityPmf;
 
 fn main() -> std::io::Result<()> {
     let args = ExperimentArgs::from_env();
-    let model = IoModel::new(CodeParams::new(6, 3).expect("valid (6,3)"), GeneratorForm::NonSystematic);
+    let model = IoModel::new(
+        CodeParams::new(6, 3).expect("valid (6,3)"),
+        GeneratorForm::NonSystematic,
+    );
     let k = 3usize;
 
     let mut table = ResultTable::new(
         "Fig. 8: % increase in I/O reads to access x2 alone, (6,3) code",
-        &["family", "parameter", "basic_sec_percent", "optimized_sec_percent"],
+        &[
+            "family",
+            "parameter",
+            "basic_sec_percent",
+            "optimized_sec_percent",
+        ],
     );
     let alphas: Vec<f64> = (0..=16).map(|i| 0.1 * i as f64).filter(|a| *a > 0.0).collect();
     for &alpha in &alphas {
@@ -25,7 +33,10 @@ fn main() -> std::io::Result<()> {
         table.push_row(vec![
             "trunc-exponential".to_string(),
             fmt_float(alpha, 2),
-            fmt_float(second_version_increase_percent(&model, EncodingStrategy::BasicSec, &pmf), 3),
+            fmt_float(
+                second_version_increase_percent(&model, EncodingStrategy::BasicSec, &pmf),
+                3,
+            ),
             fmt_float(
                 second_version_increase_percent(&model, EncodingStrategy::OptimizedSec, &pmf),
                 3,
@@ -37,7 +48,10 @@ fn main() -> std::io::Result<()> {
         table.push_row(vec![
             "trunc-poisson".to_string(),
             fmt_float(lambda, 1),
-            fmt_float(second_version_increase_percent(&model, EncodingStrategy::BasicSec, &pmf), 3),
+            fmt_float(
+                second_version_increase_percent(&model, EncodingStrategy::BasicSec, &pmf),
+                3,
+            ),
             fmt_float(
                 second_version_increase_percent(&model, EncodingStrategy::OptimizedSec, &pmf),
                 3,

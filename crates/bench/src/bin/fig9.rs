@@ -19,7 +19,12 @@ fn paper_versions() -> Vec<Vec<Gf1024>> {
     let k = 10usize;
     let base: Vec<Gf1024> = (0..k as u64).map(|v| Gf1024::from_u64(v + 1)).collect();
     let mut versions = vec![base];
-    let edits: [&[usize]; 4] = [&[0, 1, 2], &[0, 1, 2, 3, 4, 5, 6, 7], &[3, 4, 5], &[0, 2, 4, 6, 8, 9]];
+    let edits: [&[usize]; 4] = [
+        &[0, 1, 2],
+        &[0, 1, 2, 3, 4, 5, 6, 7],
+        &[3, 4, 5],
+        &[0, 2, 4, 6, 8, 9],
+    ];
     for positions in edits {
         let mut next = versions.last().expect("non-empty").clone();
         for &p in positions {
@@ -46,7 +51,10 @@ fn operational_reads(strategy: EncodingStrategy, l: usize, prefix: bool) -> usiz
 
 fn main() -> std::io::Result<()> {
     let args = ExperimentArgs::from_env();
-    let model = IoModel::new(CodeParams::new(20, 10).expect("valid (20,10)"), GeneratorForm::NonSystematic);
+    let model = IoModel::new(
+        CodeParams::new(20, 10).expect("valid (20,10)"),
+        GeneratorForm::NonSystematic,
+    );
 
     let mut table = ResultTable::new(
         "Fig. 9 / §III-D: I/O reads, (20,10) code, sparsity profile {3,8,3,6}",
@@ -64,11 +72,21 @@ fn main() -> std::io::Result<()> {
     for l in 1..=5usize {
         table.push_row(vec![
             l.to_string(),
-            model.version_reads(EncodingStrategy::BasicSec, &PROFILE, l).to_string(),
-            model.version_reads(EncodingStrategy::OptimizedSec, &PROFILE, l).to_string(),
-            model.version_reads(EncodingStrategy::NonDifferential, &PROFILE, l).to_string(),
-            model.prefix_reads(EncodingStrategy::BasicSec, &PROFILE, l).to_string(),
-            model.prefix_reads(EncodingStrategy::NonDifferential, &PROFILE, l).to_string(),
+            model
+                .version_reads(EncodingStrategy::BasicSec, &PROFILE, l)
+                .to_string(),
+            model
+                .version_reads(EncodingStrategy::OptimizedSec, &PROFILE, l)
+                .to_string(),
+            model
+                .version_reads(EncodingStrategy::NonDifferential, &PROFILE, l)
+                .to_string(),
+            model
+                .prefix_reads(EncodingStrategy::BasicSec, &PROFILE, l)
+                .to_string(),
+            model
+                .prefix_reads(EncodingStrategy::NonDifferential, &PROFILE, l)
+                .to_string(),
             operational_reads(EncodingStrategy::BasicSec, l, false).to_string(),
             operational_reads(EncodingStrategy::OptimizedSec, l, false).to_string(),
         ]);

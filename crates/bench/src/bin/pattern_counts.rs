@@ -30,7 +30,10 @@ fn main() -> std::io::Result<()> {
             "total_recoverable",
         ],
     );
-    for (name, code) in [("non-systematic SEC", &non_systematic), ("systematic SEC", &systematic)] {
+    for (name, code) in [
+        ("non-systematic SEC", &non_systematic),
+        ("systematic SEC", &systematic),
+    ] {
         let report = CriteriaReport::for_code(code);
         let g1 = report.gamma(1).expect("gamma = 1 is exploitable for k = 3");
         let c = census(code, 1);

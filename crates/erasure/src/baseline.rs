@@ -92,7 +92,10 @@ impl ReplicationCode {
             .flatten()
             .next()
             .cloned()
-            .ok_or(CodeError::NotEnoughShares { needed: 1, available: 0 })
+            .ok_or(CodeError::NotEnoughShares {
+                needed: 1,
+                available: 0,
+            })
     }
 
     /// I/O reads needed to retrieve the object (one replica's worth of
@@ -120,8 +123,14 @@ mod tests {
     #[test]
     fn construction_validation() {
         assert!(ReplicationCode::new(3, 4).is_ok());
-        assert!(matches!(ReplicationCode::new(0, 4), Err(CodeError::InvalidParams { .. })));
-        assert!(matches!(ReplicationCode::new(3, 0), Err(CodeError::InvalidParams { .. })));
+        assert!(matches!(
+            ReplicationCode::new(0, 4),
+            Err(CodeError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            ReplicationCode::new(3, 0),
+            Err(CodeError::InvalidParams { .. })
+        ));
         let r = ReplicationCode::new(3, 4).unwrap();
         assert_eq!(r.replicas(), 3);
         assert_eq!(r.object_len(), 4);
@@ -142,7 +151,10 @@ mod tests {
         assert_eq!(r.decode(&survivors).unwrap(), x);
         let none: Vec<Option<Vec<Gf256>>> = vec![None, None, None];
         assert!(matches!(r.decode(&none), Err(CodeError::NotEnoughShares { .. })));
-        assert!(matches!(r.encode(&obj(&[1])), Err(CodeError::DataLengthMismatch { .. })));
+        assert!(matches!(
+            r.encode(&obj(&[1])),
+            Err(CodeError::DataLengthMismatch { .. })
+        ));
     }
 
     #[test]

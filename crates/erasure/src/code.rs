@@ -27,10 +27,18 @@ impl CodeParams {
     /// Returns [`CodeError::InvalidParams`] unless `0 < k < n`.
     pub fn new(n: usize, k: usize) -> Result<Self, CodeError> {
         if k == 0 {
-            return Err(CodeError::InvalidParams { n, k, reason: "k must be positive" });
+            return Err(CodeError::InvalidParams {
+                n,
+                k,
+                reason: "k must be positive",
+            });
         }
         if k >= n {
-            return Err(CodeError::InvalidParams { n, k, reason: "k must be less than n" });
+            return Err(CodeError::InvalidParams {
+                n,
+                k,
+                reason: "k must be less than n",
+            });
         }
         Ok(Self { n, k })
     }
@@ -111,7 +119,11 @@ impl<F: GaloisField> SecCode<F> {
                 Matrix::identity(k).stack(&parity)?
             }
         };
-        Ok(Self { params, form, generator })
+        Ok(Self {
+            params,
+            form,
+            generator,
+        })
     }
 
     /// Wraps an arbitrary generator matrix, validating its shape and the MDS
@@ -141,7 +153,11 @@ impl<F: GaloisField> SecCode<F> {
                 });
             }
         }
-        Ok(Self { params, form, generator })
+        Ok(Self {
+            params,
+            form,
+            generator,
+        })
     }
 
     /// The `(n, k)` parameters.
@@ -204,7 +220,10 @@ impl<F: GaloisField> SecCode<F> {
         let mut seen = vec![false; self.params.n];
         for &(idx, _) in shares {
             if idx >= self.params.n {
-                return Err(CodeError::ShareIndexOutOfRange { index: idx, n: self.params.n });
+                return Err(CodeError::ShareIndexOutOfRange {
+                    index: idx,
+                    n: self.params.n,
+                });
             }
             if seen[idx] {
                 return Err(CodeError::DuplicateShare { index: idx });
@@ -230,7 +249,10 @@ impl<F: GaloisField> SecCode<F> {
         self.validate_shares(shares)?;
         let k = self.params.k;
         if shares.len() < k {
-            return Err(CodeError::NotEnoughShares { needed: k, available: shares.len() });
+            return Err(CodeError::NotEnoughShares {
+                needed: k,
+                available: shares.len(),
+            });
         }
 
         // Systematic fast path: all data symbols present.
@@ -282,13 +304,15 @@ impl<F: GaloisField> SecCode<F> {
         }
         let needed = 2 * gamma;
         if shares.len() < needed {
-            return Err(CodeError::NotEnoughShares { needed, available: shares.len() });
+            return Err(CodeError::NotEnoughShares {
+                needed,
+                available: shares.len(),
+            });
         }
         let rows: Vec<usize> = shares.iter().map(|&(idx, _)| idx).collect();
         let values: Vec<F> = shares.iter().map(|&(_, v)| v).collect();
         let sub = self.generator.select_rows(&rows)?;
-        sparse::recover_sparse(&sub, &values, gamma)
-            .ok_or(CodeError::SparseRecoveryFailed { gamma })
+        sparse::recover_sparse(&sub, &values, gamma).ok_or(CodeError::SparseRecoveryFailed { gamma })
     }
 
     /// Number of I/O reads needed to retrieve an object of sparsity `γ`
@@ -320,9 +344,7 @@ impl<F: GaloisField> SecCode<F> {
 
 fn map_cauchy_err<T>(res: Result<T, CauchyError>, n: usize, k: usize) -> Result<T, CodeError> {
     res.map_err(|err| match err {
-        CauchyError::FieldTooSmall { field_order, .. } => {
-            CodeError::FieldTooSmall { n, k, field_order }
-        }
+        CauchyError::FieldTooSmall { field_order, .. } => CodeError::FieldTooSmall { n, k, field_order },
         CauchyError::InvalidPoints => CodeError::Internal("invalid cauchy points".to_string()),
     })
 }
@@ -339,8 +361,14 @@ mod tests {
     #[test]
     fn params_validation_and_accessors() {
         assert!(CodeParams::new(6, 3).is_ok());
-        assert!(matches!(CodeParams::new(3, 3), Err(CodeError::InvalidParams { .. })));
-        assert!(matches!(CodeParams::new(3, 0), Err(CodeError::InvalidParams { .. })));
+        assert!(matches!(
+            CodeParams::new(3, 3),
+            Err(CodeError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            CodeParams::new(3, 0),
+            Err(CodeError::InvalidParams { .. })
+        ));
         let p = CodeParams::new(20, 10).unwrap();
         assert_eq!(p.overhead(), 2.0);
         assert_eq!(p.rate(), 0.5);
@@ -415,7 +443,10 @@ mod tests {
         let c = code.encode(&x).unwrap();
         assert!(matches!(
             code.decode_full(&[(0, c[0])]),
-            Err(CodeError::NotEnoughShares { needed: 3, available: 1 })
+            Err(CodeError::NotEnoughShares {
+                needed: 3,
+                available: 1
+            })
         ));
         assert!(matches!(
             code.decode_full(&[(0, c[0]), (0, c[0]), (1, c[1])]),
@@ -427,7 +458,10 @@ mod tests {
         ));
         assert!(matches!(
             code.encode(&data256(&[1, 2])),
-            Err(CodeError::DataLengthMismatch { expected: 3, actual: 2 })
+            Err(CodeError::DataLengthMismatch {
+                expected: 3,
+                actual: 2
+            })
         ));
     }
 
@@ -442,7 +476,11 @@ mod tests {
             // Any 2 shares suffice for the non-systematic Cauchy code.
             for rows in sec_linalg::combinatorics::combinations(6, 2) {
                 let shares: Vec<Share<Gf1024>> = rows.iter().map(|&i| (i, c[i])).collect();
-                assert_eq!(code.decode_sparse(&shares, 1).unwrap(), z, "rows {rows:?} pos {pos}");
+                assert_eq!(
+                    code.decode_sparse(&shares, 1).unwrap(),
+                    z,
+                    "rows {rows:?} pos {pos}"
+                );
             }
         }
     }
@@ -471,7 +509,10 @@ mod tests {
         let c = code.encode(&z).unwrap();
         assert!(matches!(
             code.decode_sparse(&[(0, c[0])], 1),
-            Err(CodeError::NotEnoughShares { needed: 2, available: 1 })
+            Err(CodeError::NotEnoughShares {
+                needed: 2,
+                available: 1
+            })
         ));
         // γ too large relative to k.
         assert!(matches!(

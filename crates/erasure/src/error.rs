@@ -87,7 +87,10 @@ impl fmt::Display for CodeError {
                 "field of order {field_order} is too small for an (n={n}, k={k}) Cauchy code"
             ),
             CodeError::DataLengthMismatch { expected, actual } => {
-                write!(f, "data object has {actual} symbols but the code dimension is {expected}")
+                write!(
+                    f,
+                    "data object has {actual} symbols but the code dimension is {expected}"
+                )
             }
             CodeError::ShareIndexOutOfRange { index, n } => {
                 write!(f, "share index {index} out of range for code length {n}")
@@ -96,16 +99,25 @@ impl fmt::Display for CodeError {
                 write!(f, "share index {index} supplied more than once")
             }
             CodeError::NotEnoughShares { needed, available } => {
-                write!(f, "decode needs {needed} shares but only {available} were supplied")
+                write!(
+                    f,
+                    "decode needs {needed} shares but only {available} were supplied"
+                )
             }
             CodeError::UndecodableShareSet => {
                 write!(f, "the supplied shares do not form an invertible decoding system")
             }
             CodeError::SparseRecoveryFailed { gamma } => {
-                write!(f, "no {gamma}-sparse vector is consistent with the supplied shares")
+                write!(
+                    f,
+                    "no {gamma}-sparse vector is consistent with the supplied shares"
+                )
             }
             CodeError::SparsityNotExploitable { gamma, k } => {
-                write!(f, "sparsity level {gamma} cannot be exploited by this code (k={k})")
+                write!(
+                    f,
+                    "sparsity level {gamma} cannot be exploited by this code (k={k})"
+                )
             }
             CodeError::ShardSizeMismatch { expected, actual } => {
                 write!(f, "shard length mismatch: expected {expected}, got {actual}")
@@ -131,18 +143,50 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(CodeError, &str)> = vec![
             (
-                CodeError::InvalidParams { n: 3, k: 5, reason: "k must be less than n" },
+                CodeError::InvalidParams {
+                    n: 3,
+                    k: 5,
+                    reason: "k must be less than n",
+                },
                 "k must be less than n",
             ),
-            (CodeError::FieldTooSmall { n: 300, k: 100, field_order: 256 }, "256"),
-            (CodeError::DataLengthMismatch { expected: 3, actual: 7 }, "dimension is 3"),
+            (
+                CodeError::FieldTooSmall {
+                    n: 300,
+                    k: 100,
+                    field_order: 256,
+                },
+                "256",
+            ),
+            (
+                CodeError::DataLengthMismatch {
+                    expected: 3,
+                    actual: 7,
+                },
+                "dimension is 3",
+            ),
             (CodeError::ShareIndexOutOfRange { index: 9, n: 6 }, "out of range"),
             (CodeError::DuplicateShare { index: 2 }, "more than once"),
-            (CodeError::NotEnoughShares { needed: 3, available: 1 }, "needs 3"),
+            (
+                CodeError::NotEnoughShares {
+                    needed: 3,
+                    available: 1,
+                },
+                "needs 3",
+            ),
             (CodeError::UndecodableShareSet, "invertible"),
             (CodeError::SparseRecoveryFailed { gamma: 2 }, "2-sparse"),
-            (CodeError::SparsityNotExploitable { gamma: 4, k: 6 }, "cannot be exploited"),
-            (CodeError::ShardSizeMismatch { expected: 8, actual: 9 }, "mismatch"),
+            (
+                CodeError::SparsityNotExploitable { gamma: 4, k: 6 },
+                "cannot be exploited",
+            ),
+            (
+                CodeError::ShardSizeMismatch {
+                    expected: 8,
+                    actual: 9,
+                },
+                "mismatch",
+            ),
             (CodeError::Internal("boom".into()), "boom"),
         ];
         for (err, needle) in cases {

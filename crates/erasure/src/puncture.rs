@@ -107,7 +107,11 @@ pub fn encode_punctured<F: GaloisField>(
     let positions = puncture_plan(code, gamma, target_failures)?;
     let full = code.encode(delta)?;
     let symbols = positions.iter().map(|&i| full[i]).collect();
-    Ok(PuncturedCodeword { positions, symbols, gamma })
+    Ok(PuncturedCodeword {
+        positions,
+        symbols,
+        gamma,
+    })
 }
 
 /// Recovers the delta from a punctured codeword, reading only from the listed
@@ -125,7 +129,10 @@ pub fn decode_punctured<F: GaloisField>(
     let shares = punctured.shares(live);
     let needed = 2 * punctured.gamma;
     if shares.len() < needed {
-        return Err(CodeError::NotEnoughShares { needed, available: shares.len() });
+        return Err(CodeError::NotEnoughShares {
+            needed,
+            available: shares.len(),
+        });
     }
     code.decode_sparse(&shares[..needed], punctured.gamma)
 }
@@ -210,7 +217,10 @@ mod tests {
         let live = vec![punctured.positions[0]];
         assert!(matches!(
             decode_punctured(&c, &punctured, Some(&live)),
-            Err(CodeError::NotEnoughShares { needed: 2, available: 1 })
+            Err(CodeError::NotEnoughShares {
+                needed: 2,
+                available: 1
+            })
         ));
     }
 

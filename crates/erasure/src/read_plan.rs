@@ -94,7 +94,10 @@ pub fn plan_read<F: GaloisField>(
 fn plan_full<F: GaloisField>(code: &SecCode<F>, live: &[usize]) -> Result<ReadPlan, CodeError> {
     let k = code.k();
     if live.len() < k {
-        return Err(CodeError::NotEnoughShares { needed: k, available: live.len() });
+        return Err(CodeError::NotEnoughShares {
+            needed: k,
+            available: live.len(),
+        });
     }
     if code.form() == GeneratorForm::Systematic {
         let systematic: Vec<usize> = live.iter().copied().filter(|&i| i < k).collect();
@@ -114,11 +117,7 @@ fn plan_full<F: GaloisField>(code: &SecCode<F>, live: &[usize]) -> Result<ReadPl
     })
 }
 
-fn plan_sparse<F: GaloisField>(
-    code: &SecCode<F>,
-    live: &[usize],
-    gamma: usize,
-) -> Option<ReadPlan> {
+fn plan_sparse<F: GaloisField>(code: &SecCode<F>, live: &[usize], gamma: usize) -> Option<ReadPlan> {
     let needed = 2 * gamma;
     if live.len() < needed {
         return None;
@@ -139,8 +138,7 @@ fn plan_sparse<F: GaloisField>(
             // occasionally qualify too, and the paper counts them — e.g. 12
             // of the 15 two-row subsets of the (6,3) G_S do *not* qualify).
             let generator = code.generator();
-            let parity_live: Vec<usize> =
-                live.iter().copied().filter(|&i| i >= code.k()).collect();
+            let parity_live: Vec<usize> = live.iter().copied().filter(|&i| i >= code.k()).collect();
             if parity_live.len() >= needed {
                 let candidate = &parity_live[..needed];
                 let sub = generator.select_rows(candidate).ok()?;
@@ -222,7 +220,10 @@ mod tests {
         assert_eq!(plan.method, DecodeMethod::Inversion);
         assert!(matches!(
             plan_read(&code, &[0, 1], ReadTarget::Full),
-            Err(CodeError::NotEnoughShares { needed: 3, available: 2 })
+            Err(CodeError::NotEnoughShares {
+                needed: 3,
+                available: 2
+            })
         ));
     }
 

@@ -25,12 +25,18 @@ pub fn encode_shards<F: GaloisField>(
 ) -> Result<Vec<Vec<F>>, CodeError> {
     let k = code.k();
     if data_shards.len() != k {
-        return Err(CodeError::DataLengthMismatch { expected: k, actual: data_shards.len() });
+        return Err(CodeError::DataLengthMismatch {
+            expected: k,
+            actual: data_shards.len(),
+        });
     }
     let shard_len = data_shards.first().map_or(0, Vec::len);
     for shard in data_shards {
         if shard.len() != shard_len {
-            return Err(CodeError::ShardSizeMismatch { expected: shard_len, actual: shard.len() });
+            return Err(CodeError::ShardSizeMismatch {
+                expected: shard_len,
+                actual: shard.len(),
+            });
         }
     }
     let g = code.generator();
@@ -59,7 +65,10 @@ pub fn decode_shards<F: GaloisField>(
     let k = code.k();
     let n = code.n();
     if coded_shards.len() < k {
-        return Err(CodeError::NotEnoughShares { needed: k, available: coded_shards.len() });
+        return Err(CodeError::NotEnoughShares {
+            needed: k,
+            available: coded_shards.len(),
+        });
     }
     let shard_len = coded_shards[0].1.len();
     let mut seen = vec![false; n];
@@ -72,7 +81,10 @@ pub fn decode_shards<F: GaloisField>(
         }
         seen[*idx] = true;
         if shard.len() != shard_len {
-            return Err(CodeError::ShardSizeMismatch { expected: shard_len, actual: shard.len() });
+            return Err(CodeError::ShardSizeMismatch {
+                expected: shard_len,
+                actual: shard.len(),
+            });
         }
     }
 
@@ -118,7 +130,10 @@ pub fn join_shards<F: GaloisField>(shards: &[Vec<F>], original_len: usize) -> Ve
 /// Reconstructs the shares of one *symbol position* across shards — a helper
 /// for turning shard-level storage into the per-symbol [`Share`] form used by
 /// the sparse decoder.
-pub fn symbol_shares<F: GaloisField>(coded_shards: &[(usize, Vec<F>)], position: usize) -> Vec<Share<F>> {
+pub fn symbol_shares<F: GaloisField>(
+    coded_shards: &[(usize, Vec<F>)],
+    position: usize,
+) -> Vec<Share<F>> {
     coded_shards
         .iter()
         .filter(|(_, shard)| position < shard.len())
@@ -143,12 +158,15 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let code = code63();
-        let data = vec![shard(&[1, 2, 3, 4]), shard(&[5, 6, 7, 8]), shard(&[9, 10, 11, 12])];
+        let data = vec![
+            shard(&[1, 2, 3, 4]),
+            shard(&[5, 6, 7, 8]),
+            shard(&[9, 10, 11, 12]),
+        ];
         let coded = encode_shards(&code, &data).unwrap();
         assert_eq!(coded.len(), 6);
         for rows in sec_linalg::combinatorics::combinations(6, 3) {
-            let shares: Vec<(usize, Vec<Gf256>)> =
-                rows.iter().map(|&i| (i, coded[i].clone())).collect();
+            let shares: Vec<(usize, Vec<Gf256>)> = rows.iter().map(|&i| (i, coded[i].clone())).collect();
             assert_eq!(decode_shards(&code, &shares).unwrap(), data, "rows {rows:?}");
         }
     }
@@ -166,11 +184,17 @@ mod tests {
         let code = code63();
         assert!(matches!(
             encode_shards(&code, &[shard(&[1])]),
-            Err(CodeError::DataLengthMismatch { expected: 3, actual: 1 })
+            Err(CodeError::DataLengthMismatch {
+                expected: 3,
+                actual: 1
+            })
         ));
         assert!(matches!(
             encode_shards(&code, &[shard(&[1, 2]), shard(&[3]), shard(&[4, 5])]),
-            Err(CodeError::ShardSizeMismatch { expected: 2, actual: 1 })
+            Err(CodeError::ShardSizeMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
         let data = vec![shard(&[1]), shard(&[2]), shard(&[3])];
         let coded = encode_shards(&code, &data).unwrap();
@@ -179,14 +203,32 @@ mod tests {
             Err(CodeError::NotEnoughShares { .. })
         ));
         assert!(matches!(
-            decode_shards(&code, &[(0, coded[0].clone()), (0, coded[0].clone()), (1, coded[1].clone())]),
+            decode_shards(
+                &code,
+                &[
+                    (0, coded[0].clone()),
+                    (0, coded[0].clone()),
+                    (1, coded[1].clone())
+                ]
+            ),
             Err(CodeError::DuplicateShare { index: 0 })
         ));
         assert!(matches!(
-            decode_shards(&code, &[(9, coded[0].clone()), (1, coded[1].clone()), (2, coded[2].clone())]),
+            decode_shards(
+                &code,
+                &[
+                    (9, coded[0].clone()),
+                    (1, coded[1].clone()),
+                    (2, coded[2].clone())
+                ]
+            ),
             Err(CodeError::ShareIndexOutOfRange { .. })
         ));
-        let ragged = vec![(0, coded[0].clone()), (1, shard(&[1, 2, 3])), (2, coded[2].clone())];
+        let ragged = vec![
+            (0, coded[0].clone()),
+            (1, shard(&[1, 2, 3])),
+            (2, coded[2].clone()),
+        ];
         assert!(matches!(
             decode_shards(&code, &ragged),
             Err(CodeError::ShardSizeMismatch { .. })

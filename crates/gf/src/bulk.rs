@@ -62,7 +62,7 @@ pub fn scale_assign<F: GaloisField>(data: &mut [F], c: F) {
         return;
     }
     for d in data.iter_mut() {
-        *d = *d * c;
+        *d *= c;
     }
 }
 
@@ -239,7 +239,7 @@ mod tests {
 
     #[test]
     fn weight_of_zero_shard_is_zero() {
-        assert_eq!(weight(&vec![Gf256::ZERO; 16]), 0);
+        assert_eq!(weight(&[Gf256::ZERO; 16]), 0);
         assert_eq!(weight(&shard(&[])), 0);
     }
 }

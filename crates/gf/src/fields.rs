@@ -117,6 +117,8 @@ macro_rules! define_gf {
 
         impl Add for $name {
             type Output = Self;
+            // In characteristic 2, addition genuinely is XOR.
+            #[allow(clippy::suspicious_arithmetic_impl)]
             #[inline]
             fn add(self, rhs: Self) -> Self {
                 Self(self.0 ^ rhs.0)
@@ -124,6 +126,7 @@ macro_rules! define_gf {
         }
 
         impl AddAssign for $name {
+            #[allow(clippy::suspicious_op_assign_impl)]
             #[inline]
             fn add_assign(&mut self, rhs: Self) {
                 self.0 ^= rhs.0;
@@ -132,14 +135,16 @@ macro_rules! define_gf {
 
         impl Sub for $name {
             type Output = Self;
+            // Characteristic 2: subtraction is addition, i.e. XOR.
+            #[allow(clippy::suspicious_arithmetic_impl)]
             #[inline]
             fn sub(self, rhs: Self) -> Self {
-                // Characteristic 2: subtraction is addition.
                 Self(self.0 ^ rhs.0)
             }
         }
 
         impl SubAssign for $name {
+            #[allow(clippy::suspicious_op_assign_impl)]
             #[inline]
             fn sub_assign(&mut self, rhs: Self) {
                 self.0 ^= rhs.0;
@@ -410,7 +415,10 @@ mod tests {
         let a = Gf256::from_u64(0x80);
         let two = Gf256::from_u64(2);
         assert_eq!(a * two, Gf256::from_u64(0x1D));
-        assert_eq!(Gf256::from_u64(0x53) * Gf256::from_u64(0xCA) / Gf256::from_u64(0xCA), Gf256::from_u64(0x53));
+        assert_eq!(
+            Gf256::from_u64(0x53) * Gf256::from_u64(0xCA) / Gf256::from_u64(0xCA),
+            Gf256::from_u64(0x53)
+        );
     }
 
     #[test]

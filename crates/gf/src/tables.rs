@@ -103,7 +103,10 @@ pub(crate) fn build_tables(poly: u32, bits: u32) -> FieldTables {
         log[acc as usize] = i as u32;
         acc = polymul_mod(acc, generator, poly, bits);
     }
-    assert_eq!(acc, 1, "generator order mismatch while building GF(2^{bits}) tables");
+    assert_eq!(
+        acc, 1,
+        "generator order mismatch while building GF(2^{bits}) tables"
+    );
 
     FieldTables {
         exp,

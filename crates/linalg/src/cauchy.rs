@@ -220,7 +220,10 @@ mod tests {
     #[test]
     fn closed_form_determinant_matches_elimination() {
         let h: Vec<Gf256> = [3u64, 7, 11, 19].iter().map(|&v| Gf256::from_u64(v)).collect();
-        let f: Vec<Gf256> = [100u64, 101, 150, 200].iter().map(|&v| Gf256::from_u64(v)).collect();
+        let f: Vec<Gf256> = [100u64, 101, 150, 200]
+            .iter()
+            .map(|&v| Gf256::from_u64(v))
+            .collect();
         let m = cauchy_from_points(&h, &f).unwrap();
         assert_eq!(ops::determinant(&m).unwrap(), cauchy_determinant(&h, &f));
     }

@@ -123,9 +123,7 @@ pub fn is_superregular<F: GaloisField>(m: &Matrix<F>) -> bool {
     for size in 1..=max {
         for rows in Combinations::new(m.rows(), size) {
             for cols in Combinations::new(m.cols(), size) {
-                let sub = m
-                    .submatrix(&rows, &cols)
-                    .expect("indices generated in range");
+                let sub = m.submatrix(&rows, &cols).expect("indices generated in range");
                 if !ops::is_invertible(&sub) {
                     return false;
                 }

@@ -437,7 +437,10 @@ mod tests {
         let a = m(2, 3, &[1, 2, 3, 4, 5, 6]);
         assert_eq!(a.shape(), (2, 3));
         assert_eq!(a.get(1, 2), Gf256::from_u64(6));
-        assert_eq!(a.row(0), &[Gf256::from_u64(1), Gf256::from_u64(2), Gf256::from_u64(3)]);
+        assert_eq!(
+            a.row(0),
+            &[Gf256::from_u64(1), Gf256::from_u64(2), Gf256::from_u64(3)]
+        );
         assert_eq!(a.col(1), vec![Gf256::from_u64(2), Gf256::from_u64(5)]);
         assert!(!a.is_square());
         assert!(Matrix::<Gf256>::identity(4).is_square());
@@ -481,7 +484,10 @@ mod tests {
         let a = m(2, 3, &[0; 6]);
         let b = m(2, 3, &[0; 6]);
         assert!(matches!(a.mul_mat(&b), Err(MatrixError::ShapeMismatch { .. })));
-        assert!(matches!(a.mul_vec(&[Gf256::ZERO; 2]), Err(MatrixError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.mul_vec(&[Gf256::ZERO; 2]),
+            Err(MatrixError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -506,7 +512,10 @@ mod tests {
             a.select_rows(&[5]),
             Err(MatrixError::IndexOutOfRange { index: 5, bound: 3 })
         ));
-        assert!(matches!(a.select_cols(&[9]), Err(MatrixError::IndexOutOfRange { .. })));
+        assert!(matches!(
+            a.select_cols(&[9]),
+            Err(MatrixError::IndexOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -33,10 +33,7 @@ pub fn rref<F: GaloisField>(m: &Matrix<F>) -> Echelon<F> {
             continue;
         };
         a.swap_rows(pivot_row, src);
-        let inv = a
-            .get(pivot_row, col)
-            .inv()
-            .expect("pivot chosen to be non-zero");
+        let inv = a.get(pivot_row, col).inv().expect("pivot chosen to be non-zero");
         a.scale_row(pivot_row, inv);
         for r in 0..rows {
             if r != pivot_row {
@@ -162,7 +159,7 @@ pub fn solve_consistent<F: GaloisField>(a: &Matrix<F>, b: &[F]) -> Option<Vec<F>
     let ech = rref(&aug);
     let n = a.cols();
     // Inconsistent if some pivot lies in the augmented column.
-    if ech.pivot_cols.iter().any(|&c| c == n) {
+    if ech.pivot_cols.contains(&n) {
         return None;
     }
     // Underdetermined if fewer pivots than unknowns.

@@ -11,17 +11,22 @@ fn gf256() -> impl Strategy<Value = Gf256> {
     (0u64..256).prop_map(Gf256::from_u64)
 }
 
-fn matrix(rows: core::ops::Range<usize>, cols: core::ops::Range<usize>) -> impl Strategy<Value = Matrix<Gf256>> {
+fn matrix(
+    rows: core::ops::Range<usize>,
+    cols: core::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix<Gf256>> {
     (rows, cols).prop_flat_map(|(r, c)| {
-        prop::collection::vec(gf256(), r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("generated data has matching length"))
+        prop::collection::vec(gf256(), r * c).prop_map(move |data| {
+            Matrix::from_vec(r, c, data).expect("generated data has matching length")
+        })
     })
 }
 
 fn square_matrix(max: usize) -> impl Strategy<Value = Matrix<Gf256>> {
     (1..=max).prop_flat_map(|n| {
-        prop::collection::vec(gf256(), n * n)
-            .prop_map(move |data| Matrix::from_vec(n, n, data).expect("generated data has matching length"))
+        prop::collection::vec(gf256(), n * n).prop_map(move |data| {
+            Matrix::from_vec(n, n, data).expect("generated data has matching length")
+        })
     })
 }
 

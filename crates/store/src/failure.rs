@@ -16,7 +16,9 @@ pub struct FailurePattern {
 impl FailurePattern {
     /// The all-alive pattern.
     pub fn none(n: usize) -> Self {
-        Self { failed: vec![false; n] }
+        Self {
+            failed: vec![false; n],
+        }
     }
 
     /// A pattern with exactly the listed nodes failed.
@@ -37,13 +39,17 @@ impl FailurePattern {
     /// exhaustive enumerations.
     pub fn from_mask(n: usize, mask: u64) -> Self {
         assert!(n <= 64, "mask-based patterns support at most 64 nodes");
-        Self { failed: (0..n).map(|i| mask & (1 << i) != 0).collect() }
+        Self {
+            failed: (0..n).map(|i| mask & (1 << i) != 0).collect(),
+        }
     }
 
     /// Samples a pattern where each node fails independently with
     /// probability `p`.
     pub fn sample<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Self {
-        Self { failed: (0..n).map(|_| rng.gen::<f64>() < p).collect() }
+        Self {
+            failed: (0..n).map(|_| rng.gen::<f64>() < p).collect(),
+        }
     }
 
     /// Number of nodes covered by the pattern.

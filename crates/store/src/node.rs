@@ -27,7 +27,12 @@ pub struct StorageNode<F> {
 impl<F: GaloisField> StorageNode<F> {
     /// Creates an empty, healthy node.
     pub fn new(id: usize) -> Self {
-        Self { id, alive: true, symbols: BTreeMap::new(), reads: 0 }
+        Self {
+            id,
+            alive: true,
+            symbols: BTreeMap::new(),
+            reads: 0,
+        }
     }
 
     /// The node's identifier within its cluster.
@@ -104,7 +109,10 @@ mod tests {
         let mut node: StorageNode<Gf256> = StorageNode::new(3);
         assert_eq!(node.id(), 3);
         assert!(node.is_alive());
-        let key = SymbolKey { entry: 0, position: 2 };
+        let key = SymbolKey {
+            entry: 0,
+            position: 2,
+        };
         assert_eq!(node.read(key), None);
         assert_eq!(node.reads(), 0);
         node.put(key, Gf256::from_u64(9));
@@ -119,7 +127,10 @@ mod tests {
     #[test]
     fn failed_node_serves_nothing() {
         let mut node: StorageNode<Gf256> = StorageNode::new(0);
-        let key = SymbolKey { entry: 1, position: 0 };
+        let key = SymbolKey {
+            entry: 1,
+            position: 0,
+        };
         node.put(key, Gf256::ONE);
         node.fail();
         assert!(!node.is_alive());

@@ -77,7 +77,11 @@ impl Placement {
     /// Panics if the key is outside the placement (entry or position too
     /// large).
     pub fn node_for(&self, key: SymbolKey) -> usize {
-        assert!(key.position < self.n, "symbol position {} out of range", key.position);
+        assert!(
+            key.position < self.n,
+            "symbol position {} out of range",
+            key.position
+        );
         assert!(
             key.entry < self.entries.max(1),
             "entry {} out of range for {} entries",
@@ -114,7 +118,13 @@ mod tests {
         assert_eq!(p.node_count(), 6);
         assert_eq!(p.nodes_for_entry(0), vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(p.nodes_for_entry(4), vec![0, 1, 2, 3, 4, 5]);
-        assert_eq!(p.node_for(SymbolKey { entry: 3, position: 2 }), 2);
+        assert_eq!(
+            p.node_for(SymbolKey {
+                entry: 3,
+                position: 2
+            }),
+            2
+        );
         assert_eq!(p.strategy(), PlacementStrategy::Colocated);
         assert_eq!(p.codeword_len(), 6);
         assert_eq!(p.entries(), 5);
@@ -152,7 +162,10 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_position_panics() {
         let p = Placement::new(PlacementStrategy::Colocated, 4, 1);
-        let _ = p.node_for(SymbolKey { entry: 0, position: 4 });
+        let _ = p.node_for(SymbolKey {
+            entry: 0,
+            position: 4,
+        });
     }
 
     #[test]

@@ -7,9 +7,7 @@ use rand::Rng;
 use sec_erasure::read_plan::{plan_read, DecodeMethod, ReadTarget};
 use sec_erasure::CodeError;
 use sec_gf::GaloisField;
-use sec_versioning::{
-    EncodingStrategy, StoredPayload, VersionedArchive, VersioningError,
-};
+use sec_versioning::{EncodingStrategy, StoredPayload, VersionedArchive, VersioningError};
 
 use crate::failure::FailurePattern;
 use crate::metrics::IoMetrics;
@@ -41,11 +39,17 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Unrecoverable { entry } => {
-                write!(f, "archive entry {entry} is unrecoverable with the current failures")
+                write!(
+                    f,
+                    "archive entry {entry} is unrecoverable with the current failures"
+                )
             }
             StoreError::Versioning(e) => write!(f, "versioning error: {e}"),
             StoreError::Code(e) => write!(f, "coding error: {e}"),
-            StoreError::ArchiveMismatch { provisioned, supplied } => write!(
+            StoreError::ArchiveMismatch {
+                provisioned,
+                supplied,
+            } => write!(
                 f,
                 "store was provisioned for {provisioned} entries but the archive has {supplied}"
             ),
@@ -126,7 +130,10 @@ impl<F: GaloisField> DistributedStore<F> {
     fn write_archive(&mut self, archive: &VersionedArchive<F>) {
         for (entry_idx, (_, codeword)) in Self::entry_list(archive).iter().enumerate() {
             for (position, &symbol) in codeword.iter().enumerate() {
-                let key = SymbolKey { entry: entry_idx, position };
+                let key = SymbolKey {
+                    entry: entry_idx,
+                    position,
+                };
                 let node = self.placement.node_for(key);
                 self.nodes[node].put(key, symbol);
                 self.metrics.symbol_writes += 1;
@@ -249,7 +256,10 @@ impl<F: GaloisField> DistributedStore<F> {
 
         let mut shares = Vec::with_capacity(plan.nodes.len());
         for &position in &plan.nodes {
-            let key = SymbolKey { entry: entry_idx, position };
+            let key = SymbolKey {
+                entry: entry_idx,
+                position,
+            };
             let node = self.placement.node_for(key);
             match self.nodes[node].read(key) {
                 Some(symbol) => {
@@ -304,7 +314,10 @@ impl<F: GaloisField> DistributedStore<F> {
         match archive.config().strategy() {
             EncodingStrategy::NonDifferential => {
                 let (reads, data) = self.read_entry(archive, l - 1, entries[l - 1].0)?;
-                Ok(StoredRetrieval { data, io_reads: reads })
+                Ok(StoredRetrieval {
+                    data,
+                    io_reads: reads,
+                })
             }
             EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
                 let anchor = entries[..l]
@@ -359,7 +372,10 @@ impl<F: GaloisField> DistributedStore<F> {
         let mut to_rebuild = Vec::new();
         for entry_idx in 0..entries.len() {
             for position in 0..code.n() {
-                let key = SymbolKey { entry: entry_idx, position };
+                let key = SymbolKey {
+                    entry: entry_idx,
+                    position,
+                };
                 if self.placement.node_for(key) == node_id {
                     to_rebuild.push(key);
                 }
@@ -378,7 +394,10 @@ impl<F: GaloisField> DistributedStore<F> {
             }
             let mut shares = Vec::with_capacity(code.k());
             for &position in live.iter().take(code.k()) {
-                let skey = SymbolKey { entry: key.entry, position };
+                let skey = SymbolKey {
+                    entry: key.entry,
+                    position,
+                };
                 let node = self.placement.node_for(skey);
                 let symbol = self.nodes[node]
                     .read(skey)
@@ -519,7 +538,10 @@ mod tests {
         if store.archive_recoverable(&archive) {
             assert_eq!(store.retrieve_version(&archive, 3).unwrap().data, vs[2]);
         } else {
-            assert!(store.retrieve_version(&archive, 1).is_err() || store.retrieve_version(&archive, 3).is_err());
+            assert!(
+                store.retrieve_version(&archive, 1).is_err()
+                    || store.retrieve_version(&archive, 3).is_err()
+            );
         }
         // Reviving everything restores service.
         store.apply_pattern(&FailurePattern::none(6));
@@ -573,9 +595,14 @@ mod tests {
         store.reset_metrics();
         assert_eq!(store.metrics(), IoMetrics::default());
         // Display impls.
-        assert!(StoreError::Unrecoverable { entry: 2 }.to_string().contains("entry 2"));
-        assert!(StoreError::ArchiveMismatch { provisioned: 1, supplied: 2 }
+        assert!(StoreError::Unrecoverable { entry: 2 }
             .to_string()
-            .contains("provisioned"));
+            .contains("entry 2"));
+        assert!(StoreError::ArchiveMismatch {
+            provisioned: 1,
+            supplied: 2
+        }
+        .to_string()
+        .contains("provisioned"));
     }
 }

@@ -59,7 +59,11 @@ impl ArchiveConfig {
         form: GeneratorForm,
         strategy: EncodingStrategy,
     ) -> Result<Self, VersioningError> {
-        Ok(Self { params: CodeParams::new(n, k)?, form, strategy })
+        Ok(Self {
+            params: CodeParams::new(n, k)?,
+            form,
+            strategy,
+        })
     }
 
     /// The `(n, k)` code parameters.
@@ -223,7 +227,10 @@ impl<F: GaloisField> VersionedArchive<F> {
     pub fn append_version(&mut self, version: &[F]) -> Result<VersionId, VersioningError> {
         let k = self.config.params.k;
         if version.len() != k {
-            return Err(VersioningError::ObjectLengthMismatch { expected: k, actual: version.len() });
+            return Err(VersioningError::ObjectLengthMismatch {
+                expected: k,
+                actual: version.len(),
+            });
         }
         let id = VersionId(self.versions + 1);
 
@@ -260,7 +267,10 @@ impl<F: GaloisField> VersionedArchive<F> {
                 EncodingStrategy::BasicSec => {
                     let codeword = self.code.encode(delta.data())?;
                     self.entries.push(EncodedEntry {
-                        payload: StoredPayload::Delta { to: id.0, sparsity: gamma },
+                        payload: StoredPayload::Delta {
+                            to: id.0,
+                            sparsity: gamma,
+                        },
                         codeword,
                     });
                 }
@@ -274,7 +284,10 @@ impl<F: GaloisField> VersionedArchive<F> {
                     } else {
                         let codeword = self.code.encode(delta.data())?;
                         self.entries.push(EncodedEntry {
-                            payload: StoredPayload::Delta { to: id.0, sparsity: gamma },
+                            payload: StoredPayload::Delta {
+                                to: id.0,
+                                sparsity: gamma,
+                            },
                             codeword,
                         });
                     }
@@ -283,7 +296,10 @@ impl<F: GaloisField> VersionedArchive<F> {
                     // Store the delta and refresh the full latest copy.
                     let codeword = self.code.encode(delta.data())?;
                     self.entries.push(EncodedEntry {
-                        payload: StoredPayload::Delta { to: id.0, sparsity: gamma },
+                        payload: StoredPayload::Delta {
+                            to: id.0,
+                            sparsity: gamma,
+                        },
                         codeword,
                     });
                     let full = self.code.encode(version)?;
@@ -351,7 +367,9 @@ mod tests {
         assert_eq!(config.form(), GeneratorForm::Systematic);
         assert_eq!(config.strategy(), EncodingStrategy::BasicSec);
         assert_eq!(config.io_model().full_object_reads(), 3);
-        assert!(ArchiveConfig::new(3, 3, GeneratorForm::Systematic, EncodingStrategy::BasicSec).is_err());
+        assert!(
+            ArchiveConfig::new(3, 3, GeneratorForm::Systematic, EncodingStrategy::BasicSec).is_err()
+        );
         assert_eq!(format!("{}", EncodingStrategy::OptimizedSec), "optimized-sec");
     }
 
@@ -399,7 +417,10 @@ mod tests {
         a.append_all(&versions).unwrap();
         // Entries are the two deltas; latest_full encodes version 3.
         assert_eq!(a.entries().len(), 2);
-        assert!(matches!(a.entries()[0].payload, StoredPayload::Delta { to: 2, sparsity: 1 }));
+        assert!(matches!(
+            a.entries()[0].payload,
+            StoredPayload::Delta { to: 2, sparsity: 1 }
+        ));
         let latest = a.latest_full_entry().unwrap();
         assert_eq!(latest.payload, StoredPayload::FullVersion { version: 3 });
         // The full copy decodes to version 3.
@@ -426,7 +447,10 @@ mod tests {
         let mut a = archive(EncodingStrategy::BasicSec);
         assert!(matches!(
             a.append_version(&obj(&[1, 2])),
-            Err(VersioningError::ObjectLengthMismatch { expected: 3, actual: 2 })
+            Err(VersioningError::ObjectLengthMismatch {
+                expected: 3,
+                actual: 2
+            })
         ));
         assert!(matches!(a.append_all(&[]), Err(VersioningError::EmptyArchive)));
     }

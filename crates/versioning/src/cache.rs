@@ -21,7 +21,11 @@ pub struct LatestVersionCache<F> {
 impl<F: GaloisField> LatestVersionCache<F> {
     /// Creates an empty cache.
     pub fn new() -> Self {
-        Self { entry: None, hits: 0, misses: 0 }
+        Self {
+            entry: None,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Replaces the cached version.

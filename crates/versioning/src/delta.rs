@@ -200,7 +200,12 @@ mod tests {
     fn sparsity_profile_of_sequence() {
         // Reproduces the §III-D example profile {3, 8, 3, 6} on k = 10.
         let mut versions = vec![obj(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10])];
-        let edits: [&[usize]; 4] = [&[0, 1, 2], &[0, 1, 2, 3, 4, 5, 6, 7], &[3, 4, 5], &[0, 2, 4, 6, 8, 9]];
+        let edits: [&[usize]; 4] = [
+            &[0, 1, 2],
+            &[0, 1, 2, 3, 4, 5, 6, 7],
+            &[3, 4, 5],
+            &[0, 2, 4, 6, 8, 9],
+        ];
         for positions in edits {
             let mut next = versions.last().unwrap().clone();
             for &p in positions {

@@ -40,14 +40,26 @@ impl fmt::Display for VersioningError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VersioningError::ObjectLengthMismatch { expected, actual } => {
-                write!(f, "version has {actual} symbols but the archive stores {expected}-symbol objects")
+                write!(
+                    f,
+                    "version has {actual} symbols but the archive stores {expected}-symbol objects"
+                )
             }
             VersioningError::NoSuchVersion { requested, available } => {
-                write!(f, "version {requested} does not exist ({available} versions archived)")
+                write!(
+                    f,
+                    "version {requested} does not exist ({available} versions archived)"
+                )
             }
             VersioningError::EmptyArchive => write!(f, "the archive holds no versions"),
-            VersioningError::ObjectTooLarge { max_bytes, actual_bytes } => {
-                write!(f, "object of {actual_bytes} bytes exceeds the {max_bytes}-byte capacity")
+            VersioningError::ObjectTooLarge {
+                max_bytes,
+                actual_bytes,
+            } => {
+                write!(
+                    f,
+                    "object of {actual_bytes} bytes exceeds the {max_bytes}-byte capacity"
+                )
             }
             VersioningError::Code(err) => write!(f, "erasure coding error: {err}"),
         }
@@ -75,16 +87,25 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(VersioningError::ObjectLengthMismatch { expected: 3, actual: 5 }
-            .to_string()
-            .contains("3-symbol"));
-        assert!(VersioningError::NoSuchVersion { requested: 7, available: 2 }
-            .to_string()
-            .contains("7"));
+        assert!(VersioningError::ObjectLengthMismatch {
+            expected: 3,
+            actual: 5
+        }
+        .to_string()
+        .contains("3-symbol"));
+        assert!(VersioningError::NoSuchVersion {
+            requested: 7,
+            available: 2
+        }
+        .to_string()
+        .contains("7"));
         assert!(VersioningError::EmptyArchive.to_string().contains("no versions"));
-        assert!(VersioningError::ObjectTooLarge { max_bytes: 10, actual_bytes: 20 }
-            .to_string()
-            .contains("20 bytes"));
+        assert!(VersioningError::ObjectTooLarge {
+            max_bytes: 10,
+            actual_bytes: 20
+        }
+        .to_string()
+        .contains("20 bytes"));
         let wrapped = VersioningError::from(CodeError::UndecodableShareSet);
         assert!(wrapped.to_string().contains("erasure coding"));
         use std::error::Error;

@@ -121,7 +121,10 @@ impl IoModel {
             EncodingStrategy::NonDifferential => k,
             EncodingStrategy::BasicSec => {
                 // η(x_l) = k + Σ_{j=2}^{l} min(2γ_j, k).
-                k + sparsity[..l - 1].iter().map(|&g| self.delta_reads(g)).sum::<usize>()
+                k + sparsity[..l - 1]
+                    .iter()
+                    .map(|&g| self.delta_reads(g))
+                    .sum::<usize>()
             }
             EncodingStrategy::OptimizedSec => {
                 // l' = most recent version ≤ l stored in full.
@@ -159,7 +162,10 @@ impl IoModel {
                 // optimized strategy stores full objects exactly where the
                 // delta would have cost k anyway, so the totals coincide
                 // (paper, §III-D).
-                k + sparsity[..l - 1].iter().map(|&g| self.delta_reads(g)).sum::<usize>()
+                k + sparsity[..l - 1]
+                    .iter()
+                    .map(|&g| self.delta_reads(g))
+                    .sum::<usize>()
             }
             EncodingStrategy::ReversedSec => {
                 // Reading versions 1..l requires the latest copy plus every
@@ -215,11 +221,17 @@ mod tests {
         let m = model_20_10();
         let expect = [10, 16, 26, 32, 42];
         for (l, &e) in expect.iter().enumerate() {
-            assert_eq!(m.version_reads(EncodingStrategy::BasicSec, &PAPER_PROFILE, l + 1), e);
+            assert_eq!(
+                m.version_reads(EncodingStrategy::BasicSec, &PAPER_PROFILE, l + 1),
+                e
+            );
         }
         // Total to read all five versions: 42 vs 50 non-differential (20% saving).
         assert_eq!(m.prefix_reads(EncodingStrategy::BasicSec, &PAPER_PROFILE, 5), 42);
-        assert_eq!(m.prefix_reads(EncodingStrategy::NonDifferential, &PAPER_PROFILE, 5), 50);
+        assert_eq!(
+            m.prefix_reads(EncodingStrategy::NonDifferential, &PAPER_PROFILE, 5),
+            50
+        );
     }
 
     #[test]
@@ -250,8 +262,14 @@ mod tests {
     fn non_differential_reads_are_flat() {
         let m = model_20_10();
         for l in 1..=5 {
-            assert_eq!(m.version_reads(EncodingStrategy::NonDifferential, &PAPER_PROFILE, l), 10);
-            assert_eq!(m.prefix_reads(EncodingStrategy::NonDifferential, &PAPER_PROFILE, l), 10 * l);
+            assert_eq!(
+                m.version_reads(EncodingStrategy::NonDifferential, &PAPER_PROFILE, l),
+                10
+            );
+            assert_eq!(
+                m.prefix_reads(EncodingStrategy::NonDifferential, &PAPER_PROFILE, l),
+                10 * l
+            );
         }
     }
 
@@ -259,14 +277,29 @@ mod tests {
     fn reversed_sec_favours_latest_version() {
         let m = model_20_10();
         // Latest version: just the full copy.
-        assert_eq!(m.version_reads(EncodingStrategy::ReversedSec, &PAPER_PROFILE, 5), 10);
+        assert_eq!(
+            m.version_reads(EncodingStrategy::ReversedSec, &PAPER_PROFILE, 5),
+            10
+        );
         // Version 1 needs the full copy plus all deltas: 10 + 6 + 10 + 6 + 10 = 42.
-        assert_eq!(m.version_reads(EncodingStrategy::ReversedSec, &PAPER_PROFILE, 1), 42);
+        assert_eq!(
+            m.version_reads(EncodingStrategy::ReversedSec, &PAPER_PROFILE, 1),
+            42
+        );
         // Version 4 needs the full copy plus z5: 10 + 10 = 20.
-        assert_eq!(m.version_reads(EncodingStrategy::ReversedSec, &PAPER_PROFILE, 4), 20);
+        assert_eq!(
+            m.version_reads(EncodingStrategy::ReversedSec, &PAPER_PROFILE, 4),
+            20
+        );
         // Prefix retrieval reads everything regardless of l.
-        assert_eq!(m.prefix_reads(EncodingStrategy::ReversedSec, &PAPER_PROFILE, 1), 42);
-        assert_eq!(m.prefix_reads(EncodingStrategy::ReversedSec, &PAPER_PROFILE, 5), 42);
+        assert_eq!(
+            m.prefix_reads(EncodingStrategy::ReversedSec, &PAPER_PROFILE, 1),
+            42
+        );
+        assert_eq!(
+            m.prefix_reads(EncodingStrategy::ReversedSec, &PAPER_PROFILE, 5),
+            42
+        );
         // Entry reads: full copy + per-delta costs.
         assert_eq!(
             m.entry_reads(EncodingStrategy::ReversedSec, &PAPER_PROFILE),

@@ -196,7 +196,10 @@ mod tests {
         let codec = ObjectCodec::new(3);
         assert!(matches!(
             codec.bytes_to_object::<Gf256>(b"toolong"),
-            Err(VersioningError::ObjectTooLarge { max_bytes: 3, actual_bytes: 7 })
+            Err(VersioningError::ObjectTooLarge {
+                max_bytes: 3,
+                actual_bytes: 7
+            })
         ));
         let obj = vec![Gf256::ZERO; 3];
         assert!(matches!(
@@ -204,7 +207,7 @@ mod tests {
             Err(VersioningError::ObjectTooLarge { .. })
         ));
         assert!(matches!(
-            codec.object_to_bytes(&vec![Gf256::ZERO; 2], 1),
+            codec.object_to_bytes(&[Gf256::ZERO; 2], 1),
             Err(VersioningError::ObjectLengthMismatch { .. })
         ));
     }

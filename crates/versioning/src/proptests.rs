@@ -17,16 +17,13 @@ const K: usize = 6;
 /// per-version edit sets (position, new value).
 fn history() -> impl Strategy<Value = Vec<Vec<Gf256>>> {
     let base = prop::collection::vec((0u64..256).prop_map(Gf256::from_u64), K);
-    let edits = prop::collection::vec(
-        prop::collection::vec((0usize..K, 1u64..256), 1..=K),
-        1..6,
-    );
+    let edits = prop::collection::vec(prop::collection::vec((0usize..K, 1u64..256), 1..=K), 1..6);
     (base, edits).prop_map(|(base, edits)| {
         let mut versions = vec![base];
         for edit_set in edits {
             let mut next = versions.last().expect("non-empty").clone();
             for (pos, val) in edit_set {
-                next[pos] = next[pos] + Gf256::from_u64(val);
+                next[pos] += Gf256::from_u64(val);
             }
             versions.push(next);
         }

@@ -71,7 +71,11 @@ impl<F: GaloisField> VersionedArchive<F> {
                     io_reads += r.io_reads;
                     versions.push(r.data);
                 }
-                Ok(PrefixRetrieval { versions, io_reads, entries_read: l })
+                Ok(PrefixRetrieval {
+                    versions,
+                    io_reads,
+                    entries_read: l,
+                })
             }
             EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
                 // Walk forward from x_1, decoding every stored entry up to l.
@@ -91,23 +95,27 @@ impl<F: GaloisField> VersionedArchive<F> {
                     };
                     versions.push(version);
                 }
-                Ok(PrefixRetrieval { versions, io_reads, entries_read: l })
+                Ok(PrefixRetrieval {
+                    versions,
+                    io_reads,
+                    entries_read: l,
+                })
             }
             EncodingStrategy::ReversedSec => {
                 // Reconstruct every version from the latest full copy
                 // backwards, then keep the first l.
                 let total = self.len();
                 let mut io_reads = 0;
-                let latest_entry = self
-                    .latest_full_entry()
-                    .ok_or(VersioningError::EmptyArchive)?;
+                let latest_entry = self.latest_full_entry().ok_or(VersioningError::EmptyArchive)?;
                 let (reads, latest) = self.decode_entry(latest_entry)?;
                 io_reads += reads;
                 let mut versions_rev = vec![latest];
                 for entry in self.entries().iter().rev() {
                     let (reads, decoded) = self.decode_entry(entry)?;
                     io_reads += reads;
-                    let newer = versions_rev.last().expect("at least the latest version is present");
+                    let newer = versions_rev
+                        .last()
+                        .expect("at least the latest version is present");
                     let older = Delta::from_vec(decoded).unapply(newer)?;
                     versions_rev.push(older);
                 }
@@ -128,7 +136,10 @@ impl<F: GaloisField> VersionedArchive<F> {
             return Err(VersioningError::EmptyArchive);
         }
         if l == 0 || l > self.len() {
-            return Err(VersioningError::NoSuchVersion { requested: l, available: self.len() });
+            return Err(VersioningError::NoSuchVersion {
+                requested: l,
+                available: self.len(),
+            });
         }
         Ok(())
     }
@@ -154,7 +165,12 @@ impl<F: GaloisField> VersionedArchive<F> {
     fn retrieve_non_differential(&self, l: usize) -> Result<VersionRetrieval<F>, VersioningError> {
         let entry = &self.entries()[l - 1];
         let (io_reads, data) = self.decode_entry(entry)?;
-        Ok(VersionRetrieval { version: l, data, io_reads, entries_read: 1 })
+        Ok(VersionRetrieval {
+            version: l,
+            data,
+            io_reads,
+            entries_read: 1,
+        })
     }
 
     /// Basic / Optimized retrieval: decode from the nearest preceding full
@@ -177,7 +193,12 @@ impl<F: GaloisField> VersionedArchive<F> {
             entries_read += 1;
             data = Delta::from_vec(decoded).apply(&data)?;
         }
-        Ok(VersionRetrieval { version: l, data, io_reads, entries_read })
+        Ok(VersionRetrieval {
+            version: l,
+            data,
+            io_reads,
+            entries_read,
+        })
     }
 
     /// Reversed retrieval: decode the latest full copy and un-apply deltas
@@ -193,7 +214,12 @@ impl<F: GaloisField> VersionedArchive<F> {
             entries_read += 1;
             data = Delta::from_vec(decoded).unapply(&data)?;
         }
-        Ok(VersionRetrieval { version: l, data, io_reads, entries_read })
+        Ok(VersionRetrieval {
+            version: l,
+            data,
+            io_reads,
+            entries_read,
+        })
     }
 }
 
@@ -209,7 +235,12 @@ mod tests {
         let k = 10;
         let base: Vec<Gf1024> = (0..k as u64).map(|v| Gf1024::from_u64(v + 1)).collect();
         let mut versions = vec![base];
-        let edits: [&[usize]; 4] = [&[0, 1, 2], &[0, 1, 2, 3, 4, 5, 6, 7], &[3, 4, 5], &[0, 2, 4, 6, 8, 9]];
+        let edits: [&[usize]; 4] = [
+            &[0, 1, 2],
+            &[0, 1, 2, 3, 4, 5, 6, 7],
+            &[3, 4, 5],
+            &[0, 2, 4, 6, 8, 9],
+        ];
         for positions in edits {
             let mut next = versions.last().unwrap().clone();
             for &p in positions {
@@ -220,7 +251,10 @@ mod tests {
         versions
     }
 
-    fn build(strategy: EncodingStrategy, form: GeneratorForm) -> (VersionedArchive<Gf1024>, Vec<Vec<Gf1024>>) {
+    fn build(
+        strategy: EncodingStrategy,
+        form: GeneratorForm,
+    ) -> (VersionedArchive<Gf1024>, Vec<Vec<Gf1024>>) {
         let config = ArchiveConfig::new(20, 10, form, strategy).unwrap();
         let mut archive = VersionedArchive::new(config).unwrap();
         let versions = paper_versions();
@@ -325,16 +359,25 @@ mod tests {
 
     #[test]
     fn retrieval_error_paths() {
-        let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
-            .unwrap();
+        let config =
+            ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec).unwrap();
         let empty: VersionedArchive<Gf1024> = VersionedArchive::new(config).unwrap();
-        assert!(matches!(empty.retrieve_version(1), Err(VersioningError::EmptyArchive)));
-        assert!(matches!(empty.retrieve_prefix(1), Err(VersioningError::EmptyArchive)));
+        assert!(matches!(
+            empty.retrieve_version(1),
+            Err(VersioningError::EmptyArchive)
+        ));
+        assert!(matches!(
+            empty.retrieve_prefix(1),
+            Err(VersioningError::EmptyArchive)
+        ));
 
         let (archive, _) = build(EncodingStrategy::BasicSec, GeneratorForm::NonSystematic);
         assert!(matches!(
             archive.retrieve_version(0),
-            Err(VersioningError::NoSuchVersion { requested: 0, available: 5 })
+            Err(VersioningError::NoSuchVersion {
+                requested: 0,
+                available: 5
+            })
         ));
         assert!(matches!(
             archive.retrieve_version(6),
@@ -344,8 +387,8 @@ mod tests {
 
     #[test]
     fn identical_consecutive_versions_cost_no_delta_reads() {
-        let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
-            .unwrap();
+        let config =
+            ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec).unwrap();
         let mut archive: VersionedArchive<Gf1024> = VersionedArchive::new(config).unwrap();
         let v: Vec<Gf1024> = vec![Gf1024::from_u64(5); 3];
         archive.append_version(&v).unwrap();

@@ -33,7 +33,9 @@ impl fmt::Display for PmfError {
             PmfError::InvalidParameter { name, value } => {
                 write!(f, "parameter {name} must be positive and finite, got {value}")
             }
-            PmfError::InvalidWeights => write!(f, "weights must be non-negative, finite and not all zero"),
+            PmfError::InvalidWeights => {
+                write!(f, "weights must be non-negative, finite and not all zero")
+            }
         }
     }
 }
@@ -58,8 +60,11 @@ impl SparsityPmf {
     /// Returns [`PmfError::InvalidParameter`] for non-positive or non-finite
     /// `alpha`, and [`PmfError::EmptySupport`] for `k = 0`.
     pub fn truncated_exponential(alpha: f64, k: usize) -> Result<Self, PmfError> {
-        if !(alpha > 0.0) || !alpha.is_finite() {
-            return Err(PmfError::InvalidParameter { name: "alpha", value: alpha });
+        if alpha <= 0.0 || !alpha.is_finite() {
+            return Err(PmfError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+            });
         }
         let weights: Vec<f64> = (1..=k).map(|g| (-alpha * g as f64).exp()).collect();
         Self::from_weights_internal(weights, format!("truncated-exponential(alpha={alpha})"))
@@ -73,8 +78,11 @@ impl SparsityPmf {
     /// Returns [`PmfError::InvalidParameter`] for non-positive or non-finite
     /// `lambda`, and [`PmfError::EmptySupport`] for `k = 0`.
     pub fn truncated_poisson(lambda: f64, k: usize) -> Result<Self, PmfError> {
-        if !(lambda > 0.0) || !lambda.is_finite() {
-            return Err(PmfError::InvalidParameter { name: "lambda", value: lambda });
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(PmfError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+            });
         }
         let mut weights = Vec::with_capacity(k);
         let mut factorial = 1.0f64;
@@ -186,11 +194,7 @@ impl SparsityPmf {
     /// This is the workhorse of the expected-I/O analysis: e.g.
     /// `E[min(2Γ, k)]` is the expected delta-read cost.
     pub fn expect(&self, mut f: impl FnMut(usize) -> f64) -> f64 {
-        self.probs
-            .iter()
-            .enumerate()
-            .map(|(i, p)| p * f(i + 1))
-            .sum()
+        self.probs.iter().enumerate().map(|(i, p)| p * f(i + 1)).sum()
     }
 
     /// Draws one sparsity level according to the PMF.
@@ -285,7 +289,10 @@ mod tests {
             SparsityPmf::from_weights(vec![1.0, -1.0]),
             Err(PmfError::InvalidWeights)
         ));
-        assert!(matches!(SparsityPmf::from_samples(&[], 3), Err(PmfError::EmptySupport)));
+        assert!(matches!(
+            SparsityPmf::from_samples(&[], 3),
+            Err(PmfError::EmptySupport)
+        ));
     }
 
     #[test]

@@ -59,7 +59,11 @@ pub struct TraceConfig {
 impl TraceConfig {
     /// Convenience constructor.
     pub fn new(object_len: usize, versions: usize, model: EditModel) -> Self {
-        Self { object_len, versions, model }
+        Self {
+            object_len,
+            versions,
+            model,
+        }
     }
 }
 
@@ -97,11 +101,7 @@ impl<F: GaloisField> VersionTrace<F> {
                 let delta = random_nonzero_symbol(rng);
                 next[pos] = prev[pos] + delta;
             }
-            let gamma = next
-                .iter()
-                .zip(&prev)
-                .filter(|(a, b)| a != b)
-                .count();
+            let gamma = next.iter().zip(&prev).filter(|(a, b)| a != b).count();
             sparsity.push(gamma);
             versions.push(next);
         }

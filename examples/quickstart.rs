@@ -22,12 +22,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     v3[2] = Gf1024::from_u64(333);
 
     archive.append_all(&[v1.clone(), v2.clone(), v3.clone()])?;
-    println!("archived {} versions, sparsity profile {:?}", archive.len(), archive.sparsity_profile());
+    println!(
+        "archived {} versions, sparsity profile {:?}",
+        archive.len(),
+        archive.sparsity_profile()
+    );
 
     // Retrieve each version and the whole history.
     for l in 1..=3 {
         let r = archive.retrieve_version(l)?;
-        println!("version {l}: {} I/O reads, {} entries touched", r.io_reads, r.entries_read);
+        println!(
+            "version {l}: {} I/O reads, {} entries touched",
+            r.io_reads, r.entries_read
+        );
     }
     let all = archive.retrieve_prefix(3)?;
     assert_eq!(all.versions, vec![v1, v2, v3]);

@@ -6,16 +6,17 @@
 //!
 //! Run with `cargo run --example resilience_planner -- [p]` (default p = 0.05).
 
-use sec::analysis::availability::{
-    colocated_availability, dispersed_availability, nines, Scheme,
-};
+use sec::analysis::availability::{colocated_availability, dispersed_availability, nines, Scheme};
 use sec::analysis::io::{average_io_exact, IoScheme};
 use sec::analysis::resilience::{prob_lose_full, prob_lose_sparse_exact};
 use sec::gf::Gf1024;
 use sec::{GeneratorForm, SecCode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let p: f64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(0.05);
+    let p: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
     let (n, k) = (10usize, 5usize);
     let sparsity = [1usize, 2, 1]; // four versions with three small deltas
 
@@ -39,9 +40,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         nines(colocated_availability(&non_systematic, p))
     );
     for (label, code, scheme) in [
-        ("dispersed, non-systematic SEC", &non_systematic, Scheme::NonSystematicSec),
+        (
+            "dispersed, non-systematic SEC",
+            &non_systematic,
+            Scheme::NonSystematicSec,
+        ),
         ("dispersed, systematic SEC", &systematic, Scheme::SystematicSec),
-        ("dispersed, non-differential", &non_systematic, Scheme::NonDifferential),
+        (
+            "dispersed, non-differential",
+            &non_systematic,
+            Scheme::NonDifferential,
+        ),
     ] {
         println!(
             "  {label:<34}: {:.2}",
@@ -51,7 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\naverage I/O reads to fetch a sparse delta (eq. 21):");
     for gamma in 1..=2usize {
-        let ns = average_io_exact(&non_systematic, IoScheme::Sec(GeneratorForm::NonSystematic), gamma, p);
+        let ns = average_io_exact(
+            &non_systematic,
+            IoScheme::Sec(GeneratorForm::NonSystematic),
+            gamma,
+            p,
+        );
         let sys = average_io_exact(&systematic, IoScheme::Sec(GeneratorForm::Systematic), gamma, p);
         let nd = average_io_exact(&non_systematic, IoScheme::NonDifferential, gamma, p);
         println!(

@@ -55,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\nafter 5 node failures the archive is {}recoverable",
-        if store.archive_recoverable(&archive) { "" } else { "NOT " }
+        if store.archive_recoverable(&archive) {
+            ""
+        } else {
+            "NOT "
+        }
     );
     let recovered = store.retrieve_version(&archive, archive.len())?;
     assert_eq!(&recovered.data, trace.versions.last().expect("non-empty trace"));

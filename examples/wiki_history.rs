@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = IoModel::new(sec::CodeParams::new(n, k)?, GeneratorForm::NonSystematic);
 
     println!("expected I/O for two versions of an {k}-symbol article, ({n},{k}) code:\n");
-    println!("{:<34} {:>16} {:>14}", "sparsity model", "expected reads", "reduction %");
+    println!(
+        "{:<34} {:>16} {:>14}",
+        "sparsity model", "expected reads", "reduction %"
+    );
     for &alpha in &[0.2, 0.8, 1.6] {
         let pmf = SparsityPmf::truncated_exponential(alpha, k)?;
         println!(

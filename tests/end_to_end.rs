@@ -70,7 +70,9 @@ fn measured_io_matches_model_on_pmf_driven_trace() {
     assert_eq!(archive.sparsity_profile(), trace.sparsity.as_slice());
 
     let model = archive.config().io_model();
-    let measured = archive.retrieve_prefix(archive.len()).expect("retrieval succeeds");
+    let measured = archive
+        .retrieve_prefix(archive.len())
+        .expect("retrieval succeeds");
     let predicted = model.prefix_reads(EncodingStrategy::BasicSec, &trace.sparsity, archive.len());
     assert_eq!(measured.io_reads, predicted);
     assert!(measured.io_reads <= archive.len() * 10);
@@ -88,7 +90,9 @@ fn paper_running_example_end_to_end() {
     for form in [GeneratorForm::Systematic, GeneratorForm::NonSystematic] {
         let config = ArchiveConfig::new(6, 3, form, EncodingStrategy::BasicSec).expect("valid (6,3)");
         let mut archive: VersionedArchive<Gf1024> = VersionedArchive::new(config).expect("builds");
-        archive.append_all(&[x1.clone(), x2.clone()]).expect("append succeeds");
+        archive
+            .append_all(&[x1.clone(), x2.clone()])
+            .expect("append succeeds");
         let both = archive.retrieve_prefix(2).expect("retrieval succeeds");
         assert_eq!(both.io_reads, 5, "{form:?}");
         assert_eq!(both.versions, vec![x1.clone(), x2.clone()]);
@@ -114,14 +118,21 @@ fn simulator_agrees_with_analytical_availability() {
     let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
         .expect("valid (6,3)");
     let mut archive: VersionedArchive<Gf1024> = VersionedArchive::new(config).expect("builds");
-    archive.append_all(&[x1.clone(), x2.clone()]).expect("append succeeds");
+    archive
+        .append_all(&[x1.clone(), x2.clone()])
+        .expect("append succeeds");
 
     let mut recoverable_patterns = 0usize;
     for pattern in enumerate_patterns(6) {
         let mut store = DistributedStore::colocated(&archive);
         store.apply_pattern(&pattern);
         let recoverable = store.archive_recoverable(&archive);
-        assert_eq!(recoverable, pattern.live_count() >= 3, "pattern {:?}", pattern.failed_nodes());
+        assert_eq!(
+            recoverable,
+            pattern.live_count() >= 3,
+            "pattern {:?}",
+            pattern.failed_nodes()
+        );
         if recoverable {
             recoverable_patterns += 1;
             // And retrieval really works when the model says it should.

@@ -1,0 +1,117 @@
+//! Smoke test for the `sec` facade crate: every advertised re-export must be
+//! reachable through `sec::...` paths alone, and the re-exported types must
+//! interoperate end-to-end (encode → store → fail → retrieve → analyze).
+
+use sec::analysis::patterns::census;
+use sec::erasure::{CodeError, DecodeMethod, ReadPlan, ReadTarget, ReplicationCode, Share};
+use sec::gf::{GaloisField, Gf1024, Gf16, Gf256, Gf65536, Poly};
+use sec::linalg::{cauchy::cauchy_matrix, checks, Matrix, MatrixError};
+use sec::store::{FailurePattern, IoMetrics, Placement, StorageNode, StoredRetrieval};
+use sec::versioning::{PrefixRetrieval, VersionRetrieval, VersioningError};
+use sec::workload::{EditModel, TraceConfig, VersionTrace};
+use sec::{
+    ArchiveConfig, CodeParams, DistributedStore, EncodingStrategy, GeneratorForm, IoModel,
+    PlacementStrategy, SecCode, SparsityPmf, VersionedArchive,
+};
+
+/// Every crate-root re-export participates in one end-to-end flow.
+#[test]
+fn facade_types_interoperate_end_to_end() {
+    // erasure: code construction + direct encode/decode via facade paths.
+    let code: SecCode<Gf256> = SecCode::cauchy(6, 3, GeneratorForm::NonSystematic).expect("code builds");
+    let params: CodeParams = code.params();
+    assert_eq!((params.n, params.k), (6, 3));
+    let delta = vec![Gf256::from_u64(42), Gf256::ZERO, Gf256::ZERO];
+    let codeword = code.encode(&delta).expect("encode");
+    let shares: Vec<Share<Gf256>> = vec![(5, codeword[5]), (2, codeword[2])];
+    assert_eq!(code.decode_sparse(&shares, 1).expect("sparse decode"), delta);
+
+    // versioning: archive two versions, check the io model agrees.
+    let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
+        .expect("valid config");
+    let mut archive: VersionedArchive<Gf1024> = VersionedArchive::new(config).expect("archive");
+    let v1: Vec<Gf1024> = [3u64, 1, 4].iter().map(|&v| Gf1024::from_u64(v)).collect();
+    let mut v2 = v1.clone();
+    v2[1] = Gf1024::from_u64(59);
+    archive.append_all(&[v1.clone(), v2.clone()]).expect("append");
+    let prefix: PrefixRetrieval<Gf1024> = archive.retrieve_prefix(2).expect("prefix");
+    assert_eq!(prefix.io_reads, 5); // k + 2γ = 3 + 2
+    let model: IoModel = archive.config().io_model();
+    assert_eq!(
+        model.prefix_reads(EncodingStrategy::BasicSec, archive.sparsity_profile(), 2),
+        prefix.io_reads
+    );
+
+    // store: colocated placement, node failures, failure-aware retrieval.
+    let mut store: DistributedStore<Gf1024> =
+        DistributedStore::new(&archive, PlacementStrategy::Colocated);
+    store.fail_node(0);
+    let retrieved: StoredRetrieval<Gf1024> = store.retrieve_version(&archive, 2).expect("retrieve");
+    assert_eq!(retrieved.data, v2);
+    let metrics: IoMetrics = store.metrics();
+    assert!(metrics.symbol_reads > 0);
+    let placement: Placement = store.placement();
+    assert_eq!(placement.strategy(), PlacementStrategy::Colocated);
+    let node: &StorageNode<Gf1024> = store.node(1).expect("node 1 exists");
+    assert!(node.is_alive());
+    let pattern = FailurePattern::none(store.node_count());
+    assert_eq!(pattern.failed_count(), 0);
+
+    // analysis: §IV-C pattern census through the facade path.
+    let census_ns = census(&code, 1);
+    assert_eq!(census_ns.total_patterns, 63);
+
+    // workload: PMFs and synthetic traces.
+    let pmf: SparsityPmf = SparsityPmf::truncated_exponential(0.6, 3).expect("pmf");
+    assert!((pmf.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    let trace_config = TraceConfig::new(3, 4, EditModel::Localized { max_run: 2 });
+    assert_eq!(trace_config.versions, 4);
+    let _: fn(&TraceConfig, &mut rand::rngs::StdRng) -> VersionTrace<Gf256> = VersionTrace::generate;
+}
+
+/// Re-exported auxiliary types and the whole-module re-exports stay reachable.
+#[test]
+fn facade_module_reexports_are_reachable() {
+    // gf: all four fields and polynomials.
+    assert_eq!(Gf16::ORDER, 16);
+    assert_eq!(Gf256::ORDER, 256);
+    assert_eq!(Gf1024::ORDER, 1024);
+    assert_eq!(Gf65536::ORDER, 65536);
+    let poly = Poly::new(vec![Gf256::ONE, Gf256::ONE]);
+    assert_eq!(poly.eval(Gf256::ONE), Gf256::ZERO); // 1 + x at x=1, char 2
+
+    // linalg: Cauchy construction satisfies both SEC criteria.
+    let g: Matrix<Gf256> = cauchy_matrix(6, 3).expect("cauchy");
+    assert!(checks::has_invertible_k_submatrix(&g));
+    let bad: Result<Matrix<Gf256>, MatrixError> = Matrix::from_vec(2, 2, vec![Gf256::ZERO]);
+    assert!(bad.is_err());
+
+    // erasure auxiliaries: baseline code, read planning vocabulary, errors.
+    let replication = ReplicationCode::new(3, 4).expect("replication code");
+    assert_eq!(replication.replicas(), 3);
+    assert_eq!(replication.io_reads(), 4);
+    let target = ReadTarget::Sparse { gamma: 1 };
+    assert!(matches!(target, ReadTarget::Sparse { gamma: 1 }));
+    let plan = ReadPlan {
+        nodes: vec![0, 1],
+        io_reads: 2,
+        method: DecodeMethod::SparseRecovery,
+    };
+    assert_eq!(plan.io_reads, 2);
+    let err: CodeError = CodeError::DataLengthMismatch {
+        expected: 3,
+        actual: 2,
+    };
+    assert!(!err.to_string().is_empty());
+
+    // versioning auxiliaries: error and retrieval types.
+    let config = ArchiveConfig::new(4, 2, GeneratorForm::Systematic, EncodingStrategy::NonDifferential)
+        .expect("valid config");
+    let mut archive: VersionedArchive<Gf256> = VersionedArchive::new(config).expect("archive");
+    let missing: Result<VersionRetrieval<Gf256>, VersioningError> = archive.retrieve_version(1);
+    assert!(missing.is_err());
+    archive
+        .append_version(&[Gf256::ONE, Gf256::ZERO])
+        .expect("append");
+    assert_eq!(archive.retrieve_version(1).expect("v1").io_reads, 2);
+}

@@ -79,12 +79,15 @@ fn fig4_and_fig5_average_io_curves() {
     let g1 = average_io_exact(&sys10, IoScheme::Sec(GeneratorForm::Systematic), 1, 0.2).average_reads;
     let g2 = average_io_exact(&sys10, IoScheme::Sec(GeneratorForm::Systematic), 2, 0.2).average_reads;
     assert!(g1 < 2.1, "gamma=1 average {g1}");
-    assert!(g2 >= 4.0 && g2 < 5.0, "gamma=2 average {g2}");
+    assert!((4.0..5.0).contains(&g2), "gamma=2 average {g2}");
 }
 
 #[test]
 fn fig6_and_fig7_expected_io_bands() {
-    let model = IoModel::new(CodeParams::new(6, 3).expect("valid"), GeneratorForm::NonSystematic);
+    let model = IoModel::new(
+        CodeParams::new(6, 3).expect("valid"),
+        GeneratorForm::NonSystematic,
+    );
     // Paper: 6–13/14% reduction for the exponential family, 0.5–4.5% for Poisson.
     let reductions: Vec<f64> = [0.1, 0.6, 1.1, 1.6]
         .iter()
@@ -108,7 +111,10 @@ fn fig6_and_fig7_expected_io_bands() {
 
 #[test]
 fn fig8_optimized_vs_basic_increase() {
-    let model = IoModel::new(CodeParams::new(6, 3).expect("valid"), GeneratorForm::NonSystematic);
+    let model = IoModel::new(
+        CodeParams::new(6, 3).expect("valid"),
+        GeneratorForm::NonSystematic,
+    );
     for &alpha in &[0.1, 0.6, 1.1, 1.6] {
         let pmf = SparsityPmf::truncated_exponential(alpha, 3).expect("pmf");
         let basic = second_version_increase_percent(&model, EncodingStrategy::BasicSec, &pmf);
@@ -122,7 +128,10 @@ fn fig8_optimized_vs_basic_increase() {
 
 #[test]
 fn fig9_io_read_series() {
-    let model = IoModel::new(CodeParams::new(20, 10).expect("valid"), GeneratorForm::NonSystematic);
+    let model = IoModel::new(
+        CodeParams::new(20, 10).expect("valid"),
+        GeneratorForm::NonSystematic,
+    );
     let profile = [3usize, 8, 3, 6];
     let basic: Vec<usize> = (1..=5)
         .map(|l| model.version_reads(EncodingStrategy::BasicSec, &profile, l))
@@ -141,6 +150,18 @@ fn fig9_io_read_series() {
 #[test]
 fn section_v_a_subset_counts() {
     let (ns, sys) = codes_6_3();
-    assert_eq!(CriteriaReport::for_code(&ns).gamma(1).expect("γ=1").qualifying_subsets, 15);
-    assert_eq!(CriteriaReport::for_code(&sys).gamma(1).expect("γ=1").qualifying_subsets, 3);
+    assert_eq!(
+        CriteriaReport::for_code(&ns)
+            .gamma(1)
+            .expect("γ=1")
+            .qualifying_subsets,
+        15
+    );
+    assert_eq!(
+        CriteriaReport::for_code(&sys)
+            .gamma(1)
+            .expect("γ=1")
+            .qualifying_subsets,
+        3
+    );
 }

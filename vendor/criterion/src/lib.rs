@@ -1,0 +1,241 @@
+//! Vendored, API-compatible subset of the `criterion` benchmarking crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the surface the SEC workspace's `benches/` use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! [`measurement::WallTime`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up
+//! briefly, then timed over a fixed wall-clock window, and the mean
+//! time per iteration (plus derived throughput, when set) is printed.
+//! There is no statistical analysis, outlier rejection, or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Measurement kinds (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement marker.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Per-benchmark throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration (binary units).
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal units).
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendered via `Display`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter (grouped under the group name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts both
+/// string literals and explicit ids.
+pub trait IntoBenchmarkId {
+    /// Converts to a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~20ms have passed to fill caches and tables.
+        let warmup_end = Instant::now() + Duration::from_millis(20);
+        while Instant::now() < warmup_end {
+            std::hint::black_box(routine());
+        }
+        // Measurement window.
+        let window = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= window {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let ns = bencher.ns_per_iter();
+    let time = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.2} Melem/s)", n as f64 / ns * 1_000.0)
+        }
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            format!("  ({:.2} MB/s)", n as f64 / ns * 1_000.0)
+        }
+        None => String::new(),
+    };
+    println!("{id:<60} {time:>12}/iter{rate}  [{} iters]", bencher.iters);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<M> {
+    name: String,
+    throughput: Option<Throughput>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<M> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&id, &bencher, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        report(&id, &bencher, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<measurement::WallTime> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id().id;
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&id, &bencher, None);
+        self
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
