@@ -1,0 +1,95 @@
+//! Byte-shard pipeline throughput under the criterion harness: the batched
+//! `GF(2^8)` fast path against the generic `Vec<Gf256>` reference, for the
+//! paper's `(6, 3)` code over 64 KiB shards.
+//!
+//! The `throughput` *binary* (`cargo run --release -p sec-bench --bin
+//! throughput`) covers the full `k × shard-size` matrix and emits
+//! `BENCH_throughput.json`; this harness keeps the headline comparisons
+//! runnable through `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sec_erasure::{shards, ByteCodec, ByteShards, GeneratorForm, SecCode};
+use sec_gf::{bulk, Gf256};
+
+const SHARD_BYTES: usize = 64 * 1024;
+const K: usize = 3;
+const N: usize = 6;
+
+fn test_object() -> Vec<u8> {
+    (0..K * SHARD_BYTES).map(|i| (i * 131 + 89) as u8).collect()
+}
+
+fn bench_byte_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput_encode_6x3_64k");
+    group.throughput(Throughput::Bytes((K * SHARD_BYTES) as u64));
+
+    let code: SecCode<Gf256> = SecCode::cauchy(N, K, GeneratorForm::NonSystematic).unwrap();
+    let data = ByteShards::from_flat(&test_object(), K);
+    let mut codec = ByteCodec::new(code.clone());
+    let mut out = ByteShards::zeroed(N, SHARD_BYTES);
+    group.bench_function("byte_pipeline", |b| {
+        b.iter(|| {
+            codec
+                .encode_blocks_into(std::hint::black_box(&data), &mut out)
+                .unwrap()
+        });
+    });
+
+    let sym_data: Vec<Vec<Gf256>> = (0..K).map(|i| bulk::bytes_to_symbols(data.shard(i))).collect();
+    group.bench_function("generic_bulk", |b| {
+        b.iter(|| shards::encode_shards(&code, std::hint::black_box(&sym_data)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_byte_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput_decode_6x3_64k");
+    group.throughput(Throughput::Bytes((K * SHARD_BYTES) as u64));
+
+    let code: SecCode<Gf256> = SecCode::cauchy(N, K, GeneratorForm::NonSystematic).unwrap();
+    let mut codec = ByteCodec::new(code.clone());
+    let data = ByteShards::from_flat(&test_object(), K);
+    let coded = codec.encode_blocks(&data).unwrap();
+    let byte_shares: Vec<(usize, &[u8])> = [1usize, 3, 5].iter().map(|&i| (i, coded.shard(i))).collect();
+    group.bench_function("byte_pipeline", |b| {
+        b.iter(|| codec.decode_blocks(std::hint::black_box(&byte_shares)).unwrap());
+    });
+
+    let sym_coded: Vec<Vec<Gf256>> = (0..N).map(|i| bulk::bytes_to_symbols(coded.shard(i))).collect();
+    let sym_shares: Vec<(usize, Vec<Gf256>)> = [1usize, 3, 5]
+        .iter()
+        .map(|&i| (i, sym_coded[i].clone()))
+        .collect();
+    group.bench_function("generic_bulk", |b| {
+        b.iter(|| shards::decode_shards(&code, std::hint::black_box(&sym_shares)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_sparse_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput_sparse_recover_6x3_64k");
+    group.throughput(Throughput::Bytes((K * SHARD_BYTES) as u64));
+
+    let code: SecCode<Gf256> = SecCode::cauchy(N, K, GeneratorForm::NonSystematic).unwrap();
+    let mut codec = ByteCodec::new(code);
+    let mut delta = ByteShards::zeroed(K, SHARD_BYTES);
+    delta.shard_mut(1).copy_from_slice(&test_object()[..SHARD_BYTES]);
+    let coded = codec.encode_blocks(&delta).unwrap();
+    let shares: Vec<(usize, &[u8])> = vec![(2, coded.shard(2)), (4, coded.shard(4))];
+    group.bench_function("byte_pipeline_2_reads", |b| {
+        b.iter(|| {
+            codec
+                .recover_sparse_blocks(std::hint::black_box(&shares), 1)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_byte_encode,
+    bench_byte_decode,
+    bench_sparse_recovery
+);
+criterion_main!(benches);

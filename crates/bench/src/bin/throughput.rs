@@ -1,0 +1,392 @@
+//! Byte-shard pipeline throughput: encode, full decode and `2γ` sparse
+//! recovery in MB/s, emitted as `BENCH_throughput.json` so later PRs have a
+//! perf trajectory to beat.
+//!
+//! Three implementations are measured for each `(n, k) = (2k, k)` Cauchy
+//! code, `k ∈ {3, 6, 12}`:
+//!
+//! * `byte` — the batched [`ByteCodec`] pipeline (split-table `GF(2^8)`
+//!   kernels over contiguous shards);
+//! * `generic-bulk` — the field-generic `Vec<Gf256>` shard path
+//!   (`shards::encode_shards` / `decode_shards`), the reference
+//!   implementation;
+//! * `per-symbol` — one `code.encode` / `code.decode_full` /
+//!   `code.decode_sparse` call per byte position, i.e. how the pre-fast-path
+//!   archive layers processed large objects. Only measured where it finishes
+//!   in reasonable time.
+//!
+//! Run with `cargo run --release -p sec-bench --bin throughput`. Pass
+//! `--smoke` for a quick CI-sized run (4 KiB shards only) and `--out <path>`
+//! to change the JSON destination.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use sec_erasure::{shards, ByteCodec, ByteShards, GeneratorForm, SecCode, Share};
+use sec_gf::{GaloisField, Gf256};
+
+/// One measured data point.
+struct Sample {
+    op: &'static str,
+    path: &'static str,
+    n: usize,
+    k: usize,
+    shard_bytes: usize,
+    ns_per_op: f64,
+    mb_per_s: f64,
+}
+
+/// Times `f` until `min_total` has elapsed or `max_iters` runs completed
+/// (after one untimed warm-up call), returning mean ns per call.
+fn measure<F: FnMut()>(mut f: F, min_total: Duration, max_iters: u64) -> f64 {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        f();
+        iters += 1;
+        if start.elapsed() >= min_total || iters >= max_iters {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Deterministic pseudo-random bytes (SplitMix64 stream).
+fn fill(buf: &mut [u8], mut seed: u64) {
+    for b in buf.iter_mut() {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        *b = (z >> 32) as u8;
+    }
+}
+
+fn mb_per_s(object_bytes: usize, ns: f64) -> f64 {
+    (object_bytes as f64 / 1e6) / (ns / 1e9)
+}
+
+struct Args {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        smoke: false,
+        out: "BENCH_throughput.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => out.smoke = true,
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out.out = path;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// The per-symbol baselines index by byte position into several parallel
+// buffers; an iterator rewrite would obscure what is deliberately the naive
+// reference loop.
+#[allow(clippy::too_many_lines, clippy::needless_range_loop)]
+fn main() -> std::io::Result<()> {
+    let args = parse_args();
+    let sizes: &[usize] = if args.smoke {
+        &[4096]
+    } else {
+        &[4096, 65536, 1 << 20]
+    };
+    let ks: &[usize] = &[3, 6, 12];
+    let min_total = if args.smoke {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(100)
+    };
+    let mut samples: Vec<Sample> = Vec::new();
+
+    for &k in ks {
+        let n = 2 * k;
+        let code: SecCode<Gf256> =
+            SecCode::cauchy(n, k, GeneratorForm::NonSystematic).expect("(2k,k) fits in GF(256)");
+        let mut codec = ByteCodec::new(code.clone());
+
+        for &shard_bytes in sizes {
+            let object_bytes = k * shard_bytes;
+            let mut object = vec![0u8; object_bytes];
+            fill(&mut object, (k * 1_000_003 + shard_bytes) as u64);
+            let data = ByteShards::from_flat(&object, k);
+            let gamma = 1usize;
+            let mut delta = ByteShards::zeroed(k, shard_bytes);
+            fill(delta.shard_mut(k / 2), 42);
+
+            // ---- byte path -------------------------------------------------
+            let coded = codec.encode_blocks(&data).expect("encode");
+            let coded_delta = codec.encode_blocks(&delta).expect("encode delta");
+            let mut out = ByteShards::zeroed(n, shard_bytes);
+            let ns = measure(
+                || codec.encode_blocks_into(&data, &mut out).expect("encode"),
+                min_total,
+                1000,
+            );
+            samples.push(Sample {
+                op: "encode",
+                path: "byte",
+                n,
+                k,
+                shard_bytes,
+                ns_per_op: ns,
+                mb_per_s: mb_per_s(object_bytes, ns),
+            });
+
+            let decode_rows: Vec<usize> = (k / 2..k / 2 + k).collect();
+            let byte_shares: Vec<(usize, &[u8])> =
+                decode_rows.iter().map(|&i| (i, coded.shard(i))).collect();
+            let ns = measure(
+                || {
+                    std::hint::black_box(codec.decode_blocks(&byte_shares).expect("decode"));
+                },
+                min_total,
+                1000,
+            );
+            samples.push(Sample {
+                op: "decode",
+                path: "byte",
+                n,
+                k,
+                shard_bytes,
+                ns_per_op: ns,
+                mb_per_s: mb_per_s(object_bytes, ns),
+            });
+
+            let sparse_rows: Vec<usize> = (0..2 * gamma).collect();
+            let sparse_shares: Vec<(usize, &[u8])> =
+                sparse_rows.iter().map(|&i| (i, coded_delta.shard(i))).collect();
+            let ns = measure(
+                || {
+                    std::hint::black_box(
+                        codec
+                            .recover_sparse_blocks(&sparse_shares, gamma)
+                            .expect("recover"),
+                    );
+                },
+                min_total,
+                1000,
+            );
+            samples.push(Sample {
+                op: "sparse_recover",
+                path: "byte",
+                n,
+                k,
+                shard_bytes,
+                ns_per_op: ns,
+                mb_per_s: mb_per_s(object_bytes, ns),
+            });
+
+            // ---- generic bulk path (scalar reference) ----------------------
+            let sym_data: Vec<Vec<Gf256>> = (0..k)
+                .map(|i| sec_gf::bulk::bytes_to_symbols(data.shard(i)))
+                .collect();
+            let ns = measure(
+                || {
+                    std::hint::black_box(shards::encode_shards(&code, &sym_data).expect("encode"));
+                },
+                min_total,
+                50,
+            );
+            samples.push(Sample {
+                op: "encode",
+                path: "generic-bulk",
+                n,
+                k,
+                shard_bytes,
+                ns_per_op: ns,
+                mb_per_s: mb_per_s(object_bytes, ns),
+            });
+
+            let sym_coded = shards::encode_shards(&code, &sym_data).expect("encode");
+            let sym_shares: Vec<(usize, Vec<Gf256>)> =
+                decode_rows.iter().map(|&i| (i, sym_coded[i].clone())).collect();
+            let ns = measure(
+                || {
+                    std::hint::black_box(shards::decode_shards(&code, &sym_shares).expect("decode"));
+                },
+                min_total,
+                50,
+            );
+            samples.push(Sample {
+                op: "decode",
+                path: "generic-bulk",
+                n,
+                k,
+                shard_bytes,
+                ns_per_op: ns,
+                mb_per_s: mb_per_s(object_bytes, ns),
+            });
+
+            // ---- per-symbol path (pre-fast-path behaviour) -----------------
+            // One matrix-vector product per byte position; decode even runs a
+            // matrix inversion per position. Restricted to configurations that
+            // complete in sensible time: encode everywhere it matters (k = 3
+            // carries the headline 1 MiB comparison), decode/sparse at 4 KiB.
+            if shard_bytes <= 65536 || k == 3 {
+                let ns = measure(
+                    || {
+                        let mut out = vec![vec![0u8; shard_bytes]; n];
+                        for position in 0..shard_bytes {
+                            let obj: Vec<Gf256> = (0..k)
+                                .map(|s| Gf256::from_u64(u64::from(data.shard(s)[position])))
+                                .collect();
+                            let codeword = code.encode(&obj).expect("encode");
+                            for (row, symbol) in codeword.iter().enumerate() {
+                                out[row][position] = symbol.to_u64() as u8;
+                            }
+                        }
+                        std::hint::black_box(out);
+                    },
+                    min_total,
+                    5,
+                );
+                samples.push(Sample {
+                    op: "encode",
+                    path: "per-symbol",
+                    n,
+                    k,
+                    shard_bytes,
+                    ns_per_op: ns,
+                    mb_per_s: mb_per_s(object_bytes, ns),
+                });
+            }
+            if shard_bytes == 4096 {
+                let ns = measure(
+                    || {
+                        let mut out = vec![vec![0u8; shard_bytes]; k];
+                        for position in 0..shard_bytes {
+                            let pos_shares: Vec<Share<Gf256>> = decode_rows
+                                .iter()
+                                .map(|&i| (i, Gf256::from_u64(u64::from(coded.shard(i)[position]))))
+                                .collect();
+                            let obj = code.decode_full(&pos_shares).expect("decode");
+                            for (row, symbol) in obj.iter().enumerate() {
+                                out[row][position] = symbol.to_u64() as u8;
+                            }
+                        }
+                        std::hint::black_box(out);
+                    },
+                    min_total,
+                    3,
+                );
+                samples.push(Sample {
+                    op: "decode",
+                    path: "per-symbol",
+                    n,
+                    k,
+                    shard_bytes,
+                    ns_per_op: ns,
+                    mb_per_s: mb_per_s(object_bytes, ns),
+                });
+
+                let ns = measure(
+                    || {
+                        let mut out = vec![vec![0u8; shard_bytes]; k];
+                        for position in 0..shard_bytes {
+                            let pos_shares: Vec<Share<Gf256>> = sparse_rows
+                                .iter()
+                                .map(|&i| {
+                                    (i, Gf256::from_u64(u64::from(coded_delta.shard(i)[position])))
+                                })
+                                .collect();
+                            let obj = code.decode_sparse(&pos_shares, gamma).expect("recover");
+                            for (row, symbol) in obj.iter().enumerate() {
+                                out[row][position] = symbol.to_u64() as u8;
+                            }
+                        }
+                        std::hint::black_box(out);
+                    },
+                    min_total,
+                    3,
+                );
+                samples.push(Sample {
+                    op: "sparse_recover",
+                    path: "per-symbol",
+                    n,
+                    k,
+                    shard_bytes,
+                    ns_per_op: ns,
+                    mb_per_s: mb_per_s(object_bytes, ns),
+                });
+            }
+        }
+    }
+
+    // Human-readable table.
+    println!(
+        "{:<16} {:<14} {:>4} {:>4} {:>12} {:>14} {:>12}",
+        "op", "path", "n", "k", "shard_bytes", "ns/op", "MB/s"
+    );
+    for s in &samples {
+        println!(
+            "{:<16} {:<14} {:>4} {:>4} {:>12} {:>14.0} {:>12.1}",
+            s.op, s.path, s.n, s.k, s.shard_bytes, s.ns_per_op, s.mb_per_s
+        );
+    }
+
+    // Headline speedup: byte vs per-symbol encode for the (6,3) code at the
+    // largest measured shard size.
+    let headline_size = *sizes.last().expect("at least one size");
+    let find = |path: &str| {
+        samples
+            .iter()
+            .find(|s| s.op == "encode" && s.path == path && s.k == 3 && s.shard_bytes == headline_size)
+    };
+    let speedup = match (find("byte"), find("per-symbol")) {
+        (Some(byte), Some(scalar)) => {
+            let speedup = scalar.ns_per_op / byte.ns_per_op;
+            println!(
+                "\n(6,3) encode @ {} B shards: byte path {:.1} MB/s vs per-symbol {:.1} MB/s → {speedup:.1}×",
+                headline_size, byte.mb_per_s, scalar.mb_per_s
+            );
+            Some(speedup)
+        }
+        _ => None,
+    };
+
+    // JSON emission (hand-rolled; the workspace has no serde).
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"schema\": \"sec-bench-throughput/v1\",").unwrap();
+    writeln!(json, "  \"smoke\": {},", args.smoke).unwrap();
+    writeln!(json, "  \"headline_shard_bytes\": {headline_size},").unwrap();
+    match speedup {
+        Some(s) => writeln!(json, "  \"encode_6_3_speedup_byte_vs_per_symbol\": {s:.3},").unwrap(),
+        None => writeln!(json, "  \"encode_6_3_speedup_byte_vs_per_symbol\": null,").unwrap(),
+    }
+    writeln!(json, "  \"results\": [").unwrap();
+    for (idx, s) in samples.iter().enumerate() {
+        let comma = if idx + 1 == samples.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"op\": \"{}\", \"path\": \"{}\", \"n\": {}, \"k\": {}, \"shard_bytes\": {}, \
+             \"object_bytes\": {}, \"ns_per_op\": {:.1}, \"mb_per_s\": {:.3}}}{comma}",
+            s.op,
+            s.path,
+            s.n,
+            s.k,
+            s.shard_bytes,
+            s.k * s.shard_bytes,
+            s.ns_per_op,
+            s.mb_per_s
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&args.out, json)?;
+    println!("(json written to {})", args.out);
+    Ok(())
+}

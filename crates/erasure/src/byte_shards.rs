@@ -1,0 +1,691 @@
+//! The byte-shard fast path: contiguous `GF(2^8)` shards and a batched
+//! encode / decode / sparse-recovery pipeline built on the
+//! [`bulk8`](sec_gf::bulk8) kernels.
+//!
+//! The generic [`shards`](crate::shards) module models a stored object as
+//! `Vec<Vec<F>>` — one heap vector per shard, one field element per symbol.
+//! That is the *reference implementation*: simple, field-generic, and slow.
+//! This module is the production-shaped equivalent for `GF(2^8)`:
+//!
+//! * [`ByteShards`] keeps all shards of an object in one contiguous byte
+//!   buffer, so a `(6, 3)` encode of a 1 MiB object streams cache lines
+//!   instead of chasing per-symbol allocations;
+//! * [`ByteCodec`] wraps a [`SecCode<Gf256>`] with a per-coefficient
+//!   multiplication-table cache and a reusable scratch arena, and exposes the
+//!   batched pipeline: [`ByteCodec::encode_blocks`],
+//!   [`ByteCodec::decode_blocks`] and [`ByteCodec::recover_sparse_blocks`].
+//!
+//! The differential property suite in `tests/byte_path_equiv.rs` locks every
+//! pipeline stage to the scalar reference: for any coefficients, shard sizes
+//! (including 0, 1 and non-multiple-of-64 lengths) and erasure patterns, the
+//! byte path produces byte-identical output.
+//!
+//! # Example
+//!
+//! ```rust
+//! use sec_erasure::{ByteCodec, ByteShards, GeneratorForm, SecCode};
+//!
+//! # fn main() -> Result<(), sec_erasure::CodeError> {
+//! let code = SecCode::cauchy(6, 3, GeneratorForm::NonSystematic)?;
+//! let mut codec = ByteCodec::new(code);
+//!
+//! let object = b"the quick brown fox jumps over the lazy dog";
+//! let data = ByteShards::from_flat(object, 3);
+//! let coded = codec.encode_blocks(&data)?;
+//!
+//! // Any k = 3 coded shards reconstruct the object.
+//! let shares: Vec<(usize, &[u8])> = [5, 1, 3].iter().map(|&i| (i, coded.shard(i))).collect();
+//! let decoded = codec.decode_blocks(&shares)?;
+//! assert_eq!(decoded.join(object.len()), object);
+//! # Ok(())
+//! # }
+//! ```
+
+use sec_gf::bulk8::{mul_multi, CoeffTables, MulTable};
+use sec_gf::{GaloisField, Gf256};
+use sec_linalg::combinatorics::Combinations;
+use sec_linalg::{ops, Matrix};
+
+use crate::code::SecCode;
+use crate::error::CodeError;
+
+/// A set of equally sized byte shards stored in one contiguous buffer.
+///
+/// Shard `i` occupies bytes `i·shard_len .. (i+1)·shard_len` of the backing
+/// buffer. The type is the byte-level analogue of the `Vec<Vec<F>>` shard
+/// lists used by the generic [`shards`](crate::shards) reference path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ByteShards {
+    shards: usize,
+    shard_len: usize,
+    data: Vec<u8>,
+}
+
+impl ByteShards {
+    /// Creates `shards` all-zero shards of `shard_len` bytes each.
+    pub fn zeroed(shards: usize, shard_len: usize) -> Self {
+        Self {
+            shards,
+            shard_len,
+            data: vec![0u8; shards * shard_len],
+        }
+    }
+
+    /// Splits a flat byte object into `k` equally sized shards, zero-padding
+    /// the tail — the byte-level analogue of
+    /// [`shards::split_into_shards`](crate::shards::split_into_shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn from_flat(object: &[u8], k: usize) -> Self {
+        assert!(k > 0, "cannot split into zero shards");
+        let shard_len = object.len().div_ceil(k);
+        let mut data = object.to_vec();
+        data.resize(k * shard_len, 0);
+        Self {
+            shards: k,
+            shard_len,
+            data,
+        }
+    }
+
+    /// Builds shards from per-shard row vectors, validating equal lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::ShardSizeMismatch`] when the rows are ragged.
+    pub fn from_rows(rows: &[Vec<u8>]) -> Result<Self, CodeError> {
+        let shard_len = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * shard_len);
+        for row in rows {
+            if row.len() != shard_len {
+                return Err(CodeError::ShardSizeMismatch {
+                    expected: shard_len,
+                    actual: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            shards: rows.len(),
+            shard_len,
+            data,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Length of each shard in bytes.
+    pub fn shard_len(&self) -> usize {
+        self.shard_len
+    }
+
+    /// Total number of stored bytes (`shard_count · shard_len`).
+    pub fn total_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Shard `i` as a byte slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard(&self, i: usize) -> &[u8] {
+        assert!(i < self.shards, "shard index {i} out of range ({})", self.shards);
+        &self.data[i * self.shard_len..(i + 1) * self.shard_len]
+    }
+
+    /// Mutable access to shard `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_mut(&mut self, i: usize) -> &mut [u8] {
+        assert!(i < self.shards, "shard index {i} out of range ({})", self.shards);
+        &mut self.data[i * self.shard_len..(i + 1) * self.shard_len]
+    }
+
+    /// The whole contiguous buffer (shard-major order).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Copies the shards out as per-shard row vectors (reference-path shape).
+    pub fn to_rows(&self) -> Vec<Vec<u8>> {
+        (0..self.shards).map(|i| self.shard(i).to_vec()).collect()
+    }
+
+    /// Reassembles the flat object, trimming zero padding down to
+    /// `original_len` bytes — the inverse of [`ByteShards::from_flat`].
+    pub fn join(&self, original_len: usize) -> Vec<u8> {
+        let mut out = self.data.clone();
+        out.truncate(original_len);
+        out
+    }
+
+    /// Number of non-zero shards — the per-block sparsity level `γ` of a
+    /// delta object (Definition 1 of the paper, lifted from symbols to
+    /// blocks).
+    pub fn weight(&self) -> usize {
+        (0..self.shards)
+            .filter(|&i| self.shard(i).iter().any(|&b| b != 0))
+            .count()
+    }
+
+    /// XORs `other` into `self` shard-by-shard — delta application in
+    /// characteristic two. Runs through the fallible `try_` kernel so a
+    /// corrupt shard length surfaces as an error instead of aborting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::ShardSizeMismatch`] when the shapes differ.
+    pub fn xor_with(&mut self, other: &ByteShards) -> Result<(), CodeError> {
+        if self.shards != other.shards {
+            return Err(CodeError::ShardSizeMismatch {
+                expected: self.shard_len,
+                actual: other.shard_len,
+            });
+        }
+        // Shard counts match, so a flat-length mismatch from the fallible
+        // kernel means the per-shard lengths differ; report those (the unit
+        // every other producer of this error uses).
+        sec_gf::bulk8::try_mul_add_slice(Gf256::ONE, &other.data, &mut self.data).map_err(|_| {
+            CodeError::ShardSizeMismatch {
+                expected: self.shard_len,
+                actual: other.shard_len,
+            }
+        })
+    }
+}
+
+/// Reusable buffers for the batched pipeline, so steady-state encode /
+/// decode / recovery performs no per-call row allocation.
+#[derive(Debug, Default)]
+struct ScratchArena {
+    /// One shard-sized row used for consistency checks in sparse recovery.
+    row: Vec<u8>,
+}
+
+impl ScratchArena {
+    /// A zeroed scratch row of exactly `len` bytes.
+    fn row(&mut self, len: usize) -> &mut [u8] {
+        self.row.clear();
+        self.row.resize(len, 0);
+        &mut self.row
+    }
+}
+
+/// Batched `GF(2^8)` encoder/decoder: a [`SecCode<Gf256>`] plus the
+/// per-coefficient table cache and scratch arena the byte kernels need.
+///
+/// Methods take `&mut self` because they reuse the internal scratch arena;
+/// create one codec per worker when parallelizing.
+#[derive(Debug)]
+pub struct ByteCodec {
+    code: SecCode<Gf256>,
+    tables: CoeffTables,
+    scratch: ScratchArena,
+}
+
+impl ByteCodec {
+    /// Wraps a `GF(2^8)` code in the byte-shard pipeline.
+    pub fn new(code: SecCode<Gf256>) -> Self {
+        Self {
+            code,
+            tables: CoeffTables::new(),
+            scratch: ScratchArena::default(),
+        }
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &SecCode<Gf256> {
+        &self.code
+    }
+
+    /// Encodes `k` data shards into `n` coded shards (`C = G · X` applied
+    /// block-wise), the batched analogue of
+    /// [`shards::encode_shards`](crate::shards::encode_shards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::DataLengthMismatch`] when `data` does not hold
+    /// exactly `k` shards.
+    pub fn encode_blocks(&mut self, data: &ByteShards) -> Result<ByteShards, CodeError> {
+        let mut out = ByteShards::zeroed(self.code.n(), data.shard_len());
+        self.encode_blocks_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`ByteCodec::encode_blocks`] but writes into a caller-provided
+    /// output, reusing its allocation across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::DataLengthMismatch`] for a wrong shard count and
+    /// [`CodeError::ShardSizeMismatch`] when `out` has the wrong shape.
+    pub fn encode_blocks_into(
+        &mut self,
+        data: &ByteShards,
+        out: &mut ByteShards,
+    ) -> Result<(), CodeError> {
+        let (n, k) = (self.code.n(), self.code.k());
+        if data.shard_count() != k {
+            return Err(CodeError::DataLengthMismatch {
+                expected: k,
+                actual: data.shard_count(),
+            });
+        }
+        if out.shard_count() != n || out.shard_len() != data.shard_len() {
+            return Err(CodeError::ShardSizeMismatch {
+                expected: n * data.shard_len(),
+                actual: out.total_len(),
+            });
+        }
+        let g = self.code.generator();
+        for row in 0..n {
+            // One fused pass per output row: zero coefficients are dropped and
+            // the surviving sources accumulate into a register-resident chunk.
+            let sources: Vec<(&MulTable, &[u8])> = (0..k)
+                .filter(|&col| !g.get(row, col).is_zero())
+                .map(|col| (self.tables.get(g.get(row, col)), data.shard(col)))
+                .collect();
+            let dst = &mut out.data[row * data.shard_len..(row + 1) * data.shard_len];
+            mul_multi(&sources, dst);
+        }
+        Ok(())
+    }
+
+    /// Decodes the original `k` data shards from any `k` (or more) coded
+    /// shards given with their node indices — the batched analogue of
+    /// [`shards::decode_shards`](crate::shards::decode_shards).
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::NotEnoughShares`] with fewer than `k` shards.
+    /// * [`CodeError::ShardSizeMismatch`] for ragged shard lengths.
+    /// * [`CodeError::ShareIndexOutOfRange`] / [`CodeError::DuplicateShare`]
+    ///   for malformed indices.
+    pub fn decode_blocks(&mut self, shares: &[(usize, &[u8])]) -> Result<ByteShards, CodeError> {
+        let k = self.code.k();
+        let shard_len = self.validate_shares(shares, k)?;
+
+        // Use the first k shards; the MDS property guarantees invertibility.
+        let rows: Vec<usize> = shares.iter().take(k).map(|&(i, _)| i).collect();
+        let sub = self.code.generator().select_rows(&rows)?;
+        let inv = ops::invert(&sub).map_err(|_| CodeError::UndecodableShareSet)?;
+
+        let mut out = ByteShards::zeroed(k, shard_len);
+        for row in 0..k {
+            let sources: Vec<(&MulTable, &[u8])> = shares
+                .iter()
+                .take(k)
+                .enumerate()
+                .filter(|&(col, _)| !inv.get(row, col).is_zero())
+                .map(|(col, &(_, shard))| (self.tables.get(inv.get(row, col)), shard))
+                .collect();
+            let dst = &mut out.data[row * shard_len..(row + 1) * shard_len];
+            mul_multi(&sources, dst);
+        }
+        Ok(out)
+    }
+
+    /// Recovers a block-level `γ`-sparse object (at most `γ` of its `k`
+    /// shards are non-zero) from `2γ` or more coded shards, the batched
+    /// analogue of [`SecCode::decode_sparse`].
+    ///
+    /// The candidate supports are searched in the same order as the scalar
+    /// reference ([`sparse::recover_sparse`](crate::sparse::recover_sparse)):
+    /// weights `0, 1, …, γ`, lexicographic supports within each weight, first
+    /// consistent solution wins.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::SparsityNotExploitable`] when `γ = 0` or `2γ ≥ k`.
+    /// * [`CodeError::NotEnoughShares`] with fewer than `2γ` shards.
+    /// * [`CodeError::SparseRecoveryFailed`] when no block-`γ`-sparse object
+    ///   is consistent with the shares.
+    /// * [`CodeError::ShardSizeMismatch`] and index errors as for
+    ///   [`ByteCodec::decode_blocks`].
+    pub fn recover_sparse_blocks(
+        &mut self,
+        shares: &[(usize, &[u8])],
+        gamma: usize,
+    ) -> Result<ByteShards, CodeError> {
+        let k = self.code.k();
+        if gamma == 0 || 2 * gamma >= k {
+            return Err(CodeError::SparsityNotExploitable { gamma, k });
+        }
+        let needed = 2 * gamma;
+        if shares.len() < needed {
+            return Err(CodeError::NotEnoughShares {
+                needed,
+                available: shares.len(),
+            });
+        }
+        let shard_len = self.validate_shares(shares, 0)?;
+
+        // Weight-0 fast path: an all-zero observation decodes to zero.
+        if shares.iter().all(|(_, s)| s.iter().all(|&b| b == 0)) {
+            return Ok(ByteShards::zeroed(k, shard_len));
+        }
+
+        let rows: Vec<usize> = shares.iter().map(|&(i, _)| i).collect();
+        let phi = self.code.generator().select_rows(&rows)?;
+        for weight in 1..=gamma.min(k) {
+            for support in Combinations::new(k, weight) {
+                if let Some(out) = self.try_support(&phi, shares, &support, shard_len) {
+                    return Ok(out);
+                }
+            }
+        }
+        Err(CodeError::SparseRecoveryFailed { gamma })
+    }
+
+    /// Attempts to explain the observed shards with non-zero blocks exactly
+    /// on `support`, returning the recovered object when the (overdetermined)
+    /// block system is consistent.
+    fn try_support(
+        &mut self,
+        phi: &Matrix<Gf256>,
+        shares: &[(usize, &[u8])],
+        support: &[usize],
+        shard_len: usize,
+    ) -> Option<ByteShards> {
+        let r = phi.rows();
+        let w = support.len();
+        let restricted = phi.select_cols(support).expect("support indices in range");
+
+        // Gauss-Jordan on the restricted matrix, tracking the row transform T
+        // so that T · restricted = [I_w ; 0]. The same T applied to the
+        // observed shards yields the candidate solution (rows 0..w) and the
+        // consistency residuals (rows w..r).
+        let mut a: Vec<Vec<Gf256>> = (0..r)
+            .map(|i| (0..w).map(|j| restricted.get(i, j)).collect())
+            .collect();
+        let mut t: Vec<Vec<Gf256>> = (0..r)
+            .map(|i| {
+                (0..r)
+                    .map(|j| if i == j { Gf256::ONE } else { Gf256::ZERO })
+                    .collect()
+            })
+            .collect();
+        for col in 0..w {
+            let pivot = (col..r).find(|&row| !a[row][col].is_zero())?;
+            a.swap(col, pivot);
+            t.swap(col, pivot);
+            let inv = a[col][col].inv().expect("pivot chosen non-zero");
+            for x in &mut a[col] {
+                *x *= inv;
+            }
+            for x in &mut t[col] {
+                *x *= inv;
+            }
+            let pivot_a = a[col].clone();
+            let pivot_t = t[col].clone();
+            for row in 0..r {
+                if row != col && !a[row][col].is_zero() {
+                    let factor = a[row][col];
+                    for (x, &p) in a[row].iter_mut().zip(&pivot_a) {
+                        *x += factor * p;
+                    }
+                    for (x, &p) in t[row].iter_mut().zip(&pivot_t) {
+                        *x += factor * p;
+                    }
+                }
+            }
+        }
+
+        // Consistency first: every eliminated (zero) row of T·restricted must
+        // map the observation to the zero shard.
+        for trow in t.iter().take(r).skip(w) {
+            let sources: Vec<(&MulTable, &[u8])> = trow
+                .iter()
+                .zip(shares)
+                .filter(|(coeff, _)| !coeff.is_zero())
+                .map(|(&coeff, &(_, shard))| (self.tables.get(coeff), shard))
+                .collect();
+            let residual = self.scratch.row(shard_len);
+            mul_multi(&sources, residual);
+            if residual.iter().any(|&b| b != 0) {
+                return None;
+            }
+        }
+
+        let k = self.code.k();
+        let mut out = ByteShards::zeroed(k, shard_len);
+        for (j, &col) in support.iter().enumerate() {
+            let sources: Vec<(&MulTable, &[u8])> = t[j]
+                .iter()
+                .zip(shares)
+                .filter(|(coeff, _)| !coeff.is_zero())
+                .map(|(&coeff, &(_, shard))| (self.tables.get(coeff), shard))
+                .collect();
+            let dst = &mut out.data[col * shard_len..(col + 1) * shard_len];
+            mul_multi(&sources, dst);
+        }
+        Some(out)
+    }
+
+    /// Validates indices (range, duplicates) and equal shard lengths,
+    /// returning the common length. With `min_shares > 0` also enforces a
+    /// minimum share count.
+    fn validate_shares(&self, shares: &[(usize, &[u8])], min_shares: usize) -> Result<usize, CodeError> {
+        let n = self.code.n();
+        if shares.len() < min_shares {
+            return Err(CodeError::NotEnoughShares {
+                needed: min_shares,
+                available: shares.len(),
+            });
+        }
+        let shard_len = shares.first().map_or(0, |(_, s)| s.len());
+        let mut seen = vec![false; n];
+        for &(idx, shard) in shares {
+            if idx >= n {
+                return Err(CodeError::ShareIndexOutOfRange { index: idx, n });
+            }
+            if seen[idx] {
+                return Err(CodeError::DuplicateShare { index: idx });
+            }
+            seen[idx] = true;
+            if shard.len() != shard_len {
+                return Err(CodeError::ShardSizeMismatch {
+                    expected: shard_len,
+                    actual: shard.len(),
+                });
+            }
+        }
+        Ok(shard_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::GeneratorForm;
+    use crate::shards;
+
+    fn codec(n: usize, k: usize, form: GeneratorForm) -> ByteCodec {
+        ByteCodec::new(SecCode::cauchy(n, k, form).unwrap())
+    }
+
+    fn object(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn byte_shards_shape_accessors() {
+        let s = ByteShards::from_flat(&object(10), 3);
+        assert_eq!(s.shard_count(), 3);
+        assert_eq!(s.shard_len(), 4);
+        assert_eq!(s.total_len(), 12);
+        assert_eq!(s.join(10), object(10));
+        assert_eq!(s.to_rows().len(), 3);
+        assert_eq!(s.as_bytes().len(), 12);
+        // Empty object: zero-length shards.
+        let empty = ByteShards::from_flat(&[], 4);
+        assert_eq!(empty.shard_count(), 4);
+        assert_eq!(empty.shard_len(), 0);
+        assert_eq!(empty.weight(), 0);
+    }
+
+    #[test]
+    fn byte_shards_from_rows_validates() {
+        assert!(ByteShards::from_rows(&[vec![1, 2], vec![3, 4]]).is_ok());
+        assert!(matches!(
+            ByteShards::from_rows(&[vec![1, 2], vec![3]]),
+            Err(CodeError::ShardSizeMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn byte_shards_weight_and_xor() {
+        let mut a = ByteShards::from_flat(&[0, 0, 5, 0, 0, 0], 3);
+        assert_eq!(a.weight(), 1);
+        let b = ByteShards::from_flat(&[1, 0, 5, 0, 0, 9], 3);
+        a.xor_with(&b).unwrap();
+        assert_eq!(a.as_bytes(), &[1, 0, 0, 0, 0, 9]);
+        assert_eq!(a.weight(), 2);
+        let ragged = ByteShards::from_flat(&[1, 2], 2);
+        assert!(a.xor_with(&ragged).is_err());
+    }
+
+    #[test]
+    fn encode_decode_round_trip_matches_reference() {
+        for form in [GeneratorForm::Systematic, GeneratorForm::NonSystematic] {
+            let mut codec = codec(6, 3, form);
+            let obj = object(100);
+            let data = ByteShards::from_flat(&obj, 3);
+            let coded = codec.encode_blocks(&data).unwrap();
+            assert_eq!(coded.shard_count(), 6);
+
+            // Reference: generic shard path over Gf256 symbols.
+            let ref_data: Vec<Vec<Gf256>> = data
+                .to_rows()
+                .iter()
+                .map(|row| sec_gf::bulk::bytes_to_symbols(row))
+                .collect();
+            let ref_coded = shards::encode_shards(codec.code(), &ref_data).unwrap();
+            for (i, ref_row) in ref_coded.iter().enumerate() {
+                assert_eq!(
+                    coded.shard(i),
+                    sec_gf::bulk::symbols_to_bytes(ref_row).as_slice(),
+                    "{form} row {i}"
+                );
+            }
+
+            let shares: Vec<(usize, &[u8])> = [4, 2, 5].iter().map(|&i| (i, coded.shard(i))).collect();
+            let decoded = codec.decode_blocks(&shares).unwrap();
+            assert_eq!(decoded.join(obj.len()), obj, "{form}");
+        }
+    }
+
+    #[test]
+    fn encode_blocks_into_reuses_output() {
+        let mut codec = codec(6, 3, GeneratorForm::NonSystematic);
+        let data = ByteShards::from_flat(&object(64), 3);
+        let mut out = ByteShards::zeroed(6, data.shard_len());
+        codec.encode_blocks_into(&data, &mut out).unwrap();
+        let fresh = codec.encode_blocks(&data).unwrap();
+        assert_eq!(out, fresh);
+        // Wrong output shape is rejected.
+        let mut bad = ByteShards::zeroed(5, data.shard_len());
+        assert!(matches!(
+            codec.encode_blocks_into(&data, &mut bad),
+            Err(CodeError::ShardSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sparse_recovery_of_block_sparse_delta() {
+        let mut codec = codec(6, 3, GeneratorForm::NonSystematic);
+        // 1-block-sparse delta: only the middle shard is non-zero.
+        let mut delta = ByteShards::zeroed(3, 33);
+        delta.shard_mut(1).copy_from_slice(&object(33));
+        let coded = codec.encode_blocks(&delta).unwrap();
+        for pair in sec_linalg::combinatorics::combinations(6, 2) {
+            let shares: Vec<(usize, &[u8])> = pair.iter().map(|&i| (i, coded.shard(i))).collect();
+            let recovered = codec.recover_sparse_blocks(&shares, 1).unwrap();
+            assert_eq!(recovered, delta, "rows {pair:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_recovery_zero_delta_and_failure() {
+        let mut codec = codec(6, 3, GeneratorForm::NonSystematic);
+        let zero = ByteShards::zeroed(6, 8);
+        let shares: Vec<(usize, &[u8])> = vec![(0, zero.shard(0)), (3, zero.shard(3))];
+        let recovered = codec.recover_sparse_blocks(&shares, 1).unwrap();
+        assert_eq!(recovered.weight(), 0);
+
+        // A dense (3-block) object cannot be explained as 1-sparse.
+        let dense = ByteShards::from_flat(&object(30), 3);
+        let coded = codec.encode_blocks(&dense).unwrap();
+        let shares: Vec<(usize, &[u8])> = vec![(0, coded.shard(0)), (1, coded.shard(1))];
+        match codec.recover_sparse_blocks(&shares, 1) {
+            Err(CodeError::SparseRecoveryFailed { gamma: 1 }) => {}
+            Ok(wrong) => assert_ne!(wrong, dense),
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_error_paths() {
+        let mut codec = codec(6, 3, GeneratorForm::NonSystematic);
+        let data = ByteShards::from_flat(&object(9), 3);
+        let coded = codec.encode_blocks(&data).unwrap();
+        assert!(matches!(
+            codec.encode_blocks(&ByteShards::from_flat(&object(9), 2)),
+            Err(CodeError::DataLengthMismatch {
+                expected: 3,
+                actual: 2
+            })
+        ));
+        assert!(matches!(
+            codec.decode_blocks(&[(0, coded.shard(0))]),
+            Err(CodeError::NotEnoughShares { .. })
+        ));
+        assert!(matches!(
+            codec.decode_blocks(&[(0, coded.shard(0)), (0, coded.shard(0)), (1, coded.shard(1))]),
+            Err(CodeError::DuplicateShare { index: 0 })
+        ));
+        assert!(matches!(
+            codec.decode_blocks(&[(9, coded.shard(0)), (1, coded.shard(1)), (2, coded.shard(2))]),
+            Err(CodeError::ShareIndexOutOfRange { index: 9, n: 6 })
+        ));
+        let short = [0u8; 1];
+        assert!(matches!(
+            codec.decode_blocks(&[(0, coded.shard(0)), (1, &short), (2, coded.shard(2))]),
+            Err(CodeError::ShardSizeMismatch { .. })
+        ));
+        assert!(matches!(
+            codec.recover_sparse_blocks(&[(0, coded.shard(0)), (1, coded.shard(1))], 0),
+            Err(CodeError::SparsityNotExploitable { gamma: 0, .. })
+        ));
+        assert!(matches!(
+            codec.recover_sparse_blocks(&[(0, coded.shard(0)), (1, coded.shard(1))], 2),
+            Err(CodeError::SparsityNotExploitable { gamma: 2, k: 3 })
+        ));
+        assert!(matches!(
+            codec.recover_sparse_blocks(&[(0, coded.shard(0))], 1),
+            Err(CodeError::NotEnoughShares { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_shards_round_trip() {
+        let mut codec = codec(6, 3, GeneratorForm::NonSystematic);
+        let data = ByteShards::zeroed(3, 0);
+        let coded = codec.encode_blocks(&data).unwrap();
+        assert_eq!(coded.shard_len(), 0);
+        let shares: Vec<(usize, &[u8])> = (0..3).map(|i| (i, coded.shard(i))).collect();
+        let decoded = codec.decode_blocks(&shares).unwrap();
+        assert_eq!(decoded.total_len(), 0);
+    }
+}

@@ -47,6 +47,7 @@ mod code;
 mod error;
 
 pub mod baseline;
+pub mod byte_shards;
 pub mod criteria;
 pub mod puncture;
 pub mod read_plan;
@@ -54,6 +55,7 @@ pub mod shards;
 pub mod sparse;
 
 pub use baseline::ReplicationCode;
+pub use byte_shards::{ByteCodec, ByteShards};
 pub use code::{CodeParams, GeneratorForm, SecCode, Share};
 pub use criteria::{CriteriaReport, GammaReport};
 pub use error::CodeError;

@@ -7,7 +7,36 @@
 //! loop — `dst += c * src` and friends — for any [`GaloisField`], so the
 //! erasure layer stays free of per-symbol call overhead in its hot path.
 
+use core::fmt;
+
 use crate::GaloisField;
+
+/// Error returned by the fallible (`try_`) bulk kernels when the destination
+/// and source shards differ in length.
+///
+/// The panicking kernels treat a length mismatch as a programming error; the
+/// `try_` variants exist for layers that process externally supplied (and
+/// possibly corrupt) shards, such as the storage simulator, where a bad shard
+/// length must surface as an error instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LengthMismatch {
+    /// Length of the destination shard.
+    pub expected: usize,
+    /// Length of the offending source shard.
+    pub actual: usize,
+}
+
+impl fmt::Display for LengthMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard length mismatch: destination holds {} symbols but source holds {}",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for LengthMismatch {}
 
 /// Computes `dst[i] += c * src[i]` for every position.
 ///
@@ -36,6 +65,24 @@ pub fn mul_add_assign<F: GaloisField>(dst: &mut [F], c: F, src: &[F]) {
     for (d, &s) in dst.iter_mut().zip(src) {
         *d += c * s;
     }
+}
+
+/// Fallible form of [`mul_add_assign`]: reports a length mismatch as an error
+/// instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`LengthMismatch`] when `dst` and `src` have different lengths; the
+/// destination is left untouched in that case.
+pub fn try_mul_add_assign<F: GaloisField>(dst: &mut [F], c: F, src: &[F]) -> Result<(), LengthMismatch> {
+    if dst.len() != src.len() {
+        return Err(LengthMismatch {
+            expected: dst.len(),
+            actual: src.len(),
+        });
+    }
+    mul_add_assign(dst, c, src);
+    Ok(())
 }
 
 /// Computes `dst[i] = c * src[i]` for every position.
@@ -183,10 +230,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "equally sized")]
+    #[should_panic(expected = "mul_add_assign requires equally sized shards (dst 1 vs src 2)")]
     fn mul_add_assign_length_mismatch_panics() {
         let mut dst = shard(&[1]);
         mul_add_assign(&mut dst, Gf256::ONE, &shard(&[1, 2]));
+    }
+
+    #[test]
+    fn try_mul_add_assign_returns_error_instead_of_panicking() {
+        let mut dst = shard(&[1, 2]);
+        let err = try_mul_add_assign(&mut dst, Gf256::ONE, &shard(&[1, 2, 3])).unwrap_err();
+        assert_eq!(
+            err,
+            LengthMismatch {
+                expected: 2,
+                actual: 3
+            }
+        );
+        assert!(err.to_string().contains("destination holds 2"));
+        // The destination is untouched after a rejected call.
+        assert_eq!(dst, shard(&[1, 2]));
+        try_mul_add_assign(&mut dst, Gf256::ONE, &shard(&[4, 5])).unwrap();
+        assert_eq!(dst, shard(&[1 ^ 4, 2 ^ 5]));
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * dense polynomial arithmetic over any such field ([`poly::Poly`]),
 //!   including Lagrange interpolation used by decoder tests,
 //! * bulk slice kernels ([`bulk`]) used by the erasure encoder to apply a
-//!   scalar coefficient to a whole block of symbols at once.
+//!   scalar coefficient to a whole block of symbols at once,
+//! * the byte-shard fast path ([`bulk8`]): split-table `GF(2^8)` kernels
+//!   operating directly on `&[u8]` shards in 64-byte chunks, with a
+//!   per-coefficient table cache. The generic [`bulk`] kernels remain the
+//!   scalar reference implementation the fast path is tested against.
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@ mod fields;
 mod tables;
 
 pub mod bulk;
+pub mod bulk8;
 pub mod poly;
 
 pub use field::GaloisField;

@@ -133,6 +133,67 @@ proptest! {
     }
 
     #[test]
+    fn bulk8_mul_slices_match_scalar_reference(
+        // Cover the awkward lengths explicitly: 0, 1, odd, and lengths that
+        // are not multiples of the 64-byte kernel chunk.
+        len in prop_oneof![Just(0usize), Just(1usize), Just(63usize), Just(65usize), 2usize..300],
+        c in 0u64..256,
+        seed in 0u64..u64::MAX,
+    ) {
+        let c = Gf256::from_u64(c);
+        let src: Vec<u8> = (0..len).map(|i| (seed.wrapping_mul(i as u64 + 1) >> 13) as u8).collect();
+        let init: Vec<u8> = (0..len).map(|i| (seed.wrapping_add(i as u64 * 7) >> 21) as u8).collect();
+
+        // Scalar reference: lift bytes to Gf256 and run the generic kernels.
+        let src_sym: Vec<Gf256> = crate::bulk::bytes_to_symbols(&src);
+        let mut ref_add: Vec<Gf256> = crate::bulk::bytes_to_symbols(&init);
+        crate::bulk::mul_add_assign(&mut ref_add, c, &src_sym);
+        let mut ref_mul = vec![Gf256::ZERO; len];
+        crate::bulk::mul_into(&mut ref_mul, c, &src_sym);
+
+        let tables = crate::bulk8::CoeffTables::new();
+        let mut fast_add = init.clone();
+        tables.mul_add_slice(c, &src, &mut fast_add);
+        prop_assert_eq!(&fast_add, &crate::bulk::symbols_to_bytes(&ref_add));
+        let mut fast_add2 = init.clone();
+        crate::bulk8::mul_add_slice(c, &src, &mut fast_add2);
+        prop_assert_eq!(&fast_add2, &fast_add);
+
+        let mut fast_mul = vec![0u8; len];
+        tables.mul_slice(c, &src, &mut fast_mul);
+        prop_assert_eq!(&fast_mul, &crate::bulk::symbols_to_bytes(&ref_mul));
+        let mut fast_mul2 = vec![0xFFu8; len];
+        crate::bulk8::mul_slice(c, &src, &mut fast_mul2);
+        prop_assert_eq!(fast_mul2, fast_mul);
+    }
+
+    #[test]
+    fn bulk8_xor_accumulate_matches_scalar_reference(
+        len in prop_oneof![Just(0usize), Just(1usize), Just(64usize), 2usize..200],
+        rows in 0usize..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let srcs: Vec<Vec<u8>> = (0..rows)
+            .map(|r| {
+                (0..len)
+                    .map(|i| (seed.wrapping_mul((r * 131 + i + 1) as u64) >> 17) as u8)
+                    .collect()
+            })
+            .collect();
+        let init: Vec<u8> = (0..len).map(|i| (seed.wrapping_add(i as u64) >> 9) as u8).collect();
+
+        let mut reference: Vec<Gf256> = crate::bulk::bytes_to_symbols(&init);
+        for src in &srcs {
+            crate::bulk::add_assign(&mut reference, &crate::bulk::bytes_to_symbols::<Gf256>(src));
+        }
+
+        let mut fast = init.clone();
+        let views: Vec<&[u8]> = srcs.iter().map(Vec::as_slice).collect();
+        crate::bulk8::xor_accumulate(&mut fast, &views);
+        prop_assert_eq!(fast, crate::bulk::symbols_to_bytes(&reference));
+    }
+
+    #[test]
     fn delta_weight_matches_positions_changed(
         base in prop::collection::vec(0u64..256, 1..64),
         edits in prop::collection::vec((0usize..64, 1u64..256), 0..16),

@@ -1,0 +1,556 @@
+//! The byte-shard fast path of the storage simulator: a
+//! [`ByteDistributedStore`] whose nodes hold whole coded byte blocks and
+//! whose retrieval decodes through the batched `GF(2^8)` pipeline.
+//!
+//! This is the production-shaped counterpart of the symbol-level
+//! [`DistributedStore`](crate::DistributedStore): each stored object of a
+//! [`ByteVersionedArchive`] contributes `n` coded blocks, block `i` lives on
+//! the node chosen by the [`Placement`], and a retrieval reads whole blocks
+//! from live nodes according to the SEC read plan (`2γ` block reads for an
+//! exploitable delta, `k` otherwise). Read counts are identical to the
+//! symbol-level model — one block read corresponds to one of the paper's
+//! disk I/O reads.
+//!
+//! Corrupt blocks (wrong length) surface as [`StoreError::Code`] rather than
+//! aborting the simulation: the decode pipeline validates shard lengths up
+//! front, and delta application runs through the fallible `try_` kernels.
+
+use rand::Rng;
+use sec_erasure::read_plan::{plan_read, DecodeMethod, ReadTarget};
+use sec_erasure::{ByteCodec, ByteShards};
+use sec_versioning::{ByteVersionedArchive, EncodingStrategy, StoredPayload, VersioningError};
+
+use crate::failure::FailurePattern;
+use crate::metrics::IoMetrics;
+use crate::node::{StorageNode, SymbolKey};
+use crate::placement::{Placement, PlacementStrategy};
+use crate::store::StoreError;
+
+/// Result of a failure-aware byte retrieval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteStoredRetrieval {
+    /// The recovered byte object (trimmed to the archive's object length).
+    pub data: Vec<u8>,
+    /// Blocks read from nodes to serve this retrieval.
+    pub io_reads: usize,
+}
+
+/// Archive byte blocks stored across simulated nodes under a placement
+/// strategy, with failure-aware retrieval through the batched pipeline.
+#[derive(Debug)]
+pub struct ByteDistributedStore {
+    codec: ByteCodec,
+    nodes: Vec<StorageNode<Vec<u8>>>,
+    placement: Placement,
+    metrics: IoMetrics,
+    object_len: usize,
+}
+
+impl ByteDistributedStore {
+    /// Builds a store for `archive` under the given placement and writes
+    /// every coded block to its node.
+    pub fn new(archive: &ByteVersionedArchive, strategy: PlacementStrategy) -> Self {
+        let entries = entry_list(archive);
+        let placement = Placement::new(strategy, archive.code().n(), entries.len().max(1));
+        let mut store = Self {
+            codec: ByteCodec::new(archive.code().clone()),
+            nodes: (0..placement.node_count()).map(StorageNode::new).collect(),
+            placement,
+            metrics: IoMetrics::new(),
+            object_len: archive.object_len().unwrap_or(0),
+        };
+        for (entry_idx, (_, shards)) in entries.iter().enumerate() {
+            for position in 0..shards.shard_count() {
+                let key = SymbolKey {
+                    entry: entry_idx,
+                    position,
+                };
+                let node = store.placement.node_for(key);
+                store.nodes[node].put(key, shards.shard(position).to_vec());
+                store.metrics.symbol_writes += 1;
+            }
+        }
+        store
+    }
+
+    /// Convenience constructor for colocated placement.
+    pub fn colocated(archive: &ByteVersionedArchive) -> Self {
+        Self::new(archive, PlacementStrategy::Colocated)
+    }
+
+    /// Convenience constructor for dispersed placement.
+    pub fn dispersed(archive: &ByteVersionedArchive) -> Self {
+        Self::new(archive, PlacementStrategy::Dispersed)
+    }
+
+    /// The placement in use.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Accumulated I/O metrics (`symbol_reads` counts block reads here).
+    pub fn metrics(&self) -> IoMetrics {
+        self.metrics
+    }
+
+    /// Resets the I/O metrics.
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node (for inspection in tests and experiments).
+    pub fn node(&self, id: usize) -> Option<&StorageNode<Vec<u8>>> {
+        self.nodes.get(id)
+    }
+
+    /// Marks a node failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn fail_node(&mut self, node: usize) {
+        self.nodes[node].fail();
+    }
+
+    /// Revives a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn revive_node(&mut self, node: usize) {
+        self.nodes[node].revive();
+    }
+
+    /// Applies a failure pattern over the whole cluster (shorter patterns
+    /// leave the remaining nodes untouched).
+    pub fn apply_pattern(&mut self, pattern: &FailurePattern) {
+        for (idx, node) in self.nodes.iter_mut().enumerate() {
+            if pattern.is_failed(idx) {
+                node.fail();
+            } else if idx < pattern.len() {
+                node.revive();
+            }
+        }
+    }
+
+    /// Fails each node independently with probability `p`.
+    pub fn fail_randomly<R: Rng + ?Sized>(&mut self, p: f64, rng: &mut R) -> FailurePattern {
+        let pattern = FailurePattern::sample(self.nodes.len(), p, rng);
+        self.apply_pattern(&pattern);
+        pattern
+    }
+
+    /// Overwrites one stored block — a fault-injection hook for corruption
+    /// experiments and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is outside the placement.
+    pub fn put_block(&mut self, entry: usize, position: usize, block: Vec<u8>) {
+        let key = SymbolKey { entry, position };
+        let node = self.placement.node_for(key);
+        self.nodes[node].put(key, block);
+    }
+
+    /// Indices of live nodes holding entry `entry`, as positions within the
+    /// entry's coded blocks.
+    pub fn live_positions(&self, entry: usize) -> Vec<usize> {
+        (0..self.placement.codeword_len())
+            .filter(|&position| {
+                let key = SymbolKey { entry, position };
+                let node = self.placement.node_for(key);
+                self.nodes[node].is_alive()
+            })
+            .collect()
+    }
+
+    /// Whether a single stored entry is still decodable from live nodes.
+    pub fn entry_recoverable(&self, archive: &ByteVersionedArchive, entry: usize) -> bool {
+        self.live_positions(entry).len() >= archive.code().k()
+    }
+
+    /// Whether every stored object of the archive is recoverable.
+    pub fn archive_recoverable(&self, archive: &ByteVersionedArchive) -> bool {
+        (0..entry_list(archive).len()).all(|entry| self.entry_recoverable(archive, entry))
+    }
+
+    /// Reads and decodes one stored entry from live nodes through the
+    /// batched pipeline, honouring the SEC read planning.
+    fn read_entry(
+        &mut self,
+        entry_idx: usize,
+        payload: StoredPayload,
+        shard_len: usize,
+    ) -> Result<(usize, ByteShards), StoreError> {
+        let k = self.codec.code().k();
+        let live = self.live_positions(entry_idx);
+        let target = match payload {
+            StoredPayload::FullVersion { .. } => ReadTarget::Full,
+            StoredPayload::Delta { sparsity, .. } => {
+                if sparsity == 0 {
+                    return Ok((0, ByteShards::zeroed(k, shard_len)));
+                }
+                ReadTarget::Sparse { gamma: sparsity }
+            }
+        };
+        let plan = plan_read(self.codec.code(), &live, target)
+            .map_err(|_| StoreError::Unrecoverable { entry: entry_idx })?;
+
+        // Count the reads first, then borrow the blocks: whole blocks are
+        // large, so the decode pipeline works on references instead of
+        // cloning every block out of its node.
+        for &position in &plan.nodes {
+            let key = SymbolKey {
+                entry: entry_idx,
+                position,
+            };
+            let node = self.placement.node_for(key);
+            if self.nodes[node].touch(key) {
+                self.metrics.symbol_reads += 1;
+            } else {
+                self.metrics.failed_reads += 1;
+                return Err(StoreError::Unrecoverable { entry: entry_idx });
+            }
+        }
+        let shares: Vec<(usize, &[u8])> = plan
+            .nodes
+            .iter()
+            .map(|&position| {
+                let key = SymbolKey {
+                    entry: entry_idx,
+                    position,
+                };
+                let node = self.placement.node_for(key);
+                let block = self.nodes[node].peek_ref(key).expect("touched above");
+                (position, block.as_slice())
+            })
+            .collect();
+        let decoded = match plan.method {
+            DecodeMethod::SystematicDirect | DecodeMethod::Inversion => {
+                self.codec.decode_blocks(&shares)?
+            }
+            DecodeMethod::SparseRecovery => match target {
+                ReadTarget::Sparse { gamma } => self.codec.recover_sparse_blocks(&shares, gamma)?,
+                ReadTarget::Full => unreachable!("sparse plans only arise for sparse targets"),
+            },
+        };
+        Ok((plan.io_reads, decoded))
+    }
+
+    /// Retrieves version `l` of the archive, reading only from live nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Unrecoverable`] when some required entry has too
+    /// few live nodes, [`StoreError::Code`] when a stored block is corrupt
+    /// (e.g. wrong length), or a versioning error for an invalid `l`.
+    pub fn retrieve_version(
+        &mut self,
+        archive: &ByteVersionedArchive,
+        l: usize,
+    ) -> Result<ByteStoredRetrieval, StoreError> {
+        let entries = entry_list(archive);
+        if self.placement.entries() < entries.len() {
+            return Err(StoreError::ArchiveMismatch {
+                provisioned: self.placement.entries(),
+                supplied: entries.len(),
+            });
+        }
+        if archive.is_empty() {
+            return Err(StoreError::Versioning(VersioningError::EmptyArchive));
+        }
+        if l == 0 || l > archive.len() {
+            return Err(StoreError::Versioning(VersioningError::NoSuchVersion {
+                requested: l,
+                available: archive.len(),
+            }));
+        }
+        self.metrics.retrievals += 1;
+        let object_len = self.object_len;
+
+        match archive.config().strategy() {
+            EncodingStrategy::NonDifferential => {
+                let (payload, shards) = entries[l - 1];
+                let (io_reads, data) = self.read_entry(l - 1, payload, shards.shard_len())?;
+                Ok(ByteStoredRetrieval {
+                    data: data.join(object_len),
+                    io_reads,
+                })
+            }
+            EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
+                let anchor = entries[..l]
+                    .iter()
+                    .rposition(|(p, _)| matches!(p, StoredPayload::FullVersion { .. }))
+                    .expect("first entry is always a full version");
+                let (mut io_reads, mut acc) =
+                    self.read_entry(anchor, entries[anchor].0, entries[anchor].1.shard_len())?;
+                for (idx, (payload, shards)) in entries.iter().enumerate().take(l).skip(anchor + 1) {
+                    let (reads, delta) = self.read_entry(idx, *payload, shards.shard_len())?;
+                    io_reads += reads;
+                    acc.xor_with(&delta)?;
+                }
+                Ok(ByteStoredRetrieval {
+                    data: acc.join(object_len),
+                    io_reads,
+                })
+            }
+            EncodingStrategy::ReversedSec => {
+                // The full latest copy is the final entry in the stored list.
+                let latest_idx = entries.len() - 1;
+                let (mut io_reads, mut acc) = self.read_entry(
+                    latest_idx,
+                    entries[latest_idx].0,
+                    entries[latest_idx].1.shard_len(),
+                )?;
+                // Delta entries are 0..latest_idx, delta at index j is z_{j+2}.
+                for idx in (l.saturating_sub(1)..latest_idx).rev() {
+                    let (reads, delta) =
+                        self.read_entry(idx, entries[idx].0, entries[idx].1.shard_len())?;
+                    io_reads += reads;
+                    acc.xor_with(&delta)?;
+                }
+                Ok(ByteStoredRetrieval {
+                    data: acc.join(object_len),
+                    io_reads,
+                })
+            }
+        }
+    }
+
+    /// Repairs a failed node: revives it and rebuilds every block it should
+    /// hold by decoding each affected entry from `k` live blocks and
+    /// re-encoding the lost position. Returns the number of blocks rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Unrecoverable`] if some affected entry has fewer
+    /// than `k` live nodes.
+    pub fn repair_node(
+        &mut self,
+        archive: &ByteVersionedArchive,
+        node_id: usize,
+    ) -> Result<usize, StoreError> {
+        let entries = entry_list(archive);
+        let (n, k) = (self.codec.code().n(), self.codec.code().k());
+        let mut to_rebuild = Vec::new();
+        for entry_idx in 0..entries.len() {
+            for position in 0..n {
+                let key = SymbolKey {
+                    entry: entry_idx,
+                    position,
+                };
+                if self.placement.node_for(key) == node_id {
+                    to_rebuild.push(key);
+                }
+            }
+        }
+        self.nodes[node_id].revive();
+        self.nodes[node_id].wipe();
+        let mut rebuilt = 0usize;
+        for key in to_rebuild {
+            let live: Vec<usize> = self
+                .live_positions(key.entry)
+                .into_iter()
+                .filter(|&p| p != key.position)
+                .collect();
+            if live.len() < k {
+                return Err(StoreError::Unrecoverable { entry: key.entry });
+            }
+            for &position in live.iter().take(k) {
+                let skey = SymbolKey {
+                    entry: key.entry,
+                    position,
+                };
+                let node = self.placement.node_for(skey);
+                if !self.nodes[node].touch(skey) {
+                    return Err(StoreError::Unrecoverable { entry: key.entry });
+                }
+                self.metrics.symbol_reads += 1;
+            }
+            // Borrow the surviving blocks only for the decode/encode pass,
+            // so the rebuilt block can be written back afterwards.
+            let codeword = {
+                let shares: Vec<(usize, &[u8])> = live
+                    .iter()
+                    .take(k)
+                    .map(|&position| {
+                        let skey = SymbolKey {
+                            entry: key.entry,
+                            position,
+                        };
+                        let node = self.placement.node_for(skey);
+                        let block = self.nodes[node].peek_ref(skey).expect("touched above");
+                        (position, block.as_slice())
+                    })
+                    .collect();
+                let object = self.codec.decode_blocks(&shares)?;
+                self.codec.encode_blocks(&object)?
+            };
+            self.nodes[node_id].put(key, codeword.shard(key.position).to_vec());
+            self.metrics.symbol_writes += 1;
+            rebuilt += 1;
+        }
+        self.metrics.repairs += 1;
+        Ok(rebuilt)
+    }
+}
+
+/// All stored objects of the archive in entry order. For Reversed SEC the
+/// full latest copy is appended after the delta entries.
+fn entry_list(archive: &ByteVersionedArchive) -> Vec<(StoredPayload, &ByteShards)> {
+    let mut list: Vec<(StoredPayload, &ByteShards)> =
+        archive.entries().iter().map(|e| (e.payload, &e.shards)).collect();
+    if let Some(latest) = archive.latest_full_entry() {
+        list.push((latest.payload, &latest.shards));
+    }
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_erasure::{CodeError, GeneratorForm};
+    use sec_versioning::ArchiveConfig;
+
+    fn versions() -> Vec<Vec<u8>> {
+        let v1: Vec<u8> = (0..60).map(|i| (i * 11 + 3) as u8).collect();
+        let mut v2 = v1.clone();
+        v2[5] ^= 0x7C; // block 0
+        let mut v3 = v2.clone();
+        v3[25] ^= 0x11; // block 1
+        vec![v1, v2, v3]
+    }
+
+    fn archive(strategy: EncodingStrategy) -> (ByteVersionedArchive, Vec<Vec<u8>>) {
+        let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, strategy).unwrap();
+        let mut archive = ByteVersionedArchive::new(config).unwrap();
+        let vs = versions();
+        archive.append_all(&vs).unwrap();
+        (archive, vs)
+    }
+
+    #[test]
+    fn colocated_store_round_trips_all_strategies() {
+        for strategy in [
+            EncodingStrategy::BasicSec,
+            EncodingStrategy::OptimizedSec,
+            EncodingStrategy::ReversedSec,
+            EncodingStrategy::NonDifferential,
+        ] {
+            let (archive, vs) = archive(strategy);
+            let mut store = ByteDistributedStore::colocated(&archive);
+            assert_eq!(store.node_count(), 6);
+            for (l, expect) in vs.iter().enumerate() {
+                let r = store.retrieve_version(&archive, l + 1).unwrap();
+                assert_eq!(&r.data, expect, "{strategy:?} version {}", l + 1);
+            }
+            assert!(store.metrics().symbol_reads > 0);
+            assert_eq!(store.metrics().retrievals, vs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn dispersed_store_uses_distinct_node_sets() {
+        let (archive, vs) = archive(EncodingStrategy::BasicSec);
+        let mut store = ByteDistributedStore::dispersed(&archive);
+        assert_eq!(store.node_count(), 18);
+        let r = store.retrieve_version(&archive, 3).unwrap();
+        assert_eq!(r.data, vs[2]);
+        assert_eq!(store.node(0).unwrap().stored_symbols(), 1);
+    }
+
+    #[test]
+    fn io_reads_match_all_alive_archive_retrieval() {
+        for strategy in [EncodingStrategy::BasicSec, EncodingStrategy::OptimizedSec] {
+            let (mut archive, vs) = archive(strategy);
+            let mut store = ByteDistributedStore::colocated(&archive);
+            for l in 1..=vs.len() {
+                let via_store = store.retrieve_version(&archive, l).unwrap().io_reads;
+                let via_archive = archive.retrieve_version(l).unwrap().io_reads;
+                assert_eq!(via_store, via_archive, "{strategy:?} version {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn survives_n_minus_k_failures_and_sparse_reads_stay_cheap() {
+        let (archive, vs) = archive(EncodingStrategy::BasicSec);
+        let mut store = ByteDistributedStore::colocated(&archive);
+        store.fail_node(0);
+        store.fail_node(3);
+        store.fail_node(5);
+        assert!(store.archive_recoverable(&archive));
+        for (l, expect) in vs.iter().enumerate() {
+            assert_eq!(&store.retrieve_version(&archive, l + 1).unwrap().data, expect);
+        }
+        // Non-systematic Cauchy: deltas still cost 2γ block reads under
+        // failures (any 2γ live rows qualify).
+        store.reset_metrics();
+        let r = store.retrieve_version(&archive, 2).unwrap();
+        assert_eq!(r.io_reads, 3 + 2);
+        // A fourth failure makes full objects unrecoverable.
+        store.fail_node(1);
+        assert!(!store.archive_recoverable(&archive));
+        assert!(matches!(
+            store.retrieve_version(&archive, 1),
+            Err(StoreError::Unrecoverable { .. })
+        ));
+    }
+
+    #[test]
+    fn repair_rebuilds_lost_blocks() {
+        let (archive, vs) = archive(EncodingStrategy::BasicSec);
+        let mut store = ByteDistributedStore::colocated(&archive);
+        store.fail_node(2);
+        let rebuilt = store.repair_node(&archive, 2).unwrap();
+        assert_eq!(rebuilt, 3);
+        assert_eq!(store.metrics().repairs, 1);
+        store.fail_node(0);
+        store.fail_node(1);
+        store.fail_node(3);
+        assert!(store.archive_recoverable(&archive));
+        assert_eq!(store.retrieve_version(&archive, 3).unwrap().data, vs[2]);
+    }
+
+    #[test]
+    fn corrupt_block_length_is_an_error_not_a_panic() {
+        let (archive, _) = archive(EncodingStrategy::NonDifferential);
+        let mut store = ByteDistributedStore::colocated(&archive);
+        // Entry 0, position 0 gets a truncated block: retrieval must surface
+        // a ShardSizeMismatch error (via the try_ kernel path), not abort.
+        store.put_block(0, 0, vec![0xAB; 3]);
+        match store.retrieve_version(&archive, 1) {
+            Err(StoreError::Code(CodeError::ShardSizeMismatch { .. })) => {}
+            other => panic!("expected ShardSizeMismatch, got {other:?}"),
+        }
+        // Versions whose entries are intact still retrieve fine.
+        assert!(store.retrieve_version(&archive, 2).is_ok());
+    }
+
+    #[test]
+    fn error_paths() {
+        let (archive, _) = archive(EncodingStrategy::BasicSec);
+        let mut store = ByteDistributedStore::colocated(&archive);
+        assert!(matches!(
+            store.retrieve_version(&archive, 0),
+            Err(StoreError::Versioning(VersioningError::NoSuchVersion { .. }))
+        ));
+        assert!(matches!(
+            store.retrieve_version(&archive, 9),
+            Err(StoreError::Versioning(VersioningError::NoSuchVersion { .. }))
+        ));
+        let empty_config =
+            ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec).unwrap();
+        let empty = ByteVersionedArchive::new(empty_config).unwrap();
+        let mut empty_store = ByteDistributedStore::colocated(&empty);
+        assert!(matches!(
+            empty_store.retrieve_version(&empty, 1),
+            Err(StoreError::Versioning(VersioningError::EmptyArchive))
+        ));
+    }
+}

@@ -14,7 +14,10 @@
 //!   enumeration for the small clusters of the paper's examples;
 //! * failure-aware retrieval that reads only from live nodes, falls back from
 //!   `2γ`-read sparse plans to `k`-read full plans exactly as §V describes,
-//!   and reports every read it performed.
+//!   and reports every read it performed;
+//! * [`byte_store`] / [`ByteDistributedStore`] — the byte-shard fast path:
+//!   nodes hold whole coded byte blocks and retrieval decodes through the
+//!   batched `GF(2^8)` pipeline, with identical read accounting.
 //!
 //! # Example
 //!
@@ -47,11 +50,13 @@
 
 mod store;
 
+pub mod byte_store;
 pub mod failure;
 pub mod metrics;
 pub mod node;
 pub mod placement;
 
+pub use byte_store::{ByteDistributedStore, ByteStoredRetrieval};
 pub use failure::FailurePattern;
 pub use metrics::IoMetrics;
 pub use node::StorageNode;

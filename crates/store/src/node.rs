@@ -2,8 +2,6 @@
 
 use std::collections::BTreeMap;
 
-use sec_gf::GaloisField;
-
 /// Key of one stored coded symbol: which archive entry it belongs to and its
 /// position within that entry's codeword.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -14,17 +12,22 @@ pub struct SymbolKey {
     pub position: usize,
 }
 
-/// One storage node: a failure flag plus the coded symbols it holds and a
+/// One storage node: a failure flag plus the coded values it holds and a
 /// read counter.
+///
+/// The stored value type is generic: the symbol-level [`DistributedStore`]
+/// (crate::DistributedStore) keeps one field element per key, while the
+/// byte-shard [`ByteDistributedStore`](crate::ByteDistributedStore) keeps a
+/// whole `Vec<u8>` shard per key.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct StorageNode<F> {
+pub struct StorageNode<V> {
     id: usize,
     alive: bool,
-    symbols: BTreeMap<SymbolKey, F>,
+    symbols: BTreeMap<SymbolKey, V>,
     reads: u64,
 }
 
-impl<F: GaloisField> StorageNode<F> {
+impl<V: Clone> StorageNode<V> {
     /// Creates an empty, healthy node.
     pub fn new(id: usize) -> Self {
         Self {
@@ -61,31 +64,52 @@ impl<F: GaloisField> StorageNode<F> {
         self.symbols.clear();
     }
 
-    /// Stores one coded symbol.
-    pub fn put(&mut self, key: SymbolKey, value: F) {
+    /// Stores one coded value.
+    pub fn put(&mut self, key: SymbolKey, value: V) {
         self.symbols.insert(key, value);
     }
 
-    /// Reads one coded symbol, counting the I/O, or `None` when the node is
-    /// dead or does not hold the symbol.
-    pub fn read(&mut self, key: SymbolKey) -> Option<F> {
+    /// Reads one coded value, counting the I/O, or `None` when the node is
+    /// dead or does not hold the value.
+    pub fn read(&mut self, key: SymbolKey) -> Option<V> {
         if !self.alive {
             return None;
         }
-        let value = self.symbols.get(&key).copied();
+        let value = self.symbols.get(&key).cloned();
         if value.is_some() {
             self.reads += 1;
         }
         value
     }
 
-    /// Inspects a symbol without counting a read (used by repair planning).
-    pub fn peek(&self, key: SymbolKey) -> Option<F> {
+    /// Inspects a value without counting a read (used by repair planning).
+    pub fn peek(&self, key: SymbolKey) -> Option<V> {
+        self.peek_ref(key).cloned()
+    }
+
+    /// Borrowed view of a stored value without counting a read.
+    ///
+    /// Pair with [`StorageNode::touch`] when the value is large (e.g. a whole
+    /// byte block) and cloning it per simulated read would be wasteful.
+    pub fn peek_ref(&self, key: SymbolKey) -> Option<&V> {
         if self.alive {
-            self.symbols.get(&key).copied()
+            self.symbols.get(&key)
         } else {
             None
         }
+    }
+
+    /// Counts one read against the node if it is alive and holds the value,
+    /// without cloning the value out; returns whether the read succeeded.
+    pub fn touch(&mut self, key: SymbolKey) -> bool {
+        if !self.alive {
+            return false;
+        }
+        let present = self.symbols.contains_key(&key);
+        if present {
+            self.reads += 1;
+        }
+        present
     }
 
     /// Number of symbols stored on this node.
@@ -102,7 +126,7 @@ impl<F: GaloisField> StorageNode<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sec_gf::Gf256;
+    use sec_gf::{GaloisField, Gf256};
 
     #[test]
     fn put_read_and_counters() {

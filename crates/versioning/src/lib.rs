@@ -15,6 +15,10 @@
 //! * [`EncodingStrategy::NonDifferential`] — the baseline: every version is
 //!   encoded in full.
 //!
+//! For production-shaped byte objects, [`ByteVersionedArchive`] provides the
+//! same strategies over contiguous byte shards, with per-block delta sparsity
+//! and retrieval through the batched `GF(2^8)` pipeline of `sec-erasure`.
+//!
 //! The [`io_model`] module provides the closed-form I/O read counts of
 //! eqs. (3)–(4) without touching any data, which is what the paper's Fig. 9
 //! and the §III-D example report; the archive itself reproduces the same
@@ -51,6 +55,7 @@
 mod archive;
 mod error;
 
+pub mod byte_archive;
 pub mod cache;
 pub mod delta;
 pub mod io_model;
@@ -58,6 +63,9 @@ pub mod object;
 pub mod retrieval;
 
 pub use archive::{ArchiveConfig, EncodedEntry, EncodingStrategy, StoredPayload, VersionedArchive};
+pub use byte_archive::{
+    ByteEncodedEntry, BytePrefixRetrieval, ByteVersionRetrieval, ByteVersionedArchive,
+};
 pub use delta::Delta;
 pub use error::VersioningError;
 pub use io_model::IoModel;

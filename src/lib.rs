@@ -52,7 +52,9 @@ pub use sec_store as store;
 pub use sec_versioning as versioning;
 pub use sec_workload as workload;
 
-pub use sec_erasure::{CodeParams, GeneratorForm, SecCode};
-pub use sec_store::{DistributedStore, PlacementStrategy};
-pub use sec_versioning::{ArchiveConfig, EncodingStrategy, IoModel, VersionedArchive};
+pub use sec_erasure::{ByteCodec, ByteShards, CodeParams, GeneratorForm, SecCode};
+pub use sec_store::{ByteDistributedStore, DistributedStore, PlacementStrategy};
+pub use sec_versioning::{
+    ArchiveConfig, ByteVersionedArchive, EncodingStrategy, IoModel, VersionedArchive,
+};
 pub use sec_workload::SparsityPmf;
