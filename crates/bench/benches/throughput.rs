@@ -25,7 +25,7 @@ fn bench_byte_encode(c: &mut Criterion) {
 
     let code: SecCode<Gf256> = SecCode::cauchy(N, K, GeneratorForm::NonSystematic).unwrap();
     let data = ByteShards::from_flat(&test_object(), K);
-    let mut codec = ByteCodec::new(code.clone());
+    let codec = ByteCodec::new(code.clone());
     let mut out = ByteShards::zeroed(N, SHARD_BYTES);
     group.bench_function("byte_pipeline", |b| {
         b.iter(|| {
@@ -47,7 +47,7 @@ fn bench_byte_decode(c: &mut Criterion) {
     group.throughput(Throughput::Bytes((K * SHARD_BYTES) as u64));
 
     let code: SecCode<Gf256> = SecCode::cauchy(N, K, GeneratorForm::NonSystematic).unwrap();
-    let mut codec = ByteCodec::new(code.clone());
+    let codec = ByteCodec::new(code.clone());
     let data = ByteShards::from_flat(&test_object(), K);
     let coded = codec.encode_blocks(&data).unwrap();
     let byte_shares: Vec<(usize, &[u8])> = [1usize, 3, 5].iter().map(|&i| (i, coded.shard(i))).collect();
@@ -71,7 +71,7 @@ fn bench_sparse_recovery(c: &mut Criterion) {
     group.throughput(Throughput::Bytes((K * SHARD_BYTES) as u64));
 
     let code: SecCode<Gf256> = SecCode::cauchy(N, K, GeneratorForm::NonSystematic).unwrap();
-    let mut codec = ByteCodec::new(code);
+    let codec = ByteCodec::new(code);
     let mut delta = ByteShards::zeroed(K, SHARD_BYTES);
     delta.shard_mut(1).copy_from_slice(&test_object()[..SHARD_BYTES]);
     let coded = codec.encode_blocks(&delta).unwrap();

@@ -15,15 +15,24 @@
 //!   archive layers processed large objects. Only measured where it finishes
 //!   in reasonable time.
 //!
+//! A fourth series measures *read scaling*: a [`sec_engine::SecEngine`]
+//! serving `get_version` retrievals from `threads ∈ {1, 4, 8}` concurrent
+//! readers, reported as aggregate retrievals/s and MB/s. On a multi-core
+//! host the sharded-lock engine scales reads near-linearly; the series
+//! exists so the trajectory is tracked either way.
+//!
 //! Run with `cargo run --release -p sec-bench --bin throughput`. Pass
 //! `--smoke` for a quick CI-sized run (4 KiB shards only) and `--out <path>`
 //! to change the JSON destination.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sec_engine::SecEngine;
 use sec_erasure::{shards, ByteCodec, ByteShards, GeneratorForm, SecCode, Share};
 use sec_gf::{GaloisField, Gf256};
+use sec_versioning::{ArchiveConfig, EncodingStrategy};
 
 /// One measured data point.
 struct Sample {
@@ -34,6 +43,77 @@ struct Sample {
     shard_bytes: usize,
     ns_per_op: f64,
     mb_per_s: f64,
+}
+
+/// One read-scaling data point: aggregate engine throughput at a thread
+/// count.
+struct ScalingSample {
+    threads: usize,
+    shard_bytes: usize,
+    retrievals: u64,
+    retrievals_per_s: f64,
+    mb_per_s: f64,
+}
+
+/// Measures `SecEngine::get_version` throughput with `threads` concurrent
+/// readers hammering a (6, 3) Basic-SEC engine holding `versions` versions
+/// of a `3 · shard_bytes` object, for roughly `min_total` wall time.
+fn measure_read_scaling(
+    shard_bytes: usize,
+    versions: usize,
+    threads: usize,
+    min_total: Duration,
+) -> ScalingSample {
+    let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
+        .expect("(6,3) fits in GF(256)");
+    let engine = SecEngine::new(config).expect("engine builds");
+    let mut object = vec![0u8; 3 * shard_bytes];
+    fill(&mut object, shard_bytes as u64 + 17);
+    engine.append_version(&object).expect("append v1");
+    for v in 1..versions {
+        // Single-block edits keep every later version a γ = 1 delta, the
+        // paper's sweet spot: 2 block reads per delta.
+        object[(v * 131) % shard_bytes] ^= 0xA5;
+        engine.append_version(&object).expect("append delta");
+    }
+    let engine = Arc::new(engine);
+
+    // Calibrate per-thread iterations on one thread, then run the measured
+    // pass with all readers started together.
+    let calibrate = Instant::now();
+    let mut calibration_rounds = 0u64;
+    while calibrate.elapsed() < min_total / 4 {
+        let l = (calibration_rounds as usize) % versions + 1;
+        std::hint::black_box(engine.get_version(l).expect("retrieval"));
+        calibration_rounds += 1;
+    }
+    let per_thread = calibration_rounds.max(1);
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let l = (t + i as usize) % versions + 1;
+                    std::hint::black_box(engine.get_version(l).expect("retrieval"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("reader thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let retrievals = per_thread * threads as u64;
+    let object_bytes = 3 * shard_bytes;
+    ScalingSample {
+        threads,
+        shard_bytes,
+        retrievals,
+        retrievals_per_s: retrievals as f64 / elapsed,
+        mb_per_s: (retrievals as f64 * object_bytes as f64 / 1e6) / elapsed,
+    }
 }
 
 /// Times `f` until `min_total` has elapsed or `max_iters` runs completed
@@ -114,7 +194,7 @@ fn main() -> std::io::Result<()> {
         let n = 2 * k;
         let code: SecCode<Gf256> =
             SecCode::cauchy(n, k, GeneratorForm::NonSystematic).expect("(2k,k) fits in GF(256)");
-        let mut codec = ByteCodec::new(code.clone());
+        let codec = ByteCodec::new(code.clone());
 
         for &shard_bytes in sizes {
             let object_bytes = k * shard_bytes;
@@ -324,6 +404,14 @@ fn main() -> std::io::Result<()> {
         }
     }
 
+    // ---- concurrent read scaling through the serving engine ---------------
+    let scaling_shard_bytes = if args.smoke { 4096 } else { 65536 };
+    let scaling_versions = 8;
+    let scaling: Vec<ScalingSample> = [1usize, 4, 8]
+        .iter()
+        .map(|&threads| measure_read_scaling(scaling_shard_bytes, scaling_versions, threads, min_total))
+        .collect();
+
     // Human-readable table.
     println!(
         "{:<16} {:<14} {:>4} {:>4} {:>12} {:>14} {:>12}",
@@ -333,6 +421,17 @@ fn main() -> std::io::Result<()> {
         println!(
             "{:<16} {:<14} {:>4} {:>4} {:>12} {:>14.0} {:>12.1}",
             s.op, s.path, s.n, s.k, s.shard_bytes, s.ns_per_op, s.mb_per_s
+        );
+    }
+
+    println!(
+        "\n{:<10} {:>12} {:>14} {:>16} {:>12}",
+        "threads", "shard_bytes", "retrievals", "retrievals/s", "MB/s"
+    );
+    for s in &scaling {
+        println!(
+            "{:<10} {:>12} {:>14} {:>16.0} {:>12.1}",
+            s.threads, s.shard_bytes, s.retrievals, s.retrievals_per_s, s.mb_per_s
         );
     }
 
@@ -359,7 +458,7 @@ fn main() -> std::io::Result<()> {
     // JSON emission (hand-rolled; the workspace has no serde).
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"schema\": \"sec-bench-throughput/v1\",").unwrap();
+    writeln!(json, "  \"schema\": \"sec-bench-throughput/v2\",").unwrap();
     writeln!(json, "  \"smoke\": {},", args.smoke).unwrap();
     writeln!(json, "  \"headline_shard_bytes\": {headline_size},").unwrap();
     match speedup {
@@ -381,6 +480,19 @@ fn main() -> std::io::Result<()> {
             s.k * s.shard_bytes,
             s.ns_per_op,
             s.mb_per_s
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"read_scaling\": [").unwrap();
+    for (idx, s) in scaling.iter().enumerate() {
+        let comma = if idx + 1 == scaling.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"engine\": \"sec-engine\", \"n\": 6, \"k\": 3, \"strategy\": \"basic-sec\", \
+             \"versions\": {scaling_versions}, \"threads\": {}, \"shard_bytes\": {}, \
+             \"retrievals\": {}, \"retrievals_per_s\": {:.1}, \"mb_per_s\": {:.3}}}{comma}",
+            s.threads, s.shard_bytes, s.retrievals, s.retrievals_per_s, s.mb_per_s
         )
         .unwrap();
     }

@@ -10,10 +10,12 @@
 //! * [`ByteShards`] keeps all shards of an object in one contiguous byte
 //!   buffer, so a `(6, 3)` encode of a 1 MiB object streams cache lines
 //!   instead of chasing per-symbol allocations;
-//! * [`ByteCodec`] wraps a [`SecCode<Gf256>`] with a per-coefficient
-//!   multiplication-table cache and a reusable scratch arena, and exposes the
-//!   batched pipeline: [`ByteCodec::encode_blocks`],
-//!   [`ByteCodec::decode_blocks`] and [`ByteCodec::recover_sparse_blocks`].
+//! * [`ByteCodec`] wraps an [`Arc`]-shared [`SecCode<Gf256>`] and
+//!   per-coefficient multiplication-table cache, and exposes the batched
+//!   pipeline: [`ByteCodec::encode_blocks`], [`ByteCodec::decode_blocks`] and
+//!   [`ByteCodec::recover_sparse_blocks`]. Every method takes `&self`, so one
+//!   codec can serve many decoding threads; the scratch arena sparse recovery
+//!   needs lives in a caller-supplied (or thread-local) [`DecodeScratch`].
 //!
 //! The differential property suite in `tests/byte_path_equiv.rs` locks every
 //! pipeline stage to the scalar reference: for any coefficients, shard sizes
@@ -27,7 +29,7 @@
 //!
 //! # fn main() -> Result<(), sec_erasure::CodeError> {
 //! let code = SecCode::cauchy(6, 3, GeneratorForm::NonSystematic)?;
-//! let mut codec = ByteCodec::new(code);
+//! let codec = ByteCodec::new(code);
 //!
 //! let object = b"the quick brown fox jumps over the lazy dog";
 //! let data = ByteShards::from_flat(object, 3);
@@ -40,6 +42,9 @@
 //! # Ok(())
 //! # }
 //! ```
+
+use std::cell::RefCell;
+use std::sync::Arc;
 
 use sec_gf::bulk8::{mul_multi, CoeffTables, MulTable};
 use sec_gf::{GaloisField, Gf256};
@@ -202,15 +207,25 @@ impl ByteShards {
     }
 }
 
-/// Reusable buffers for the batched pipeline, so steady-state encode /
-/// decode / recovery performs no per-call row allocation.
+/// Reusable buffers for the batched pipeline, so steady-state decode /
+/// recovery performs no per-call row allocation.
+///
+/// The scratch is deliberately *outside* the codec: every [`ByteCodec`]
+/// method takes `&self`, so any number of threads can decode through one
+/// shared codec, each threading its own `DecodeScratch` (or relying on the
+/// thread-local one used by the convenience methods).
 #[derive(Debug, Default)]
-struct ScratchArena {
+pub struct DecodeScratch {
     /// One shard-sized row used for consistency checks in sparse recovery.
     row: Vec<u8>,
 }
 
-impl ScratchArena {
+impl DecodeScratch {
+    /// Creates an empty scratch arena (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// A zeroed scratch row of exactly `len` bytes.
     fn row(&mut self, len: usize) -> &mut [u8] {
         self.row.clear();
@@ -219,31 +234,55 @@ impl ScratchArena {
     }
 }
 
+thread_local! {
+    /// Per-thread scratch backing the convenience (`&self`, no explicit
+    /// scratch) entry points, so steady-state decoding stays allocation-free
+    /// without forcing every caller to carry a [`DecodeScratch`].
+    static THREAD_SCRATCH: RefCell<DecodeScratch> = RefCell::new(DecodeScratch::new());
+}
+
 /// Batched `GF(2^8)` encoder/decoder: a [`SecCode<Gf256>`] plus the
-/// per-coefficient table cache and scratch arena the byte kernels need.
+/// per-coefficient table cache the byte kernels need.
 ///
-/// Methods take `&mut self` because they reuse the internal scratch arena;
-/// create one codec per worker when parallelizing.
-#[derive(Debug)]
+/// Both the code and the table cache sit behind [`Arc`]s, so cloning a codec
+/// is cheap and every clone shares the same lazily built multiplication
+/// tables — archives, stores and serving engines all reuse one set of tables
+/// per code instead of rebuilding 256 × 288-byte tables each. All methods
+/// take `&self` and are safe to call from many threads at once; sparse
+/// recovery needs a scratch row, threaded explicitly via the `_with` variants
+/// or borrowed from a thread-local arena by the convenience forms.
+#[derive(Debug, Clone)]
 pub struct ByteCodec {
-    code: SecCode<Gf256>,
-    tables: CoeffTables,
-    scratch: ScratchArena,
+    code: Arc<SecCode<Gf256>>,
+    tables: Arc<CoeffTables>,
 }
 
 impl ByteCodec {
     /// Wraps a `GF(2^8)` code in the byte-shard pipeline.
     pub fn new(code: SecCode<Gf256>) -> Self {
-        Self {
-            code,
-            tables: CoeffTables::new(),
-            scratch: ScratchArena::default(),
-        }
+        Self::from_shared(Arc::new(code), Arc::new(CoeffTables::new()))
+    }
+
+    /// Builds a codec around an already shared code and table cache, so
+    /// several codecs (e.g. an archive's and its store's) reuse one set of
+    /// multiplication tables.
+    pub fn from_shared(code: Arc<SecCode<Gf256>>, tables: Arc<CoeffTables>) -> Self {
+        Self { code, tables }
     }
 
     /// The underlying code.
     pub fn code(&self) -> &SecCode<Gf256> {
         &self.code
+    }
+
+    /// The shared handle to the underlying code.
+    pub fn shared_code(&self) -> Arc<SecCode<Gf256>> {
+        Arc::clone(&self.code)
+    }
+
+    /// The shared per-coefficient multiplication-table cache.
+    pub fn shared_tables(&self) -> Arc<CoeffTables> {
+        Arc::clone(&self.tables)
     }
 
     /// Encodes `k` data shards into `n` coded shards (`C = G · X` applied
@@ -254,7 +293,7 @@ impl ByteCodec {
     ///
     /// Returns [`CodeError::DataLengthMismatch`] when `data` does not hold
     /// exactly `k` shards.
-    pub fn encode_blocks(&mut self, data: &ByteShards) -> Result<ByteShards, CodeError> {
+    pub fn encode_blocks(&self, data: &ByteShards) -> Result<ByteShards, CodeError> {
         let mut out = ByteShards::zeroed(self.code.n(), data.shard_len());
         self.encode_blocks_into(data, &mut out)?;
         Ok(out)
@@ -267,11 +306,7 @@ impl ByteCodec {
     ///
     /// Returns [`CodeError::DataLengthMismatch`] for a wrong shard count and
     /// [`CodeError::ShardSizeMismatch`] when `out` has the wrong shape.
-    pub fn encode_blocks_into(
-        &mut self,
-        data: &ByteShards,
-        out: &mut ByteShards,
-    ) -> Result<(), CodeError> {
+    pub fn encode_blocks_into(&self, data: &ByteShards, out: &mut ByteShards) -> Result<(), CodeError> {
         let (n, k) = (self.code.n(), self.code.k());
         if data.shard_count() != k {
             return Err(CodeError::DataLengthMismatch {
@@ -309,7 +344,7 @@ impl ByteCodec {
     /// * [`CodeError::ShardSizeMismatch`] for ragged shard lengths.
     /// * [`CodeError::ShareIndexOutOfRange`] / [`CodeError::DuplicateShare`]
     ///   for malformed indices.
-    pub fn decode_blocks(&mut self, shares: &[(usize, &[u8])]) -> Result<ByteShards, CodeError> {
+    pub fn decode_blocks(&self, shares: &[(usize, &[u8])]) -> Result<ByteShards, CodeError> {
         let k = self.code.k();
         let shard_len = self.validate_shares(shares, k)?;
 
@@ -351,9 +386,26 @@ impl ByteCodec {
     /// * [`CodeError::ShardSizeMismatch`] and index errors as for
     ///   [`ByteCodec::decode_blocks`].
     pub fn recover_sparse_blocks(
-        &mut self,
+        &self,
         shares: &[(usize, &[u8])],
         gamma: usize,
+    ) -> Result<ByteShards, CodeError> {
+        THREAD_SCRATCH
+            .with(|scratch| self.recover_sparse_blocks_with(shares, gamma, &mut scratch.borrow_mut()))
+    }
+
+    /// Like [`ByteCodec::recover_sparse_blocks`] but with an explicit scratch
+    /// arena instead of the thread-local one — the reentrant form for callers
+    /// that manage their own per-worker buffers.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ByteCodec::recover_sparse_blocks`].
+    pub fn recover_sparse_blocks_with(
+        &self,
+        shares: &[(usize, &[u8])],
+        gamma: usize,
+        scratch: &mut DecodeScratch,
     ) -> Result<ByteShards, CodeError> {
         let k = self.code.k();
         if gamma == 0 || 2 * gamma >= k {
@@ -377,7 +429,7 @@ impl ByteCodec {
         let phi = self.code.generator().select_rows(&rows)?;
         for weight in 1..=gamma.min(k) {
             for support in Combinations::new(k, weight) {
-                if let Some(out) = self.try_support(&phi, shares, &support, shard_len) {
+                if let Some(out) = self.try_support(&phi, shares, &support, shard_len, scratch) {
                     return Ok(out);
                 }
             }
@@ -389,11 +441,12 @@ impl ByteCodec {
     /// on `support`, returning the recovered object when the (overdetermined)
     /// block system is consistent.
     fn try_support(
-        &mut self,
+        &self,
         phi: &Matrix<Gf256>,
         shares: &[(usize, &[u8])],
         support: &[usize],
         shard_len: usize,
+        scratch: &mut DecodeScratch,
     ) -> Option<ByteShards> {
         let r = phi.rows();
         let w = support.len();
@@ -448,7 +501,7 @@ impl ByteCodec {
                 .filter(|(coeff, _)| !coeff.is_zero())
                 .map(|(&coeff, &(_, shard))| (self.tables.get(coeff), shard))
                 .collect();
-            let residual = self.scratch.row(shard_len);
+            let residual = scratch.row(shard_len);
             mul_multi(&sources, residual);
             if residual.iter().any(|&b| b != 0) {
                 return None;
@@ -559,7 +612,7 @@ mod tests {
     #[test]
     fn encode_decode_round_trip_matches_reference() {
         for form in [GeneratorForm::Systematic, GeneratorForm::NonSystematic] {
-            let mut codec = codec(6, 3, form);
+            let codec = codec(6, 3, form);
             let obj = object(100);
             let data = ByteShards::from_flat(&obj, 3);
             let coded = codec.encode_blocks(&data).unwrap();
@@ -588,7 +641,7 @@ mod tests {
 
     #[test]
     fn encode_blocks_into_reuses_output() {
-        let mut codec = codec(6, 3, GeneratorForm::NonSystematic);
+        let codec = codec(6, 3, GeneratorForm::NonSystematic);
         let data = ByteShards::from_flat(&object(64), 3);
         let mut out = ByteShards::zeroed(6, data.shard_len());
         codec.encode_blocks_into(&data, &mut out).unwrap();
@@ -604,7 +657,7 @@ mod tests {
 
     #[test]
     fn sparse_recovery_of_block_sparse_delta() {
-        let mut codec = codec(6, 3, GeneratorForm::NonSystematic);
+        let codec = codec(6, 3, GeneratorForm::NonSystematic);
         // 1-block-sparse delta: only the middle shard is non-zero.
         let mut delta = ByteShards::zeroed(3, 33);
         delta.shard_mut(1).copy_from_slice(&object(33));
@@ -618,7 +671,7 @@ mod tests {
 
     #[test]
     fn sparse_recovery_zero_delta_and_failure() {
-        let mut codec = codec(6, 3, GeneratorForm::NonSystematic);
+        let codec = codec(6, 3, GeneratorForm::NonSystematic);
         let zero = ByteShards::zeroed(6, 8);
         let shares: Vec<(usize, &[u8])> = vec![(0, zero.shard(0)), (3, zero.shard(3))];
         let recovered = codec.recover_sparse_blocks(&shares, 1).unwrap();
@@ -637,7 +690,7 @@ mod tests {
 
     #[test]
     fn pipeline_error_paths() {
-        let mut codec = codec(6, 3, GeneratorForm::NonSystematic);
+        let codec = codec(6, 3, GeneratorForm::NonSystematic);
         let data = ByteShards::from_flat(&object(9), 3);
         let coded = codec.encode_blocks(&data).unwrap();
         assert!(matches!(
@@ -679,8 +732,72 @@ mod tests {
     }
 
     #[test]
+    fn clones_share_code_and_tables() {
+        let codec = codec(6, 3, GeneratorForm::NonSystematic);
+        let clone = codec.clone();
+        assert!(Arc::ptr_eq(&codec.shared_code(), &clone.shared_code()));
+        assert!(Arc::ptr_eq(&codec.shared_tables(), &clone.shared_tables()));
+        // Tables built through one clone are visible through the other.
+        let data = ByteShards::from_flat(&object(32), 3);
+        let coded = clone.encode_blocks(&data).unwrap();
+        assert!(codec.shared_tables().cached_coefficients() > 0);
+        let shares: Vec<(usize, &[u8])> = (0..3).map(|i| (i, coded.shard(i))).collect();
+        assert_eq!(codec.decode_blocks(&shares).unwrap(), data);
+    }
+
+    #[test]
+    fn explicit_scratch_matches_thread_local_path() {
+        let codec = codec(6, 3, GeneratorForm::NonSystematic);
+        let mut delta = ByteShards::zeroed(3, 17);
+        delta.shard_mut(2).copy_from_slice(&object(17));
+        let coded = codec.encode_blocks(&delta).unwrap();
+        let shares: Vec<(usize, &[u8])> = vec![(1, coded.shard(1)), (4, coded.shard(4))];
+        let mut scratch = DecodeScratch::new();
+        let with_scratch = codec
+            .recover_sparse_blocks_with(&shares, 1, &mut scratch)
+            .unwrap();
+        let thread_local = codec.recover_sparse_blocks(&shares, 1).unwrap();
+        assert_eq!(with_scratch, thread_local);
+        assert_eq!(with_scratch, delta);
+        // The same scratch can be reused across calls and shard lengths.
+        let zero = ByteShards::zeroed(6, 4);
+        let zero_shares: Vec<(usize, &[u8])> = vec![(0, zero.shard(0)), (5, zero.shard(5))];
+        let recovered = codec
+            .recover_sparse_blocks_with(&zero_shares, 1, &mut scratch)
+            .unwrap();
+        assert_eq!(recovered.weight(), 0);
+    }
+
+    #[test]
+    fn concurrent_decodes_through_one_codec() {
+        let codec = std::sync::Arc::new(codec(6, 3, GeneratorForm::NonSystematic));
+        let obj = object(96);
+        let coded = codec.encode_blocks(&ByteShards::from_flat(&obj, 3)).unwrap();
+        let coded = std::sync::Arc::new(coded);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let codec = std::sync::Arc::clone(&codec);
+                let coded = std::sync::Arc::clone(&coded);
+                let expect = obj.clone();
+                std::thread::spawn(move || {
+                    let rows = [[0, 1, 2], [3, 4, 5], [0, 2, 4], [1, 3, 5]][t % 4];
+                    for _ in 0..25 {
+                        let shares: Vec<(usize, &[u8])> =
+                            rows.iter().map(|&i| (i, coded.shard(i))).collect();
+                        let decoded = codec.decode_blocks(&shares).unwrap();
+                        assert_eq!(decoded.join(expect.len()), expect);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
     fn zero_length_shards_round_trip() {
-        let mut codec = codec(6, 3, GeneratorForm::NonSystematic);
+        let codec = codec(6, 3, GeneratorForm::NonSystematic);
         let data = ByteShards::zeroed(3, 0);
         let coded = codec.encode_blocks(&data).unwrap();
         assert_eq!(coded.shard_len(), 0);

@@ -82,7 +82,7 @@ proptest! {
         seed in 0u64..u64::MAX,
     ) {
         let code = code(form);
-        let mut codec = ByteCodec::new(code.clone());
+        let codec = ByteCodec::new(code.clone());
         let data = ByteShards::from_flat(&object(shard_len * K, seed), K);
 
         let fast = codec.encode_blocks(&data).unwrap();
@@ -103,7 +103,7 @@ proptest! {
         seed in 0u64..u64::MAX,
     ) {
         let code = code(form);
-        let mut codec = ByteCodec::new(code.clone());
+        let codec = ByteCodec::new(code.clone());
         let original = object(shard_len * K, seed);
         let data = ByteShards::from_flat(&original, K);
         let coded = codec.encode_blocks(&data).unwrap();
@@ -135,7 +135,7 @@ proptest! {
         // so any 2γ live shards recover a γ-block-sparse delta.
         let gamma = 2usize;
         let code = code(GeneratorForm::NonSystematic);
-        let mut codec = ByteCodec::new(code.clone());
+        let codec = ByteCodec::new(code.clone());
         let support: Vec<usize> = support.into_iter().collect();
         let delta = block_sparse(shard_len, &support, seed);
         let coded = codec.encode_blocks(&delta).unwrap();
@@ -179,7 +179,7 @@ proptest! {
         // block; rows K..K+2γ always qualify.
         let gamma = 2usize;
         let code = code(GeneratorForm::Systematic);
-        let mut codec = ByteCodec::new(code.clone());
+        let codec = ByteCodec::new(code.clone());
         let support: Vec<usize> = support.into_iter().collect();
         let delta = block_sparse(shard_len, &support, seed);
         let coded = codec.encode_blocks(&delta).unwrap();

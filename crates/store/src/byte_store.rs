@@ -16,12 +16,13 @@
 //! front, and delta application runs through the fallible `try_` kernels.
 
 use rand::Rng;
-use sec_erasure::read_plan::{plan_read, DecodeMethod, ReadTarget};
+use sec_erasure::read_plan::plan_read;
 use sec_erasure::{ByteCodec, ByteShards};
-use sec_versioning::{ByteVersionedArchive, EncodingStrategy, StoredPayload, VersioningError};
+use sec_versioning::walk::{decode_planned, read_target, walk_version};
+use sec_versioning::{ByteVersionedArchive, StoredPayload, VersioningError};
 
 use crate::failure::FailurePattern;
-use crate::metrics::IoMetrics;
+use crate::metrics::{AtomicIoMetrics, IoMetrics};
 use crate::node::{StorageNode, SymbolKey};
 use crate::placement::{Placement, PlacementStrategy};
 use crate::store::StoreError;
@@ -37,12 +38,19 @@ pub struct ByteStoredRetrieval {
 
 /// Archive byte blocks stored across simulated nodes under a placement
 /// strategy, with failure-aware retrieval through the batched pipeline.
+///
+/// Retrieval, recoverability checks and failure injection all take `&self`
+/// (node liveness and every counter are atomic, block access is
+/// borrow-based), so one store can serve many concurrent readers; only
+/// content mutation (repair, corruption hooks) needs `&mut self`. The codec
+/// is `Arc`-shared with the archive that built the store, so the generator
+/// matrix and its multiplication tables exist once per code.
 #[derive(Debug)]
 pub struct ByteDistributedStore {
     codec: ByteCodec,
     nodes: Vec<StorageNode<Vec<u8>>>,
     placement: Placement,
-    metrics: IoMetrics,
+    metrics: AtomicIoMetrics,
     object_len: usize,
 }
 
@@ -50,24 +58,26 @@ impl ByteDistributedStore {
     /// Builds a store for `archive` under the given placement and writes
     /// every coded block to its node.
     pub fn new(archive: &ByteVersionedArchive, strategy: PlacementStrategy) -> Self {
-        let entries = entry_list(archive);
+        let entries = archive.stored_entries();
         let placement = Placement::new(strategy, archive.code().n(), entries.len().max(1));
         let mut store = Self {
-            codec: ByteCodec::new(archive.code().clone()),
+            // Share the archive's code and multiplication tables instead of
+            // cloning the generator per store.
+            codec: archive.codec().clone(),
             nodes: (0..placement.node_count()).map(StorageNode::new).collect(),
             placement,
-            metrics: IoMetrics::new(),
+            metrics: AtomicIoMetrics::new(),
             object_len: archive.object_len().unwrap_or(0),
         };
-        for (entry_idx, (_, shards)) in entries.iter().enumerate() {
-            for position in 0..shards.shard_count() {
+        for (entry_idx, entry) in entries.iter().enumerate() {
+            for position in 0..entry.shards.shard_count() {
                 let key = SymbolKey {
                     entry: entry_idx,
                     position,
                 };
                 let node = store.placement.node_for(key);
-                store.nodes[node].put(key, shards.shard(position).to_vec());
-                store.metrics.symbol_writes += 1;
+                store.nodes[node].put(key, entry.shards.shard(position).to_vec());
+                store.metrics.add_symbol_writes(1);
             }
         }
         store
@@ -88,13 +98,14 @@ impl ByteDistributedStore {
         self.placement
     }
 
-    /// Accumulated I/O metrics (`symbol_reads` counts block reads here).
+    /// A snapshot of the accumulated I/O metrics (`symbol_reads` counts
+    /// block reads here).
     pub fn metrics(&self) -> IoMetrics {
-        self.metrics
+        self.metrics.snapshot()
     }
 
     /// Resets the I/O metrics.
-    pub fn reset_metrics(&mut self) {
+    pub fn reset_metrics(&self) {
         self.metrics.reset();
     }
 
@@ -113,7 +124,7 @@ impl ByteDistributedStore {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
-    pub fn fail_node(&mut self, node: usize) {
+    pub fn fail_node(&self, node: usize) {
         self.nodes[node].fail();
     }
 
@@ -122,14 +133,14 @@ impl ByteDistributedStore {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
-    pub fn revive_node(&mut self, node: usize) {
+    pub fn revive_node(&self, node: usize) {
         self.nodes[node].revive();
     }
 
     /// Applies a failure pattern over the whole cluster (shorter patterns
     /// leave the remaining nodes untouched).
-    pub fn apply_pattern(&mut self, pattern: &FailurePattern) {
-        for (idx, node) in self.nodes.iter_mut().enumerate() {
+    pub fn apply_pattern(&self, pattern: &FailurePattern) {
+        for (idx, node) in self.nodes.iter().enumerate() {
             if pattern.is_failed(idx) {
                 node.fail();
             } else if idx < pattern.len() {
@@ -139,7 +150,7 @@ impl ByteDistributedStore {
     }
 
     /// Fails each node independently with probability `p`.
-    pub fn fail_randomly<R: Rng + ?Sized>(&mut self, p: f64, rng: &mut R) -> FailurePattern {
+    pub fn fail_randomly<R: Rng + ?Sized>(&self, p: f64, rng: &mut R) -> FailurePattern {
         let pattern = FailurePattern::sample(self.nodes.len(), p, rng);
         self.apply_pattern(&pattern);
         pattern
@@ -176,27 +187,20 @@ impl ByteDistributedStore {
 
     /// Whether every stored object of the archive is recoverable.
     pub fn archive_recoverable(&self, archive: &ByteVersionedArchive) -> bool {
-        (0..entry_list(archive).len()).all(|entry| self.entry_recoverable(archive, entry))
+        (0..archive.stored_entry_count()).all(|entry| self.entry_recoverable(archive, entry))
     }
 
     /// Reads and decodes one stored entry from live nodes through the
     /// batched pipeline, honouring the SEC read planning.
     fn read_entry(
-        &mut self,
+        &self,
         entry_idx: usize,
         payload: StoredPayload,
         shard_len: usize,
     ) -> Result<(usize, ByteShards), StoreError> {
-        let k = self.codec.code().k();
         let live = self.live_positions(entry_idx);
-        let target = match payload {
-            StoredPayload::FullVersion { .. } => ReadTarget::Full,
-            StoredPayload::Delta { sparsity, .. } => {
-                if sparsity == 0 {
-                    return Ok((0, ByteShards::zeroed(k, shard_len)));
-                }
-                ReadTarget::Sparse { gamma: sparsity }
-            }
+        let Some(target) = read_target(payload) else {
+            return Ok((0, ByteShards::zeroed(self.codec.code().k(), shard_len)));
         };
         let plan = plan_read(self.codec.code(), &live, target)
             .map_err(|_| StoreError::Unrecoverable { entry: entry_idx })?;
@@ -211,9 +215,9 @@ impl ByteDistributedStore {
             };
             let node = self.placement.node_for(key);
             if self.nodes[node].touch(key) {
-                self.metrics.symbol_reads += 1;
+                self.metrics.add_symbol_reads(1);
             } else {
-                self.metrics.failed_reads += 1;
+                self.metrics.add_failed_read();
                 return Err(StoreError::Unrecoverable { entry: entry_idx });
             }
         }
@@ -226,19 +230,11 @@ impl ByteDistributedStore {
                     position,
                 };
                 let node = self.placement.node_for(key);
-                let block = self.nodes[node].peek_ref(key).expect("touched above");
+                let block = self.nodes[node].peek_stored(key).expect("touched above");
                 (position, block.as_slice())
             })
             .collect();
-        let decoded = match plan.method {
-            DecodeMethod::SystematicDirect | DecodeMethod::Inversion => {
-                self.codec.decode_blocks(&shares)?
-            }
-            DecodeMethod::SparseRecovery => match target {
-                ReadTarget::Sparse { gamma } => self.codec.recover_sparse_blocks(&shares, gamma)?,
-                ReadTarget::Full => unreachable!("sparse plans only arise for sparse targets"),
-            },
-        };
+        let decoded = decode_planned(&self.codec, plan.method, target, &shares)?;
         Ok((plan.io_reads, decoded))
     }
 
@@ -250,11 +246,11 @@ impl ByteDistributedStore {
     /// few live nodes, [`StoreError::Code`] when a stored block is corrupt
     /// (e.g. wrong length), or a versioning error for an invalid `l`.
     pub fn retrieve_version(
-        &mut self,
+        &self,
         archive: &ByteVersionedArchive,
         l: usize,
     ) -> Result<ByteStoredRetrieval, StoreError> {
-        let entries = entry_list(archive);
+        let entries = archive.stored_entries();
         if self.placement.entries() < entries.len() {
             return Err(StoreError::ArchiveMismatch {
                 provisioned: self.placement.entries(),
@@ -270,56 +266,19 @@ impl ByteDistributedStore {
                 available: archive.len(),
             }));
         }
-        self.metrics.retrievals += 1;
-        let object_len = self.object_len;
+        self.metrics.add_retrieval();
 
-        match archive.config().strategy() {
-            EncodingStrategy::NonDifferential => {
-                let (payload, shards) = entries[l - 1];
-                let (io_reads, data) = self.read_entry(l - 1, payload, shards.shard_len())?;
-                Ok(ByteStoredRetrieval {
-                    data: data.join(object_len),
-                    io_reads,
-                })
-            }
-            EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
-                let anchor = entries[..l]
-                    .iter()
-                    .rposition(|(p, _)| matches!(p, StoredPayload::FullVersion { .. }))
-                    .expect("first entry is always a full version");
-                let (mut io_reads, mut acc) =
-                    self.read_entry(anchor, entries[anchor].0, entries[anchor].1.shard_len())?;
-                for (idx, (payload, shards)) in entries.iter().enumerate().take(l).skip(anchor + 1) {
-                    let (reads, delta) = self.read_entry(idx, *payload, shards.shard_len())?;
-                    io_reads += reads;
-                    acc.xor_with(&delta)?;
-                }
-                Ok(ByteStoredRetrieval {
-                    data: acc.join(object_len),
-                    io_reads,
-                })
-            }
-            EncodingStrategy::ReversedSec => {
-                // The full latest copy is the final entry in the stored list.
-                let latest_idx = entries.len() - 1;
-                let (mut io_reads, mut acc) = self.read_entry(
-                    latest_idx,
-                    entries[latest_idx].0,
-                    entries[latest_idx].1.shard_len(),
-                )?;
-                // Delta entries are 0..latest_idx, delta at index j is z_{j+2}.
-                for idx in (l.saturating_sub(1)..latest_idx).rev() {
-                    let (reads, delta) =
-                        self.read_entry(idx, entries[idx].0, entries[idx].1.shard_len())?;
-                    io_reads += reads;
-                    acc.xor_with(&delta)?;
-                }
-                Ok(ByteStoredRetrieval {
-                    data: acc.join(object_len),
-                    io_reads,
-                })
-            }
-        }
+        let out = walk_version(
+            archive.config().strategy(),
+            entries.len(),
+            |idx| entries[idx].payload,
+            l,
+            |idx| self.read_entry(idx, entries[idx].payload, entries[idx].shards.shard_len()),
+        )?;
+        Ok(ByteStoredRetrieval {
+            data: out.shards.join(self.object_len),
+            io_reads: out.io_reads,
+        })
     }
 
     /// Repairs a failed node: revives it and rebuilds every block it should
@@ -335,7 +294,7 @@ impl ByteDistributedStore {
         archive: &ByteVersionedArchive,
         node_id: usize,
     ) -> Result<usize, StoreError> {
-        let entries = entry_list(archive);
+        let entries = archive.stored_entries();
         let (n, k) = (self.codec.code().n(), self.codec.code().k());
         let mut to_rebuild = Vec::new();
         for entry_idx in 0..entries.len() {
@@ -370,7 +329,7 @@ impl ByteDistributedStore {
                 if !self.nodes[node].touch(skey) {
                     return Err(StoreError::Unrecoverable { entry: key.entry });
                 }
-                self.metrics.symbol_reads += 1;
+                self.metrics.add_symbol_reads(1);
             }
             // Borrow the surviving blocks only for the decode/encode pass,
             // so the rebuilt block can be written back afterwards.
@@ -384,7 +343,7 @@ impl ByteDistributedStore {
                             position,
                         };
                         let node = self.placement.node_for(skey);
-                        let block = self.nodes[node].peek_ref(skey).expect("touched above");
+                        let block = self.nodes[node].peek_stored(skey).expect("touched above");
                         (position, block.as_slice())
                     })
                     .collect();
@@ -392,30 +351,19 @@ impl ByteDistributedStore {
                 self.codec.encode_blocks(&object)?
             };
             self.nodes[node_id].put(key, codeword.shard(key.position).to_vec());
-            self.metrics.symbol_writes += 1;
+            self.metrics.add_symbol_writes(1);
             rebuilt += 1;
         }
-        self.metrics.repairs += 1;
+        self.metrics.add_repair();
         Ok(rebuilt)
     }
-}
-
-/// All stored objects of the archive in entry order. For Reversed SEC the
-/// full latest copy is appended after the delta entries.
-fn entry_list(archive: &ByteVersionedArchive) -> Vec<(StoredPayload, &ByteShards)> {
-    let mut list: Vec<(StoredPayload, &ByteShards)> =
-        archive.entries().iter().map(|e| (e.payload, &e.shards)).collect();
-    if let Some(latest) = archive.latest_full_entry() {
-        list.push((latest.payload, &latest.shards));
-    }
-    list
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sec_erasure::{CodeError, GeneratorForm};
-    use sec_versioning::ArchiveConfig;
+    use sec_versioning::{ArchiveConfig, EncodingStrategy};
 
     fn versions() -> Vec<Vec<u8>> {
         let v1: Vec<u8> = (0..60).map(|i| (i * 11 + 3) as u8).collect();
@@ -443,7 +391,7 @@ mod tests {
             EncodingStrategy::NonDifferential,
         ] {
             let (archive, vs) = archive(strategy);
-            let mut store = ByteDistributedStore::colocated(&archive);
+            let store = ByteDistributedStore::colocated(&archive);
             assert_eq!(store.node_count(), 6);
             for (l, expect) in vs.iter().enumerate() {
                 let r = store.retrieve_version(&archive, l + 1).unwrap();
@@ -457,7 +405,7 @@ mod tests {
     #[test]
     fn dispersed_store_uses_distinct_node_sets() {
         let (archive, vs) = archive(EncodingStrategy::BasicSec);
-        let mut store = ByteDistributedStore::dispersed(&archive);
+        let store = ByteDistributedStore::dispersed(&archive);
         assert_eq!(store.node_count(), 18);
         let r = store.retrieve_version(&archive, 3).unwrap();
         assert_eq!(r.data, vs[2]);
@@ -467,8 +415,8 @@ mod tests {
     #[test]
     fn io_reads_match_all_alive_archive_retrieval() {
         for strategy in [EncodingStrategy::BasicSec, EncodingStrategy::OptimizedSec] {
-            let (mut archive, vs) = archive(strategy);
-            let mut store = ByteDistributedStore::colocated(&archive);
+            let (archive, vs) = archive(strategy);
+            let store = ByteDistributedStore::colocated(&archive);
             for l in 1..=vs.len() {
                 let via_store = store.retrieve_version(&archive, l).unwrap().io_reads;
                 let via_archive = archive.retrieve_version(l).unwrap().io_reads;
@@ -480,7 +428,7 @@ mod tests {
     #[test]
     fn survives_n_minus_k_failures_and_sparse_reads_stay_cheap() {
         let (archive, vs) = archive(EncodingStrategy::BasicSec);
-        let mut store = ByteDistributedStore::colocated(&archive);
+        let store = ByteDistributedStore::colocated(&archive);
         store.fail_node(0);
         store.fail_node(3);
         store.fail_node(5);
@@ -535,7 +483,7 @@ mod tests {
     #[test]
     fn error_paths() {
         let (archive, _) = archive(EncodingStrategy::BasicSec);
-        let mut store = ByteDistributedStore::colocated(&archive);
+        let store = ByteDistributedStore::colocated(&archive);
         assert!(matches!(
             store.retrieve_version(&archive, 0),
             Err(StoreError::Versioning(VersioningError::NoSuchVersion { .. }))
@@ -547,7 +495,7 @@ mod tests {
         let empty_config =
             ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec).unwrap();
         let empty = ByteVersionedArchive::new(empty_config).unwrap();
-        let mut empty_store = ByteDistributedStore::colocated(&empty);
+        let empty_store = ByteDistributedStore::colocated(&empty);
         assert!(matches!(
             empty_store.retrieve_version(&empty, 1),
             Err(StoreError::Versioning(VersioningError::EmptyArchive))

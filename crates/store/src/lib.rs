@@ -58,7 +58,7 @@ pub mod placement;
 
 pub use byte_store::{ByteDistributedStore, ByteStoredRetrieval};
 pub use failure::FailurePattern;
-pub use metrics::IoMetrics;
+pub use metrics::{AtomicIoMetrics, IoMetrics};
 pub use node::StorageNode;
 pub use placement::{Placement, PlacementStrategy};
 pub use store::{DistributedStore, StoreError, StoredRetrieval};

@@ -1,6 +1,15 @@
 //! I/O accounting for the simulated store.
+//!
+//! The live counters are [`AtomicIoMetrics`] so that read paths can record
+//! I/O under a shared `&self` borrow — the whole point of the SEC design is
+//! that retrieval is cheap, so a store must be able to serve many readers
+//! concurrently without serializing on a metrics mutex. Callers observe the
+//! counters through [`IoMetrics`], an immutable point-in-time snapshot.
 
-/// Counters accumulated by a [`DistributedStore`](crate::DistributedStore).
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// A point-in-time snapshot of the counters accumulated by a store (see
+/// [`AtomicIoMetrics`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoMetrics {
     /// Symbols read from live nodes.
@@ -47,6 +56,92 @@ impl core::fmt::Display for IoMetrics {
     }
 }
 
+/// Live I/O counters, updatable under a shared borrow.
+///
+/// Every mutator is `&self` (relaxed atomic increments — the counters are
+/// statistics, not synchronization), so retrieval paths can stay `&self` and
+/// run concurrently. [`AtomicIoMetrics::snapshot`] freezes the current values
+/// into an [`IoMetrics`].
+#[derive(Debug, Default)]
+pub struct AtomicIoMetrics {
+    symbol_reads: AtomicU64,
+    symbol_writes: AtomicU64,
+    failed_reads: AtomicU64,
+    retrievals: AtomicU64,
+    repairs: AtomicU64,
+}
+
+impl AtomicIoMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts `n` symbol reads.
+    pub fn add_symbol_reads(&self, n: u64) {
+        self.symbol_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` symbol writes.
+    pub fn add_symbol_writes(&self, n: u64) {
+        self.symbol_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one read that hit a dead node or a missing symbol.
+    pub fn add_failed_read(&self) {
+        self.failed_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one retrieval operation.
+    pub fn add_retrieval(&self) {
+        self.retrievals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one repair operation.
+    pub fn add_repair(&self) {
+        self.repairs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freezes the current counter values into a snapshot.
+    pub fn snapshot(&self) -> IoMetrics {
+        IoMetrics {
+            symbol_reads: self.symbol_reads.load(Ordering::Relaxed),
+            symbol_writes: self.symbol_writes.load(Ordering::Relaxed),
+            failed_reads: self.failed_reads.load(Ordering::Relaxed),
+            retrievals: self.retrievals.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.symbol_reads.store(0, Ordering::Relaxed);
+        self.symbol_writes.store(0, Ordering::Relaxed);
+        self.failed_reads.store(0, Ordering::Relaxed);
+        self.retrievals.store(0, Ordering::Relaxed);
+        self.repairs.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for AtomicIoMetrics {
+    fn clone(&self) -> Self {
+        let s = self.snapshot();
+        Self {
+            symbol_reads: AtomicU64::new(s.symbol_reads),
+            symbol_writes: AtomicU64::new(s.symbol_writes),
+            failed_reads: AtomicU64::new(s.failed_reads),
+            retrievals: AtomicU64::new(s.retrievals),
+            repairs: AtomicU64::new(s.repairs),
+        }
+    }
+}
+
+impl From<&AtomicIoMetrics> for IoMetrics {
+    fn from(m: &AtomicIoMetrics) -> Self {
+        m.snapshot()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +158,52 @@ mod tests {
         assert!(s.contains("retrievals=4"));
         m.reset();
         assert_eq!(m, IoMetrics::default());
+    }
+
+    #[test]
+    fn atomic_counters_snapshot_and_reset() {
+        let m = AtomicIoMetrics::new();
+        m.add_symbol_reads(3);
+        m.add_symbol_reads(2);
+        m.add_symbol_writes(7);
+        m.add_failed_read();
+        m.add_retrieval();
+        m.add_repair();
+        let snap = m.snapshot();
+        assert_eq!(snap.symbol_reads, 5);
+        assert_eq!(snap.symbol_writes, 7);
+        assert_eq!(snap.failed_reads, 1);
+        assert_eq!(snap.retrievals, 1);
+        assert_eq!(snap.repairs, 1);
+        assert_eq!(IoMetrics::from(&m), snap);
+        let cloned = m.clone();
+        assert_eq!(cloned.snapshot(), snap);
+        m.reset();
+        assert_eq!(m.snapshot(), IoMetrics::default());
+        // The clone kept its own counters.
+        assert_eq!(cloned.snapshot(), snap);
+    }
+
+    #[test]
+    fn atomic_counters_shared_across_threads() {
+        let m = std::sync::Arc::new(AtomicIoMetrics::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        m.add_symbol_reads(1);
+                        m.add_retrieval();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.symbol_reads, 400);
+        assert_eq!(snap.retrievals, 400);
+        assert_eq!(snap.reads_per_retrieval(), Some(1.0));
     }
 }

@@ -1,6 +1,7 @@
 //! A single simulated storage node.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Key of one stored coded symbol: which archive entry it belongs to and its
 /// position within that entry's codeword.
@@ -19,12 +20,19 @@ pub struct SymbolKey {
 /// (crate::DistributedStore) keeps one field element per key, while the
 /// byte-shard [`ByteDistributedStore`](crate::ByteDistributedStore) keeps a
 /// whole `Vec<u8>` shard per key.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Everything a *read path* needs — the failure flag, the read counter, and
+/// value lookup — works through `&self`: the flag and counter are atomics, so
+/// any number of readers can serve retrievals from a shared node while
+/// failure injection flips its liveness concurrently. Only operations that
+/// change the stored contents ([`StorageNode::put`], [`StorageNode::wipe`])
+/// require `&mut self`.
+#[derive(Debug)]
 pub struct StorageNode<V> {
     id: usize,
-    alive: bool,
+    alive: AtomicBool,
     symbols: BTreeMap<SymbolKey, V>,
-    reads: u64,
+    reads: AtomicU64,
 }
 
 impl<V: Clone> StorageNode<V> {
@@ -32,9 +40,9 @@ impl<V: Clone> StorageNode<V> {
     pub fn new(id: usize) -> Self {
         Self {
             id,
-            alive: true,
+            alive: AtomicBool::new(true),
             symbols: BTreeMap::new(),
-            reads: 0,
+            reads: AtomicU64::new(0),
         }
     }
 
@@ -45,18 +53,18 @@ impl<V: Clone> StorageNode<V> {
 
     /// Whether the node is currently alive.
     pub fn is_alive(&self) -> bool {
-        self.alive
+        self.alive.load(Ordering::Acquire)
     }
 
     /// Marks the node failed. Its contents become unreadable until revived.
-    pub fn fail(&mut self) {
-        self.alive = false;
+    pub fn fail(&self) {
+        self.alive.store(false, Ordering::Release);
     }
 
     /// Revives the node, keeping whatever it stored before failing
     /// (a crash-recovery model; use [`StorageNode::wipe`] for disk loss).
-    pub fn revive(&mut self) {
-        self.alive = true;
+    pub fn revive(&self) {
+        self.alive.store(true, Ordering::Release);
     }
 
     /// Clears the node's contents (models permanent data loss).
@@ -71,13 +79,13 @@ impl<V: Clone> StorageNode<V> {
 
     /// Reads one coded value, counting the I/O, or `None` when the node is
     /// dead or does not hold the value.
-    pub fn read(&mut self, key: SymbolKey) -> Option<V> {
-        if !self.alive {
+    pub fn read(&self, key: SymbolKey) -> Option<V> {
+        if !self.is_alive() {
             return None;
         }
         let value = self.symbols.get(&key).cloned();
         if value.is_some() {
-            self.reads += 1;
+            self.reads.fetch_add(1, Ordering::Relaxed);
         }
         value
     }
@@ -92,22 +100,33 @@ impl<V: Clone> StorageNode<V> {
     /// Pair with [`StorageNode::touch`] when the value is large (e.g. a whole
     /// byte block) and cloning it per simulated read would be wasteful.
     pub fn peek_ref(&self, key: SymbolKey) -> Option<&V> {
-        if self.alive {
+        if self.is_alive() {
             self.symbols.get(&key)
         } else {
             None
         }
     }
 
+    /// Borrowed view of a stored value regardless of liveness — the crash
+    /// model's "blocks survive on disk" view.
+    ///
+    /// Use after a successful [`StorageNode::touch`]: liveness may flip
+    /// concurrently (failure injection is `&self`), and a read that already
+    /// passed admission must still be able to borrow the block it counted
+    /// instead of panicking or spuriously failing.
+    pub fn peek_stored(&self, key: SymbolKey) -> Option<&V> {
+        self.symbols.get(&key)
+    }
+
     /// Counts one read against the node if it is alive and holds the value,
     /// without cloning the value out; returns whether the read succeeded.
-    pub fn touch(&mut self, key: SymbolKey) -> bool {
-        if !self.alive {
+    pub fn touch(&self, key: SymbolKey) -> bool {
+        if !self.is_alive() {
             return false;
         }
         let present = self.symbols.contains_key(&key);
         if present {
-            self.reads += 1;
+            self.reads.fetch_add(1, Ordering::Relaxed);
         }
         present
     }
@@ -119,9 +138,31 @@ impl<V: Clone> StorageNode<V> {
 
     /// Number of read operations served so far.
     pub fn reads(&self) -> u64 {
-        self.reads
+        self.reads.load(Ordering::Relaxed)
     }
 }
+
+impl<V: Clone> Clone for StorageNode<V> {
+    fn clone(&self) -> Self {
+        Self {
+            id: self.id,
+            alive: AtomicBool::new(self.is_alive()),
+            symbols: self.symbols.clone(),
+            reads: AtomicU64::new(self.reads()),
+        }
+    }
+}
+
+impl<V: Clone + PartialEq> PartialEq for StorageNode<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.is_alive() == other.is_alive()
+            && self.symbols == other.symbols
+            && self.reads() == other.reads()
+    }
+}
+
+impl<V: Clone + Eq> Eq for StorageNode<V> {}
 
 #[cfg(test)]
 mod tests {
@@ -165,5 +206,47 @@ mod tests {
         node.wipe();
         assert_eq!(node.read(key), None);
         assert_eq!(node.stored_symbols(), 0);
+    }
+
+    #[test]
+    fn clone_and_eq_track_atomic_state() {
+        let mut node: StorageNode<Gf256> = StorageNode::new(1);
+        let key = SymbolKey {
+            entry: 0,
+            position: 0,
+        };
+        node.put(key, Gf256::ONE);
+        let _ = node.read(key);
+        let cloned = node.clone();
+        assert_eq!(node, cloned);
+        node.fail();
+        assert_ne!(node, cloned);
+        node.revive();
+        assert_eq!(node, cloned);
+    }
+
+    #[test]
+    fn shared_reads_count_concurrently() {
+        let mut node: StorageNode<Gf256> = StorageNode::new(0);
+        let key = SymbolKey {
+            entry: 0,
+            position: 1,
+        };
+        node.put(key, Gf256::ONE);
+        let node = std::sync::Arc::new(node);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let node = std::sync::Arc::clone(&node);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        assert!(node.touch(key));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(node.reads(), 200);
     }
 }

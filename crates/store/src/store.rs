@@ -10,7 +10,7 @@ use sec_gf::GaloisField;
 use sec_versioning::{EncodingStrategy, StoredPayload, VersionedArchive, VersioningError};
 
 use crate::failure::FailurePattern;
-use crate::metrics::IoMetrics;
+use crate::metrics::{AtomicIoMetrics, IoMetrics};
 use crate::node::{StorageNode, SymbolKey};
 use crate::placement::{Placement, PlacementStrategy};
 
@@ -81,11 +81,16 @@ pub struct StoredRetrieval<F> {
 }
 
 /// Archive entries stored across simulated nodes under a placement strategy.
+///
+/// Retrieval, recoverability checks and failure injection all take `&self`
+/// (node liveness and every counter are atomic), so one store can serve many
+/// concurrent readers; only content mutation (repair, corruption hooks)
+/// needs `&mut self`.
 #[derive(Debug, Clone)]
 pub struct DistributedStore<F> {
     nodes: Vec<StorageNode<F>>,
     placement: Placement,
-    metrics: IoMetrics,
+    metrics: AtomicIoMetrics,
 }
 
 impl<F: GaloisField> DistributedStore<F> {
@@ -97,7 +102,7 @@ impl<F: GaloisField> DistributedStore<F> {
         let mut store = Self {
             nodes: (0..placement.node_count()).map(StorageNode::new).collect(),
             placement,
-            metrics: IoMetrics::new(),
+            metrics: AtomicIoMetrics::new(),
         };
         store.write_archive(archive);
         store
@@ -136,7 +141,7 @@ impl<F: GaloisField> DistributedStore<F> {
                 };
                 let node = self.placement.node_for(key);
                 self.nodes[node].put(key, symbol);
-                self.metrics.symbol_writes += 1;
+                self.metrics.add_symbol_writes(1);
             }
         }
     }
@@ -146,13 +151,13 @@ impl<F: GaloisField> DistributedStore<F> {
         self.placement
     }
 
-    /// Accumulated I/O metrics.
+    /// A snapshot of the accumulated I/O metrics.
     pub fn metrics(&self) -> IoMetrics {
-        self.metrics
+        self.metrics.snapshot()
     }
 
     /// Resets the I/O metrics.
-    pub fn reset_metrics(&mut self) {
+    pub fn reset_metrics(&self) {
         self.metrics.reset();
     }
 
@@ -171,7 +176,7 @@ impl<F: GaloisField> DistributedStore<F> {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
-    pub fn fail_node(&mut self, node: usize) {
+    pub fn fail_node(&self, node: usize) {
         self.nodes[node].fail();
     }
 
@@ -180,15 +185,15 @@ impl<F: GaloisField> DistributedStore<F> {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
-    pub fn revive_node(&mut self, node: usize) {
+    pub fn revive_node(&self, node: usize) {
         self.nodes[node].revive();
     }
 
     /// Applies a failure pattern over the whole cluster (pattern length must
     /// equal the node count; shorter patterns leave the remaining nodes
     /// untouched).
-    pub fn apply_pattern(&mut self, pattern: &FailurePattern) {
-        for (idx, node) in self.nodes.iter_mut().enumerate() {
+    pub fn apply_pattern(&self, pattern: &FailurePattern) {
+        for (idx, node) in self.nodes.iter().enumerate() {
             if pattern.is_failed(idx) {
                 node.fail();
             } else if idx < pattern.len() {
@@ -198,7 +203,7 @@ impl<F: GaloisField> DistributedStore<F> {
     }
 
     /// Fails each node independently with probability `p`.
-    pub fn fail_randomly<R: Rng + ?Sized>(&mut self, p: f64, rng: &mut R) -> FailurePattern {
+    pub fn fail_randomly<R: Rng + ?Sized>(&self, p: f64, rng: &mut R) -> FailurePattern {
         let pattern = FailurePattern::sample(self.nodes.len(), p, rng);
         self.apply_pattern(&pattern);
         pattern
@@ -235,7 +240,7 @@ impl<F: GaloisField> DistributedStore<F> {
     /// read planning (2γ reads when a qualifying subset of live nodes exists,
     /// k reads otherwise).
     fn read_entry(
-        &mut self,
+        &self,
         archive: &VersionedArchive<F>,
         entry_idx: usize,
         payload: StoredPayload,
@@ -263,11 +268,11 @@ impl<F: GaloisField> DistributedStore<F> {
             let node = self.placement.node_for(key);
             match self.nodes[node].read(key) {
                 Some(symbol) => {
-                    self.metrics.symbol_reads += 1;
+                    self.metrics.add_symbol_reads(1);
                     shares.push((position, symbol));
                 }
                 None => {
-                    self.metrics.failed_reads += 1;
+                    self.metrics.add_failed_read();
                     return Err(StoreError::Unrecoverable { entry: entry_idx });
                 }
             }
@@ -289,7 +294,7 @@ impl<F: GaloisField> DistributedStore<F> {
     /// Returns [`StoreError::Unrecoverable`] when some required entry has too
     /// few live nodes, or a versioning error for an invalid `l`.
     pub fn retrieve_version(
-        &mut self,
+        &self,
         archive: &VersionedArchive<F>,
         l: usize,
     ) -> Result<StoredRetrieval<F>, StoreError> {
@@ -309,7 +314,7 @@ impl<F: GaloisField> DistributedStore<F> {
                 available: archive.len(),
             }));
         }
-        self.metrics.retrievals += 1;
+        self.metrics.add_retrieval();
 
         match archive.config().strategy() {
             EncodingStrategy::NonDifferential => {
@@ -402,16 +407,16 @@ impl<F: GaloisField> DistributedStore<F> {
                 let symbol = self.nodes[node]
                     .read(skey)
                     .ok_or(StoreError::Unrecoverable { entry: key.entry })?;
-                self.metrics.symbol_reads += 1;
+                self.metrics.add_symbol_reads(1);
                 shares.push((position, symbol));
             }
             let object = code.decode_full(&shares)?;
             let codeword = code.encode(&object)?;
             self.nodes[node_id].put(key, codeword[key.position]);
-            self.metrics.symbol_writes += 1;
+            self.metrics.add_symbol_writes(1);
             rebuilt += 1;
         }
-        self.metrics.repairs += 1;
+        self.metrics.add_repair();
         Ok(rebuilt)
     }
 }
@@ -451,7 +456,7 @@ mod tests {
             EncodingStrategy::NonDifferential,
         ] {
             let (archive, vs) = archive(strategy);
-            let mut store = DistributedStore::colocated(&archive);
+            let store = DistributedStore::colocated(&archive);
             assert_eq!(store.node_count(), 6);
             for (l, expect) in vs.iter().enumerate() {
                 let r = store.retrieve_version(&archive, l + 1).unwrap();
@@ -465,7 +470,7 @@ mod tests {
     #[test]
     fn dispersed_store_uses_distinct_node_sets() {
         let (archive, vs) = archive(EncodingStrategy::BasicSec);
-        let mut store = DistributedStore::dispersed(&archive);
+        let store = DistributedStore::dispersed(&archive);
         assert_eq!(store.node_count(), 18);
         let r = store.retrieve_version(&archive, 3).unwrap();
         assert_eq!(r.data, vs[2]);
@@ -477,7 +482,7 @@ mod tests {
     fn io_reads_match_all_alive_archive_retrieval() {
         for strategy in [EncodingStrategy::BasicSec, EncodingStrategy::OptimizedSec] {
             let (archive, vs) = archive(strategy);
-            let mut store = DistributedStore::colocated(&archive);
+            let store = DistributedStore::colocated(&archive);
             for l in 1..=vs.len() {
                 let via_store = store.retrieve_version(&archive, l).unwrap().io_reads;
                 let via_archive = archive.retrieve_version(l).unwrap().io_reads;
@@ -489,7 +494,7 @@ mod tests {
     #[test]
     fn survives_n_minus_k_failures_colocated() {
         let (archive, vs) = archive(EncodingStrategy::BasicSec);
-        let mut store = DistributedStore::colocated(&archive);
+        let store = DistributedStore::colocated(&archive);
         store.fail_node(0);
         store.fail_node(3);
         store.fail_node(5);
@@ -513,7 +518,7 @@ mod tests {
         // matching the paper's observation that individual deltas have higher
         // static resilience (eq. 7 vs eq. 6).
         let (archive, _) = archive(EncodingStrategy::BasicSec);
-        let mut store = DistributedStore::colocated(&archive);
+        let store = DistributedStore::colocated(&archive);
         for node in [0, 1, 3, 5] {
             store.fail_node(node);
         }
@@ -531,7 +536,7 @@ mod tests {
     #[test]
     fn random_failures_and_pattern_application() {
         let (archive, vs) = archive(EncodingStrategy::BasicSec);
-        let mut store = DistributedStore::colocated(&archive);
+        let store = DistributedStore::colocated(&archive);
         let mut rng = StdRng::seed_from_u64(5);
         let pattern = store.fail_randomly(0.3, &mut rng);
         assert_eq!(pattern.len(), 6);
@@ -581,7 +586,7 @@ mod tests {
     #[test]
     fn error_paths_and_metrics_reset() {
         let (archive, _) = archive(EncodingStrategy::BasicSec);
-        let mut store = DistributedStore::colocated(&archive);
+        let store = DistributedStore::colocated(&archive);
         assert!(matches!(
             store.retrieve_version(&archive, 0),
             Err(StoreError::Versioning(VersioningError::NoSuchVersion { .. }))

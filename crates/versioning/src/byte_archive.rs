@@ -37,12 +37,13 @@
 //! # }
 //! ```
 
-use sec_erasure::read_plan::{plan_read, DecodeMethod, ReadTarget};
+use sec_erasure::read_plan::plan_read;
 use sec_erasure::{ByteCodec, ByteShards, SecCode};
 
 use crate::archive::{ArchiveConfig, EncodingStrategy, StoredPayload};
 use crate::error::VersioningError;
 use crate::object::VersionId;
+use crate::walk::{decode_planned, read_target, walk_prefix, walk_version};
 
 /// One stored, erasure-coded byte object: its semantic payload and its `n`
 /// coded blocks.
@@ -81,8 +82,10 @@ pub struct BytePrefixRetrieval {
 /// A delta-based versioned archive over byte objects, encoded with SEC
 /// through the batched byte-shard pipeline.
 ///
-/// Retrieval methods take `&mut self` because decoding reuses the codec's
-/// internal scratch arena.
+/// Every retrieval method takes `&self`: the codec is shared-read (its
+/// decode scratch is per-thread), so any number of readers can retrieve
+/// versions from one archive concurrently while appends keep the usual
+/// exclusive borrow.
 #[derive(Debug)]
 pub struct ByteVersionedArchive {
     config: ArchiveConfig,
@@ -128,6 +131,18 @@ impl ByteVersionedArchive {
         self.codec.code()
     }
 
+    /// The archive's batched codec. Cloning it is cheap and shares the code
+    /// and multiplication tables, which is how `sec-store` and `sec-engine`
+    /// avoid rebuilding them per store.
+    pub fn codec(&self) -> &ByteCodec {
+        &self.codec
+    }
+
+    /// Shared handle to the underlying code (no clone of the generator).
+    pub fn shared_code(&self) -> std::sync::Arc<SecCode<sec_gf::Gf256>> {
+        self.codec.shared_code()
+    }
+
     /// Number of versions appended so far (`L`).
     pub fn len(&self) -> usize {
         self.versions
@@ -159,6 +174,12 @@ impl ByteVersionedArchive {
     /// use and at least one version exists.
     pub fn latest_full_entry(&self) -> Option<&ByteEncodedEntry> {
         self.latest_full.as_ref()
+    }
+
+    /// Number of stored objects ([`ByteVersionedArchive::stored_entries`]
+    /// without materializing the list).
+    pub fn stored_entry_count(&self) -> usize {
+        self.entries.len() + usize::from(self.latest_full.is_some())
     }
 
     /// Total number of stored coded bytes across all entries — the storage
@@ -294,57 +315,22 @@ impl ByteVersionedArchive {
     ///
     /// Returns [`VersioningError::NoSuchVersion`] for an out-of-range `l`, or
     /// [`VersioningError::EmptyArchive`] when nothing has been appended.
-    pub fn retrieve_version(&mut self, l: usize) -> Result<ByteVersionRetrieval, VersioningError> {
+    pub fn retrieve_version(&self, l: usize) -> Result<ByteVersionRetrieval, VersioningError> {
         self.check_version(l)?;
-        match self.config.strategy() {
-            EncodingStrategy::NonDifferential => {
-                let (io_reads, data) = decode_entry(&mut self.codec, &self.entries[l - 1])?;
-                Ok(ByteVersionRetrieval {
-                    version: l,
-                    data: self.trim(&data),
-                    io_reads,
-                    entries_read: 1,
-                })
-            }
-            EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
-                let anchor = self.entries[..l]
-                    .iter()
-                    .rposition(|e| matches!(e.payload, StoredPayload::FullVersion { .. }))
-                    .expect("the first entry always stores a full version");
-                let (mut io_reads, mut acc) = decode_entry(&mut self.codec, &self.entries[anchor])?;
-                let mut entries_read = 1;
-                for entry in &self.entries[anchor + 1..l] {
-                    let (reads, delta) = decode_entry(&mut self.codec, entry)?;
-                    io_reads += reads;
-                    entries_read += 1;
-                    acc.xor_with(&delta)?;
-                }
-                Ok(ByteVersionRetrieval {
-                    version: l,
-                    data: self.trim(&acc),
-                    io_reads,
-                    entries_read,
-                })
-            }
-            EncodingStrategy::ReversedSec => {
-                let latest = self.latest_full.as_ref().ok_or(VersioningError::EmptyArchive)?;
-                let (mut io_reads, mut acc) = decode_entry(&mut self.codec, latest)?;
-                let mut entries_read = 1;
-                // Entries are z_2 … z_L in order; un-apply z_L, …, z_{l+1}.
-                for entry in self.entries[l.saturating_sub(1)..].iter().rev() {
-                    let (reads, delta) = decode_entry(&mut self.codec, entry)?;
-                    io_reads += reads;
-                    entries_read += 1;
-                    acc.xor_with(&delta)?;
-                }
-                Ok(ByteVersionRetrieval {
-                    version: l,
-                    data: self.trim(&acc),
-                    io_reads,
-                    entries_read,
-                })
-            }
-        }
+        let entries = self.stored_entries();
+        let out = walk_version(
+            self.config.strategy(),
+            entries.len(),
+            |idx| entries[idx].payload,
+            l,
+            |idx| decode_entry(&self.codec, entries[idx]),
+        )?;
+        Ok(ByteVersionRetrieval {
+            version: l,
+            data: self.trim(&out.shards),
+            io_reads: out.io_reads,
+            entries_read: out.entries_read,
+        })
     }
 
     /// Retrieves the first `l` versions assuming every node is alive.
@@ -353,64 +339,35 @@ impl ByteVersionedArchive {
     ///
     /// Returns [`VersioningError::NoSuchVersion`] for an out-of-range `l`, or
     /// [`VersioningError::EmptyArchive`] when nothing has been appended.
-    pub fn retrieve_prefix(&mut self, l: usize) -> Result<BytePrefixRetrieval, VersioningError> {
+    pub fn retrieve_prefix(&self, l: usize) -> Result<BytePrefixRetrieval, VersioningError> {
         self.check_version(l)?;
-        match self.config.strategy() {
-            EncodingStrategy::NonDifferential => {
-                let mut versions = Vec::with_capacity(l);
-                let mut io_reads = 0;
-                for v in 1..=l {
-                    let r = self.retrieve_version(v)?;
-                    io_reads += r.io_reads;
-                    versions.push(r.data);
-                }
-                Ok(BytePrefixRetrieval {
-                    versions,
-                    io_reads,
-                    entries_read: l,
-                })
-            }
-            EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
-                let mut io_reads = 0;
-                let mut versions: Vec<Vec<u8>> = Vec::with_capacity(l);
-                let mut acc: Option<ByteShards> = None;
-                for idx in 0..l {
-                    let (reads, decoded) = decode_entry(&mut self.codec, &self.entries[idx])?;
-                    io_reads += reads;
-                    match self.entries[idx].payload {
-                        StoredPayload::FullVersion { .. } => acc = Some(decoded),
-                        StoredPayload::Delta { .. } => {
-                            let base = acc.as_mut().expect("delta entries follow their base version");
-                            base.xor_with(&decoded)?;
-                        }
-                    }
-                    versions.push(self.trim(acc.as_ref().expect("set above")));
-                }
-                Ok(BytePrefixRetrieval {
-                    versions,
-                    io_reads,
-                    entries_read: l,
-                })
-            }
-            EncodingStrategy::ReversedSec => {
-                let latest = self.latest_full.as_ref().ok_or(VersioningError::EmptyArchive)?;
-                let (mut io_reads, mut acc) = decode_entry(&mut self.codec, latest)?;
-                let mut versions_rev = vec![self.trim(&acc)];
-                for idx in (0..self.entries.len()).rev() {
-                    let (reads, delta) = decode_entry(&mut self.codec, &self.entries[idx])?;
-                    io_reads += reads;
-                    acc.xor_with(&delta)?;
-                    versions_rev.push(self.trim(&acc));
-                }
-                versions_rev.reverse();
-                versions_rev.truncate(l);
-                Ok(BytePrefixRetrieval {
-                    versions: versions_rev,
-                    io_reads,
-                    entries_read: self.entries.len() + 1,
-                })
-            }
+        let entries = self.stored_entries();
+        let out = walk_prefix(
+            self.config.strategy(),
+            entries.len(),
+            |idx| entries[idx].payload,
+            l,
+            self.object_len.unwrap_or(0),
+            |idx| decode_entry(&self.codec, entries[idx]),
+        )?;
+        Ok(BytePrefixRetrieval {
+            versions: out.versions,
+            io_reads: out.io_reads,
+            entries_read: out.entries_read,
+        })
+    }
+
+    /// All stored entries in the walk order shared by every read layer
+    /// ([`crate::walk`]): append-order entries, with the Reversed-SEC full
+    /// latest copy as the final element. `sec-store` and `sec-engine` build
+    /// their node layouts and read paths from this list, so the ordering
+    /// convention lives here, once.
+    pub fn stored_entries(&self) -> Vec<&ByteEncodedEntry> {
+        let mut list: Vec<&ByteEncodedEntry> = self.entries.iter().collect();
+        if let Some(latest) = self.latest_full.as_ref() {
+            list.push(latest);
         }
+        list
     }
 
     fn check_version(&self, l: usize) -> Result<(), VersioningError> {
@@ -429,38 +386,24 @@ impl ByteVersionedArchive {
     /// Copies decoded data shards out as a flat object, dropping the zero
     /// padding (single copy, no intermediate clone of the padded buffer).
     fn trim(&self, shards: &ByteShards) -> Vec<u8> {
-        let len = self.object_len.unwrap_or(0).min(shards.total_len());
-        shards.as_bytes()[..len].to_vec()
+        crate::walk::trim_object(shards, self.object_len.unwrap_or(0))
     }
 }
 
 /// Decodes one stored entry with all nodes alive through the byte pipeline,
 /// returning `(block_reads, decoded_data_shards)`.
 fn decode_entry(
-    codec: &mut ByteCodec,
+    codec: &ByteCodec,
     entry: &ByteEncodedEntry,
 ) -> Result<(usize, ByteShards), VersioningError> {
-    let k = codec.code().k();
-    let target = match entry.payload {
-        StoredPayload::FullVersion { .. } => ReadTarget::Full,
-        StoredPayload::Delta { sparsity, .. } => {
-            if sparsity == 0 {
-                // Nothing changed; no reads needed at all.
-                return Ok((0, ByteShards::zeroed(k, entry.shards.shard_len())));
-            }
-            ReadTarget::Sparse { gamma: sparsity }
-        }
+    let Some(target) = read_target(entry.payload) else {
+        // Nothing changed; no reads needed at all.
+        return Ok((0, ByteShards::zeroed(codec.code().k(), entry.shards.shard_len())));
     };
     let live: Vec<usize> = (0..codec.code().n()).collect();
     let plan = plan_read(codec.code(), &live, target)?;
     let shares: Vec<(usize, &[u8])> = plan.nodes.iter().map(|&i| (i, entry.shards.shard(i))).collect();
-    let decoded = match plan.method {
-        DecodeMethod::SystematicDirect | DecodeMethod::Inversion => codec.decode_blocks(&shares)?,
-        DecodeMethod::SparseRecovery => match target {
-            ReadTarget::Sparse { gamma } => codec.recover_sparse_blocks(&shares, gamma)?,
-            ReadTarget::Full => unreachable!("sparse plans only arise for sparse targets"),
-        },
-    };
+    let decoded = decode_planned(codec, plan.method, target, &shares)?;
     Ok((plan.io_reads, decoded))
 }
 
@@ -615,7 +558,7 @@ mod tests {
 
     #[test]
     fn retrieval_error_paths() {
-        let mut empty = archive(EncodingStrategy::BasicSec);
+        let empty = archive(EncodingStrategy::BasicSec);
         assert!(matches!(
             empty.retrieve_version(1),
             Err(VersioningError::EmptyArchive)

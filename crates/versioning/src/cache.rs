@@ -1,21 +1,32 @@
-//! Cache of the latest plaintext version.
+//! Caches for the versioning layer.
 //!
 //! SEC stores only deltas, yet computing the next delta `z_{j+1} = x_{j+1} −
 //! x_j` requires `x_j`. The paper's practical answer is to "cache a full copy
 //! of the latest version until a new version arrives", which also speeds up
 //! reads of the newest version. [`LatestVersionCache`] is that cache, with hit
 //! and miss counters so experiments can report its effect.
+//!
+//! [`VersionCache`] generalizes it into a small shared-read LRU over decoded
+//! versions for serving layers: lookups take `&self` (the recency touch is an
+//! atomic store under a read lock), so cached retrievals from many concurrent
+//! readers never serialize on the cache.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use sec_gf::GaloisField;
 
 use crate::object::VersionId;
 
 /// Cache holding the plaintext of the most recently appended version.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Lookups are `&self`: the hit/miss counters are atomics, so a pure read
+/// never needs an exclusive borrow of the archive that owns the cache.
+#[derive(Debug)]
 pub struct LatestVersionCache<F> {
     entry: Option<(VersionId, Vec<F>)>,
-    hits: u64,
-    misses: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<F: GaloisField> LatestVersionCache<F> {
@@ -23,8 +34,8 @@ impl<F: GaloisField> LatestVersionCache<F> {
     pub fn new() -> Self {
         Self {
             entry: None,
-            hits: 0,
-            misses: 0,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -34,15 +45,16 @@ impl<F: GaloisField> LatestVersionCache<F> {
     }
 
     /// Returns the cached data if it is exactly version `id`, recording a hit
-    /// or miss.
-    pub fn get(&mut self, id: VersionId) -> Option<&[F]> {
+    /// or miss. A pure lookup: concurrent readers can call this through a
+    /// shared borrow without serializing.
+    pub fn get(&self, id: VersionId) -> Option<&[F]> {
         match &self.entry {
             Some((cached_id, data)) if *cached_id == id => {
-                self.hits += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(data.as_slice())
             }
             _ => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -65,18 +77,172 @@ impl<F: GaloisField> LatestVersionCache<F> {
 
     /// Number of lookups that found the requested version.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of lookups that did not find the requested version.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
 impl<F: GaloisField> Default for LatestVersionCache<F> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<F: Clone> Clone for LatestVersionCache<F> {
+    fn clone(&self) -> Self {
+        Self {
+            entry: self.entry.clone(),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Hit/miss statistics of a [`VersionCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found their version.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Versions currently cached.
+    pub len: usize,
+    /// Maximum number of cached versions.
+    pub capacity: usize,
+}
+
+/// One cached version: its number, its decoded value, and an atomically
+/// touchable recency stamp.
+#[derive(Debug)]
+struct CacheSlot<V> {
+    version: usize,
+    value: Arc<V>,
+    last_used: AtomicU64,
+}
+
+/// A capacity-bounded LRU cache of decoded versions with shared-read lookup.
+///
+/// Versions are immutable once appended, so cached values never need
+/// invalidation — eviction is purely capacity-driven. The design goal is that
+/// the *read path never takes an exclusive lock*:
+///
+/// * [`VersionCache::get`] takes the slot list's read lock (shared among any
+///   number of readers) and performs the LRU touch by storing a fresh logical
+///   timestamp into the slot's atomic — interior mutability instead of a
+///   write lock;
+/// * [`VersionCache::insert`] takes the write lock only to admit a new
+///   version, evicting the slot with the oldest stamp when full.
+///
+/// Values are handed out as [`Arc`]s so a hit costs one refcount bump, not a
+/// copy of the decoded object.
+#[derive(Debug)]
+pub struct VersionCache<V> {
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    slots: RwLock<Vec<CacheSlot<V>>>,
+}
+
+impl<V> VersionCache<V> {
+    /// Creates a cache holding at most `capacity` versions. A zero capacity
+    /// disables the cache: every lookup misses and inserts are dropped.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            slots: RwLock::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Maximum number of cached versions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently cached versions.
+    pub fn len(&self) -> usize {
+        self.slots.read().expect("cache lock poisoned").len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up version `version` (1-based), touching its recency stamp and
+    /// recording a hit or miss. Concurrent lookups proceed in parallel.
+    ///
+    /// A disabled cache (capacity 0) returns `None` without recording a
+    /// miss — there is no cache to be cold.
+    pub fn get(&self, version: usize) -> Option<Arc<V>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let slots = self.slots.read().expect("cache lock poisoned");
+        let found = slots.iter().find(|slot| slot.version == version).map(|slot| {
+            // LRU touch through the slot's atomic: no write lock needed.
+            let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            slot.last_used.store(stamp, Ordering::Relaxed);
+            Arc::clone(&slot.value)
+        });
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Admits version `version`, evicting the least recently used slot when
+    /// the cache is full. Returns the cached handle (the existing one when
+    /// the version was already present — versions are immutable, so the first
+    /// admitted value wins).
+    pub fn insert(&self, version: usize, value: V) -> Arc<V> {
+        let value = Arc::new(value);
+        if self.capacity == 0 {
+            return value;
+        }
+        let mut slots = self.slots.write().expect("cache lock poisoned");
+        if let Some(slot) = slots.iter().find(|slot| slot.version == version) {
+            return Arc::clone(&slot.value);
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if slots.len() >= self.capacity {
+            let oldest = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(idx, _)| idx)
+                .expect("capacity > 0 and cache full");
+            slots.swap_remove(oldest);
+        }
+        slots.push(CacheSlot {
+            version,
+            value: Arc::clone(&value),
+            last_used: AtomicU64::new(stamp),
+        });
+        value
+    }
+
+    /// Drops every cached version (counters are kept).
+    pub fn clear(&self) {
+        self.slots.write().expect("cache lock poisoned").clear();
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity,
+        }
     }
 }
 
@@ -108,8 +274,24 @@ mod tests {
         // A newer version replaces the older one.
         cache.put(VersionId(2), obj(&[9]));
         assert_eq!(cache.peek().unwrap().0, &VersionId(2));
+        // Lookups through a shared borrow still count.
+        let shared = &cache;
+        assert!(shared.get(VersionId(2)).is_some());
+        assert_eq!(cache.hits(), 2);
         cache.clear();
         assert!(cache.cached_version().is_none());
+    }
+
+    #[test]
+    fn clone_carries_counters() {
+        let mut cache = LatestVersionCache::new();
+        cache.put(VersionId(1), obj(&[4]));
+        let _ = cache.get(VersionId(1));
+        let _ = cache.get(VersionId(9));
+        let cloned = cache.clone();
+        assert_eq!(cloned.hits(), 1);
+        assert_eq!(cloned.misses(), 1);
+        assert_eq!(cloned.cached_version(), Some(VersionId(1)));
     }
 
     #[test]
@@ -118,5 +300,66 @@ mod tests {
         assert!(cache.peek().is_none());
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn version_cache_lru_eviction() {
+        let cache: VersionCache<Vec<u8>> = VersionCache::new(2);
+        assert!(cache.is_empty());
+        cache.insert(1, vec![1]);
+        cache.insert(2, vec![2]);
+        // Touch version 1 so version 2 is the LRU.
+        assert_eq!(*cache.get(1).unwrap(), vec![1]);
+        cache.insert(3, vec![3]);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none(), "LRU entry evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn version_cache_first_value_wins_and_zero_capacity_disables() {
+        let cache: VersionCache<Vec<u8>> = VersionCache::new(2);
+        let first = cache.insert(1, vec![1]);
+        let second = cache.insert(1, vec![99]);
+        assert!(Arc::ptr_eq(&first, &second), "versions are immutable");
+        assert_eq!(*second, vec![1]);
+
+        let disabled: VersionCache<Vec<u8>> = VersionCache::new(0);
+        disabled.insert(1, vec![1]);
+        assert!(disabled.get(1).is_none());
+        // A disabled cache is not "cold": lookups record no misses.
+        assert_eq!(disabled.stats().misses, 0);
+        assert_eq!(disabled.len(), 0);
+    }
+
+    #[test]
+    fn version_cache_shared_reads() {
+        let cache: Arc<VersionCache<Vec<u8>>> = Arc::new(VersionCache::new(4));
+        for v in 1..=4 {
+            cache.insert(v, vec![v as u8]);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let v = (t + i) % 4 + 1;
+                        assert_eq!(*cache.get(v).unwrap(), vec![v as u8]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.stats().hits, 400);
     }
 }

@@ -61,11 +61,13 @@ pub mod delta;
 pub mod io_model;
 pub mod object;
 pub mod retrieval;
+pub mod walk;
 
 pub use archive::{ArchiveConfig, EncodedEntry, EncodingStrategy, StoredPayload, VersionedArchive};
 pub use byte_archive::{
     ByteEncodedEntry, BytePrefixRetrieval, ByteVersionRetrieval, ByteVersionedArchive,
 };
+pub use cache::{CacheStats, LatestVersionCache, VersionCache};
 pub use delta::Delta;
 pub use error::VersioningError;
 pub use io_model::IoModel;

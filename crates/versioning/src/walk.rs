@@ -1,0 +1,377 @@
+//! The per-strategy retrieval traversal, shared by every byte-shard read
+//! path.
+//!
+//! Three layers serve versions out of the same stored-entry layout — the
+//! all-nodes-alive [`ByteVersionedArchive`](crate::ByteVersionedArchive),
+//! the failure-aware `ByteDistributedStore` in `sec-store`, and the
+//! concurrent `SecEngine` in `sec-engine`. They differ only in *how one
+//! entry's blocks are fetched and decoded*; the strategy walk itself (find
+//! the anchor, XOR deltas forward, or un-apply deltas backward from the
+//! Reversed-SEC latest copy) is identical. This module holds that walk
+//! once, parameterized over a per-entry read callback, so the strategy
+//! semantics cannot drift between layers.
+//!
+//! Conventions shared by every caller:
+//!
+//! * `payload_at(i)` describes stored entry `i` of `stored_count` entries in
+//!   entry order, with the Reversed-SEC full latest copy as the **final**
+//!   element (the order [`ByteVersionedArchive::stored_entries`]
+//!   (crate::ByteVersionedArchive::stored_entries) produces);
+//! * the read callback receives the entry index and returns
+//!   `(block_reads, decoded_data_shards)`; the `γ = 0` shortcut (an empty
+//!   delta needs no reads) is provided by [`read_target`] returning `None`;
+//! * version bounds are validated by the caller — the walk assumes
+//!   `1 ≤ l ≤ L`.
+
+use sec_erasure::read_plan::{DecodeMethod, ReadTarget};
+use sec_erasure::{ByteCodec, ByteShards, CodeError};
+
+use crate::archive::{EncodingStrategy, StoredPayload};
+
+/// Result of one strategy walk: the I/O spent and what was reconstructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkOutcome {
+    /// Total block reads spent.
+    pub io_reads: usize,
+    /// Number of stored entries that were touched.
+    pub entries_read: usize,
+    /// The reconstructed data shards of the requested version.
+    pub shards: ByteShards,
+}
+
+/// Reconstructs version `l` by walking the stored entries under `strategy`,
+/// fetching each touched entry through `read_entry`.
+///
+/// # Errors
+///
+/// Propagates the first `read_entry` error; shard-shape mismatches during
+/// delta application surface through `E: From<CodeError>`.
+pub fn walk_version<E, P, R>(
+    strategy: EncodingStrategy,
+    stored_count: usize,
+    payload_at: P,
+    l: usize,
+    mut read_entry: R,
+) -> Result<WalkOutcome, E>
+where
+    E: From<CodeError>,
+    P: Fn(usize) -> StoredPayload,
+    R: FnMut(usize) -> Result<(usize, ByteShards), E>,
+{
+    match strategy {
+        EncodingStrategy::NonDifferential => {
+            let (io_reads, shards) = read_entry(l - 1)?;
+            Ok(WalkOutcome {
+                io_reads,
+                entries_read: 1,
+                shards,
+            })
+        }
+        EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
+            let anchor = (0..l)
+                .rev()
+                .find(|&idx| matches!(payload_at(idx), StoredPayload::FullVersion { .. }))
+                .expect("the first entry always stores a full version");
+            let (mut io_reads, mut acc) = read_entry(anchor)?;
+            let mut entries_read = 1;
+            for idx in anchor + 1..l {
+                let (reads, delta) = read_entry(idx)?;
+                io_reads += reads;
+                entries_read += 1;
+                acc.xor_with(&delta)?;
+            }
+            Ok(WalkOutcome {
+                io_reads,
+                entries_read,
+                shards: acc,
+            })
+        }
+        EncodingStrategy::ReversedSec => {
+            // The full latest copy is the final stored entry; un-apply the
+            // deltas z_L, …, z_{l+1} backwards.
+            let latest_idx = stored_count - 1;
+            let (mut io_reads, mut acc) = read_entry(latest_idx)?;
+            let mut entries_read = 1;
+            for idx in (l.saturating_sub(1)..latest_idx).rev() {
+                let (reads, delta) = read_entry(idx)?;
+                io_reads += reads;
+                entries_read += 1;
+                acc.xor_with(&delta)?;
+            }
+            Ok(WalkOutcome {
+                io_reads,
+                entries_read,
+                shards: acc,
+            })
+        }
+    }
+}
+
+/// Maps one stored payload to its SEC read target, or `None` for the
+/// `γ = 0` shortcut: an all-zero delta is known without reading a single
+/// block, so the caller should return `(0, ByteShards::zeroed(k, shard_len))`
+/// directly.
+pub fn read_target(payload: StoredPayload) -> Option<ReadTarget> {
+    match payload {
+        StoredPayload::FullVersion { .. } => Some(ReadTarget::Full),
+        StoredPayload::Delta { sparsity: 0, .. } => None,
+        StoredPayload::Delta { sparsity, .. } => Some(ReadTarget::Sparse { gamma: sparsity }),
+    }
+}
+
+/// Decodes one planned entry read: the gathered shares of a
+/// [`ReadPlan`](sec_erasure::read_plan::ReadPlan) under its chosen method.
+///
+/// Shared by every read layer so the method dispatch (and the invariant that
+/// sparse plans only arise for sparse targets) lives once.
+///
+/// # Errors
+///
+/// Propagates decode failures from the codec.
+pub fn decode_planned(
+    codec: &ByteCodec,
+    method: DecodeMethod,
+    target: ReadTarget,
+    shares: &[(usize, &[u8])],
+) -> Result<ByteShards, CodeError> {
+    match method {
+        DecodeMethod::SystematicDirect | DecodeMethod::Inversion => codec.decode_blocks(shares),
+        DecodeMethod::SparseRecovery => match target {
+            ReadTarget::Sparse { gamma } => codec.recover_sparse_blocks(shares, gamma),
+            ReadTarget::Full => unreachable!("sparse plans only arise for sparse targets"),
+        },
+    }
+}
+
+/// Copies decoded data shards out as a flat object of `object_len` bytes,
+/// dropping the shard zero-padding — the one padding rule every read layer
+/// shares.
+pub fn trim_object(shards: &ByteShards, object_len: usize) -> Vec<u8> {
+    let len = object_len.min(shards.total_len());
+    shards.as_bytes()[..len].to_vec()
+}
+
+/// Result of a prefix walk: the I/O spent and versions `x_1, …, x_l`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixWalkOutcome {
+    /// Total block reads spent.
+    pub io_reads: usize,
+    /// Number of stored entries that were touched.
+    pub entries_read: usize,
+    /// The reconstructed versions in order, trimmed to `object_len` bytes.
+    pub versions: Vec<Vec<u8>>,
+}
+
+/// Reconstructs versions `1..=l` in one pass under `strategy`, trimming each
+/// to `object_len` bytes (dropping shard zero-padding).
+///
+/// # Errors
+///
+/// As for [`walk_version`].
+pub fn walk_prefix<E, P, R>(
+    strategy: EncodingStrategy,
+    stored_count: usize,
+    payload_at: P,
+    l: usize,
+    object_len: usize,
+    mut read_entry: R,
+) -> Result<PrefixWalkOutcome, E>
+where
+    E: From<CodeError>,
+    P: Fn(usize) -> StoredPayload,
+    R: FnMut(usize) -> Result<(usize, ByteShards), E>,
+{
+    let trim = |shards: &ByteShards| trim_object(shards, object_len);
+    match strategy {
+        EncodingStrategy::NonDifferential => {
+            let mut versions = Vec::with_capacity(l);
+            let mut io_reads = 0;
+            for idx in 0..l {
+                let (reads, data) = read_entry(idx)?;
+                io_reads += reads;
+                versions.push(trim(&data));
+            }
+            Ok(PrefixWalkOutcome {
+                io_reads,
+                entries_read: l,
+                versions,
+            })
+        }
+        EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
+            let mut io_reads = 0;
+            let mut versions: Vec<Vec<u8>> = Vec::with_capacity(l);
+            let mut acc: Option<ByteShards> = None;
+            for idx in 0..l {
+                let (reads, decoded) = read_entry(idx)?;
+                io_reads += reads;
+                match payload_at(idx) {
+                    StoredPayload::FullVersion { .. } => acc = Some(decoded),
+                    StoredPayload::Delta { .. } => {
+                        let base = acc.as_mut().expect("delta entries follow their base version");
+                        base.xor_with(&decoded)?;
+                    }
+                }
+                versions.push(trim(acc.as_ref().expect("set above")));
+            }
+            Ok(PrefixWalkOutcome {
+                io_reads,
+                entries_read: l,
+                versions,
+            })
+        }
+        EncodingStrategy::ReversedSec => {
+            let latest_idx = stored_count - 1;
+            let (mut io_reads, mut acc) = read_entry(latest_idx)?;
+            let mut versions_rev = vec![trim(&acc)];
+            for idx in (0..latest_idx).rev() {
+                let (reads, delta) = read_entry(idx)?;
+                io_reads += reads;
+                acc.xor_with(&delta)?;
+                versions_rev.push(trim(&acc));
+            }
+            versions_rev.reverse();
+            versions_rev.truncate(l);
+            Ok(PrefixWalkOutcome {
+                io_reads,
+                entries_read: latest_idx + 1,
+                versions: versions_rev,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny in-memory entry list driving the walk directly: k = 1 shard
+    /// of one byte, so deltas are single XOR bytes and outcomes are easy to
+    /// enumerate by hand.
+    fn entries() -> Vec<(StoredPayload, ByteShards)> {
+        let full = |version, byte| {
+            (
+                StoredPayload::FullVersion { version },
+                ByteShards::from_flat(&[byte], 1),
+            )
+        };
+        let delta = |to, byte: u8| {
+            (
+                StoredPayload::Delta {
+                    to,
+                    sparsity: usize::from(byte != 0),
+                },
+                ByteShards::from_flat(&[byte], 1),
+            )
+        };
+        // Versions: 5, 5^3 = 6, 6^1 = 7.
+        vec![full(1, 5), delta(2, 3), delta(3, 1)]
+    }
+
+    fn reader(
+        entries: &[(StoredPayload, ByteShards)],
+    ) -> impl FnMut(usize) -> Result<(usize, ByteShards), CodeError> + '_ {
+        |idx| Ok((1, entries[idx].1.clone()))
+    }
+
+    #[test]
+    fn forward_walk_xors_deltas_from_the_anchor() {
+        let entries = entries();
+        let payloads: Vec<StoredPayload> = entries.iter().map(|(p, _)| *p).collect();
+        for (l, expect) in [(1, 5u8), (2, 6), (3, 7)] {
+            let out = walk_version(
+                EncodingStrategy::BasicSec,
+                payloads.len(),
+                |i| payloads[i],
+                l,
+                reader(&entries),
+            )
+            .unwrap();
+            assert_eq!(out.shards.as_bytes(), &[expect], "version {l}");
+            assert_eq!(out.entries_read, l);
+            assert_eq!(out.io_reads, l);
+        }
+    }
+
+    #[test]
+    fn reversed_walk_unapplies_from_the_latest_copy() {
+        // Stored list: z_2 = 3, z_3 = 1, full x_3 = 7 (final entry).
+        let entries = vec![
+            (
+                StoredPayload::Delta { to: 2, sparsity: 1 },
+                ByteShards::from_flat(&[3], 1),
+            ),
+            (
+                StoredPayload::Delta { to: 3, sparsity: 1 },
+                ByteShards::from_flat(&[1], 1),
+            ),
+            (
+                StoredPayload::FullVersion { version: 3 },
+                ByteShards::from_flat(&[7], 1),
+            ),
+        ];
+        let payloads: Vec<StoredPayload> = entries.iter().map(|(p, _)| *p).collect();
+        for (l, expect, touched) in [(3, 7u8, 1), (2, 6, 2), (1, 5, 3)] {
+            let out = walk_version(
+                EncodingStrategy::ReversedSec,
+                payloads.len(),
+                |i| payloads[i],
+                l,
+                reader(&entries),
+            )
+            .unwrap();
+            assert_eq!(out.shards.as_bytes(), &[expect], "version {l}");
+            assert_eq!(out.entries_read, touched);
+        }
+        let prefix = walk_prefix(
+            EncodingStrategy::ReversedSec,
+            payloads.len(),
+            |i| payloads[i],
+            2,
+            1,
+            reader(&entries),
+        )
+        .unwrap();
+        assert_eq!(prefix.versions, vec![vec![5u8], vec![6]]);
+        assert_eq!(prefix.entries_read, 3);
+    }
+
+    #[test]
+    fn prefix_walk_snapshots_every_intermediate_version() {
+        let entries = entries();
+        let payloads: Vec<StoredPayload> = entries.iter().map(|(p, _)| *p).collect();
+        let out = walk_prefix(
+            EncodingStrategy::BasicSec,
+            payloads.len(),
+            |i| payloads[i],
+            3,
+            1,
+            reader(&entries),
+        )
+        .unwrap();
+        assert_eq!(out.versions, vec![vec![5u8], vec![6], vec![7]]);
+        assert_eq!(out.io_reads, 3);
+    }
+
+    #[test]
+    fn read_errors_propagate() {
+        let entries = entries();
+        let payloads: Vec<StoredPayload> = entries.iter().map(|(p, _)| *p).collect();
+        let result = walk_version(
+            EncodingStrategy::BasicSec,
+            payloads.len(),
+            |i| payloads[i],
+            3,
+            |idx| {
+                if idx == 1 {
+                    Err(CodeError::SparseRecoveryFailed { gamma: 1 })
+                } else {
+                    Ok((1, entries[idx].1.clone()))
+                }
+            },
+        );
+        assert!(matches!(
+            result,
+            Err(CodeError::SparseRecoveryFailed { gamma: 1 })
+        ));
+    }
+}

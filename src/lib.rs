@@ -13,6 +13,7 @@
 //! | [`erasure`] | `sec-erasure` | systematic / non-systematic Cauchy MDS codes, sparse recovery, read planning |
 //! | [`versioning`] | `sec-versioning` | delta archives, Basic/Optimized/Reversed SEC, I/O model |
 //! | [`store`] | `sec-store` | simulated distributed storage, placement, failures, repair |
+//! | [`engine`] | `sec-engine` | concurrent serving layer: sharded locks, lock-free planning, version cache |
 //! | [`analysis`] | `sec-analysis` | static resilience, availability, average-I/O, expected-I/O |
 //! | [`workload`] | `sec-workload` | sparsity PMFs and synthetic edit traces |
 //!
@@ -45,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub use sec_analysis as analysis;
+pub use sec_engine as engine;
 pub use sec_erasure as erasure;
 pub use sec_gf as gf;
 pub use sec_linalg as linalg;
@@ -52,9 +54,10 @@ pub use sec_store as store;
 pub use sec_versioning as versioning;
 pub use sec_workload as workload;
 
-pub use sec_erasure::{ByteCodec, ByteShards, CodeParams, GeneratorForm, SecCode};
+pub use sec_engine::SecEngine;
+pub use sec_erasure::{ByteCodec, ByteShards, CodeParams, DecodeScratch, GeneratorForm, SecCode};
 pub use sec_store::{ByteDistributedStore, DistributedStore, PlacementStrategy};
 pub use sec_versioning::{
-    ArchiveConfig, ByteVersionedArchive, EncodingStrategy, IoModel, VersionedArchive,
+    ArchiveConfig, ByteVersionedArchive, EncodingStrategy, IoModel, VersionCache, VersionedArchive,
 };
 pub use sec_workload::SparsityPmf;

@@ -36,7 +36,7 @@ fn trace_to_storage_round_trip_under_failures() {
                 VersionedArchive::new(config).expect("GF(256) supports (16,8)");
             archive.append_all(&trace.versions).expect("append succeeds");
 
-            let mut store = DistributedStore::new(&archive, placement);
+            let store = DistributedStore::new(&archive, placement);
             // Kill n - k = 8 nodes of the first entry's node set: the archive
             // must still be fully readable (MDS tolerance).
             for node in 0..8 {
@@ -124,7 +124,7 @@ fn simulator_agrees_with_analytical_availability() {
 
     let mut recoverable_patterns = 0usize;
     for pattern in enumerate_patterns(6) {
-        let mut store = DistributedStore::colocated(&archive);
+        let store = DistributedStore::colocated(&archive);
         store.apply_pattern(&pattern);
         let recoverable = store.archive_recoverable(&archive);
         assert_eq!(
@@ -165,7 +165,7 @@ fn degraded_reads_match_average_io_analysis() {
 
     // Fail two of the three parity nodes: the delta can no longer be fetched
     // with 2 reads from the parity block, yet retrieval still succeeds.
-    let mut store = DistributedStore::colocated(&archive);
+    let store = DistributedStore::colocated(&archive);
     store.fail_node(4);
     store.fail_node(5);
     let r = store.retrieve_version(&archive, 2).expect("still recoverable");

@@ -3,6 +3,7 @@
 //! interoperate end-to-end (encode → store → fail → retrieve → analyze).
 
 use sec::analysis::patterns::census;
+use sec::engine::{EngineMetrics, EngineRetrieval};
 use sec::erasure::{CodeError, DecodeMethod, ReadPlan, ReadTarget, ReplicationCode, Share};
 use sec::gf::{GaloisField, Gf1024, Gf16, Gf256, Gf65536, Poly};
 use sec::linalg::{cauchy::cauchy_matrix, checks, Matrix, MatrixError};
@@ -11,7 +12,7 @@ use sec::versioning::{PrefixRetrieval, VersionRetrieval, VersioningError};
 use sec::workload::{EditModel, TraceConfig, VersionTrace};
 use sec::{
     ArchiveConfig, CodeParams, DistributedStore, EncodingStrategy, GeneratorForm, IoModel,
-    PlacementStrategy, SecCode, SparsityPmf, VersionedArchive,
+    PlacementStrategy, SecCode, SecEngine, SparsityPmf, VersionedArchive,
 };
 
 /// Every crate-root re-export participates in one end-to-end flow.
@@ -43,8 +44,7 @@ fn facade_types_interoperate_end_to_end() {
     );
 
     // store: colocated placement, node failures, failure-aware retrieval.
-    let mut store: DistributedStore<Gf1024> =
-        DistributedStore::new(&archive, PlacementStrategy::Colocated);
+    let store: DistributedStore<Gf1024> = DistributedStore::new(&archive, PlacementStrategy::Colocated);
     store.fail_node(0);
     let retrieved: StoredRetrieval<Gf1024> = store.retrieve_version(&archive, 2).expect("retrieve");
     assert_eq!(retrieved.data, v2);
@@ -56,6 +56,17 @@ fn facade_types_interoperate_end_to_end() {
     assert!(node.is_alive());
     let pattern = FailurePattern::none(store.node_count());
     assert_eq!(pattern.failed_count(), 0);
+
+    // engine: the concurrent serving layer over the same configuration.
+    let engine = SecEngine::new(config).expect("engine");
+    engine.append_version(&[1, 2, 3, 4, 5, 6]).expect("append v1");
+    engine.append_version(&[1, 2, 9, 4, 5, 6]).expect("append v2");
+    engine.fail_node(0);
+    let served: EngineRetrieval = engine.get_version(2).expect("engine retrieval");
+    assert_eq!(*served.data, vec![1, 2, 9, 4, 5, 6]);
+    let engine_metrics: EngineMetrics = engine.metrics_snapshot();
+    assert_eq!(engine_metrics.live_nodes, 5);
+    assert!(engine_metrics.io.symbol_reads > 0);
 
     // analysis: §IV-C pattern census through the facade path.
     let census_ns = census(&code, 1);

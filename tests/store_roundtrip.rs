@@ -110,7 +110,7 @@ fn every_version_survives_every_tolerable_failure_pattern() {
                 continue;
             }
             checked_patterns += 1;
-            let mut store = ByteDistributedStore::colocated(&archive);
+            let store = ByteDistributedStore::colocated(&archive);
             store.apply_pattern(&pattern);
             assert!(
                 store.archive_recoverable(&archive),
@@ -158,7 +158,7 @@ fn all_alive_read_counts_follow_the_paper_formulas() {
         ArchiveConfig::new(N, K, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec).unwrap();
     let mut archive = ByteVersionedArchive::new(config).unwrap();
     archive.append_all(&versions()).unwrap();
-    let mut store = ByteDistributedStore::colocated(&archive);
+    let store = ByteDistributedStore::colocated(&archive);
 
     // Version 2 = full x1 (k) + delta γ=1 (2 reads).
     assert_eq!(store.retrieve_version(&archive, 2).unwrap().io_reads, K + 2);
