@@ -21,6 +21,12 @@
 //! host the sharded-lock engine scales reads near-linearly; the series
 //! exists so the trajectory is tracked either way.
 //!
+//! A fifth series measures *shard scaling*: a [`sec_engine::SecCluster`]
+//! routing a fixed 16-object workload across `shards ∈ {1, 4, 8}` while 8
+//! reader threads retrieve mixed objects — more shards spread the same
+//! objects over more independent lock domains (archive locks, node locks,
+//! object maps), so aggregate throughput should hold or rise as S grows.
+//!
 //! Run with `cargo run --release -p sec-bench --bin throughput`. Pass
 //! `--smoke` for a quick CI-sized run (4 KiB shards only) and `--out <path>`
 //! to change the JSON destination.
@@ -29,7 +35,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sec_engine::SecEngine;
+use sec_engine::{ObjectId, SecCluster, SecEngine};
 use sec_erasure::{shards, ByteCodec, ByteShards, GeneratorForm, SecCode, Share};
 use sec_gf::{GaloisField, Gf256};
 use sec_versioning::{ArchiveConfig, EncodingStrategy};
@@ -53,6 +59,89 @@ struct ScalingSample {
     retrievals: u64,
     retrievals_per_s: f64,
     mb_per_s: f64,
+}
+
+/// One shard-scaling data point: aggregate cluster throughput at a shard
+/// count.
+struct ShardScalingSample {
+    shards: usize,
+    objects: usize,
+    threads: usize,
+    shard_bytes: usize,
+    retrievals: u64,
+    retrievals_per_s: f64,
+    mb_per_s: f64,
+}
+
+/// Measures `SecCluster::get_version` throughput with `threads` concurrent
+/// readers retrieving mixed versions of `objects` objects routed across
+/// `shards` shards of a (6, 3) Basic-SEC cluster, for roughly `min_total`
+/// wall time. The workload (objects, versions, access order) is identical
+/// at every shard count — only the routing fan-out changes.
+fn measure_shard_scaling(
+    shard_bytes: usize,
+    objects: usize,
+    versions: usize,
+    shards: usize,
+    threads: usize,
+    min_total: Duration,
+) -> ShardScalingSample {
+    let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
+        .expect("(6,3) fits in GF(256)");
+    let cluster = SecCluster::new(config, shards).expect("cluster builds");
+    for raw in 0..objects as u64 {
+        let id = ObjectId(raw);
+        let mut object = vec![0u8; 3 * shard_bytes];
+        fill(&mut object, raw * 1_000_003 + shard_bytes as u64);
+        cluster.append_version(id, &object).expect("append v1");
+        for v in 1..versions {
+            // γ = 1 deltas: the paper's sweet spot, 2 block reads per delta.
+            object[(v * 131) % shard_bytes] ^= 0xA5;
+            cluster.append_version(id, &object).expect("append delta");
+        }
+    }
+    let cluster = Arc::new(cluster);
+
+    // Calibrate per-thread iterations on one thread, then run the measured
+    // pass with all readers started together.
+    let calibrate = Instant::now();
+    let mut calibration_rounds = 0u64;
+    while calibrate.elapsed() < min_total / 4 {
+        let id = ObjectId(calibration_rounds % objects as u64);
+        let l = (calibration_rounds as usize) % versions + 1;
+        std::hint::black_box(cluster.get_version(id, l).expect("retrieval"));
+        calibration_rounds += 1;
+    }
+    let per_thread = calibration_rounds.max(1);
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let id = ObjectId((t as u64 + i) % objects as u64);
+                    let l = (t + i as usize) % versions + 1;
+                    std::hint::black_box(cluster.get_version(id, l).expect("retrieval"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("reader thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let retrievals = per_thread * threads as u64;
+    let object_bytes = 3 * shard_bytes;
+    ShardScalingSample {
+        shards,
+        objects,
+        threads,
+        shard_bytes,
+        retrievals,
+        retrievals_per_s: retrievals as f64 / elapsed,
+        mb_per_s: (retrievals as f64 * object_bytes as f64 / 1e6) / elapsed,
+    }
 }
 
 /// Measures `SecEngine::get_version` throughput with `threads` concurrent
@@ -412,6 +501,24 @@ fn main() -> std::io::Result<()> {
         .map(|&threads| measure_read_scaling(scaling_shard_bytes, scaling_versions, threads, min_total))
         .collect();
 
+    // ---- shard scaling through the cluster router --------------------------
+    let cluster_objects = 16;
+    let cluster_versions = 4;
+    let cluster_threads = 8;
+    let shard_scaling: Vec<ShardScalingSample> = [1usize, 4, 8]
+        .iter()
+        .map(|&shards| {
+            measure_shard_scaling(
+                scaling_shard_bytes,
+                cluster_objects,
+                cluster_versions,
+                shards,
+                cluster_threads,
+                min_total,
+            )
+        })
+        .collect();
+
     // Human-readable table.
     println!(
         "{:<16} {:<14} {:>4} {:>4} {:>12} {:>14} {:>12}",
@@ -432,6 +539,17 @@ fn main() -> std::io::Result<()> {
         println!(
             "{:<10} {:>12} {:>14} {:>16.0} {:>12.1}",
             s.threads, s.shard_bytes, s.retrievals, s.retrievals_per_s, s.mb_per_s
+        );
+    }
+
+    println!(
+        "\n{:<8} {:>8} {:>8} {:>12} {:>14} {:>16} {:>12}",
+        "shards", "objects", "threads", "shard_bytes", "retrievals", "retrievals/s", "MB/s"
+    );
+    for s in &shard_scaling {
+        println!(
+            "{:<8} {:>8} {:>8} {:>12} {:>14} {:>16.0} {:>12.1}",
+            s.shards, s.objects, s.threads, s.shard_bytes, s.retrievals, s.retrievals_per_s, s.mb_per_s
         );
     }
 
@@ -458,7 +576,7 @@ fn main() -> std::io::Result<()> {
     // JSON emission (hand-rolled; the workspace has no serde).
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"schema\": \"sec-bench-throughput/v2\",").unwrap();
+    writeln!(json, "  \"schema\": \"sec-bench-throughput/v3\",").unwrap();
     writeln!(json, "  \"smoke\": {},", args.smoke).unwrap();
     writeln!(json, "  \"headline_shard_bytes\": {headline_size},").unwrap();
     match speedup {
@@ -493,6 +611,20 @@ fn main() -> std::io::Result<()> {
              \"versions\": {scaling_versions}, \"threads\": {}, \"shard_bytes\": {}, \
              \"retrievals\": {}, \"retrievals_per_s\": {:.1}, \"mb_per_s\": {:.3}}}{comma}",
             s.threads, s.shard_bytes, s.retrievals, s.retrievals_per_s, s.mb_per_s
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"shard_scaling\": [").unwrap();
+    for (idx, s) in shard_scaling.iter().enumerate() {
+        let comma = if idx + 1 == shard_scaling.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"engine\": \"sec-cluster\", \"n\": 6, \"k\": 3, \"strategy\": \"basic-sec\", \
+             \"shards\": {}, \"objects\": {}, \"versions\": {cluster_versions}, \"threads\": {}, \
+             \"shard_bytes\": {}, \"retrievals\": {}, \"retrievals_per_s\": {:.1}, \
+             \"mb_per_s\": {:.3}}}{comma}",
+            s.shards, s.objects, s.threads, s.shard_bytes, s.retrievals, s.retrievals_per_s, s.mb_per_s
         )
         .unwrap();
     }

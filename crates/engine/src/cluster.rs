@@ -1,0 +1,902 @@
+//! The [`SecCluster`]: a sharded router over many [`SecEngine`]s.
+//!
+//! The paper's availability analysis (§IV) is about *fleets* of coded
+//! archives: many independent objects, each archived under the same `(n, k)`
+//! SEC code, spread over groups of storage nodes that fail independently.
+//! `SecCluster` is that fleet as a serving system — it hashes [`ObjectId`]s
+//! across `S` shards, and each shard hosts the per-object version archives
+//! of the objects routed to it:
+//!
+//! * **one codec per process** — every per-object engine shares one
+//!   `Arc<SecCode>` / `Arc<CoeffTables>`, so the `GF(2^8)` multiplication
+//!   tables are materialized once, not once per object;
+//! * **one liveness array per shard** — a shard models a physical group of
+//!   `n` nodes, so failing `(shard, node)` is a single atomic store observed
+//!   by the read planner of every object on that shard;
+//! * **per-object version sequences** — each object id owns an independent
+//!   [`SecEngine`] (archive, storage nodes, metrics, optional cache), so
+//!   appends and retrievals of objects on different shards share no lock at
+//!   all, and objects on the same shard only share the shard's object map
+//!   (taken shared on every lookup, exclusively only to admit a new object);
+//! * **fallible addressing** — a bad shard index or node id is a
+//!   [`ClusterError`], never a panic inside the serving process.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+use sec_store::{FailurePattern, IoMetrics, StoreError};
+use sec_versioning::object::VersionId;
+use sec_versioning::{ArchiveConfig, ByteVersionedArchive, CacheStats};
+
+use crate::engine::{EngineMetrics, EnginePrefix, EngineRetrieval, NodeLiveness, SecEngine};
+use sec_erasure::ByteCodec;
+
+/// Identifier of one versioned object in a cluster.
+///
+/// Routing hashes the raw id, so ids may be dense (`0, 1, 2, …`) or sparse
+/// (pre-hashed names via [`ObjectId::from_name`]) without skewing shard
+/// placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Derives an id from a name (FNV-1a, 64-bit) — stable across runs and
+    /// platforms, so routing is reproducible.
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self(hash)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(id: u64) -> Self {
+        Self(id)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "object-{:016x}", self.0)
+    }
+}
+
+/// Errors from cluster-level routing and addressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A cluster must have at least one shard.
+    NoShards,
+    /// A shard index outside `0..shard_count` was addressed.
+    InvalidShard {
+        /// The offending shard index.
+        shard: usize,
+        /// Number of shards the cluster actually has.
+        shards: usize,
+    },
+    /// A retrieval named an object no version was ever appended for.
+    UnknownObject {
+        /// The unrouted object id.
+        object: ObjectId,
+    },
+    /// An error from the addressed shard's engine (including
+    /// [`StoreError::InvalidNode`] for an out-of-range node id).
+    Engine(StoreError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoShards => write!(f, "a cluster needs at least one shard"),
+            ClusterError::InvalidShard { shard, shards } => {
+                write!(f, "shard {shard} is out of range for a {shards}-shard cluster")
+            }
+            ClusterError::UnknownObject { object } => {
+                write!(f, "{object} holds no versions in this cluster")
+            }
+            ClusterError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for ClusterError {
+    fn from(e: StoreError) -> Self {
+        ClusterError::Engine(e)
+    }
+}
+
+/// Point-in-time counters of one shard, aggregated over the objects it
+/// hosts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Aggregate I/O counters summed across the shard's objects.
+    pub io: IoMetrics,
+    /// Reads served by each of the shard's `n` nodes (summed across the
+    /// per-object block stores colocated on that node).
+    pub node_reads: Vec<u64>,
+    /// Number of currently live nodes on the shard.
+    pub live_nodes: usize,
+    /// Number of objects routed to the shard so far.
+    pub objects: usize,
+    /// Total versions appended across the shard's objects.
+    pub versions: usize,
+    /// Version-cache statistics summed across the shard's objects
+    /// (`capacity` sums the per-object capacities).
+    pub cache: CacheStats,
+}
+
+/// A point-in-time view of everything the cluster counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMetrics {
+    /// Per-shard breakdown, indexed by shard id.
+    pub shards: Vec<ShardMetrics>,
+    /// Cluster-wide I/O totals.
+    pub io: IoMetrics,
+    /// Cluster-wide cache totals.
+    pub cache: CacheStats,
+    /// Total objects across all shards.
+    pub objects: usize,
+    /// Total versions across all objects.
+    pub versions: usize,
+}
+
+/// One shard: a group of `n` storage nodes (their shared liveness) plus the
+/// engines of the objects routed here.
+#[derive(Debug)]
+struct ClusterShard {
+    liveness: Arc<NodeLiveness>,
+    objects: RwLock<BTreeMap<ObjectId, Arc<SecEngine>>>,
+}
+
+/// A sharded multi-archive router: many versioned objects served by `S`
+/// independent groups of storage nodes under one SEC code.
+///
+/// # Routing
+///
+/// An object id is hashed (SplitMix64 finalizer — deterministic across runs)
+/// onto a shard; the object's whole version sequence lives on that shard's
+/// `n` nodes. Different objects on different shards share *nothing* but the
+/// process-wide codec tables, which are immutable — so cross-shard traffic
+/// never contends.
+///
+/// # Failure domains
+///
+/// `(shard, node)` addresses one simulated physical node: failing it makes
+/// block position `node` of **every** object on that shard unreadable (one
+/// atomic store), and [`SecCluster::repair_node`] rebuilds that position for
+/// every object before reviving the node — staged per object, so a repair
+/// that fails midway leaves each object exactly as recoverable as before.
+#[derive(Debug)]
+pub struct SecCluster {
+    config: ArchiveConfig,
+    codec: ByteCodec,
+    cache_capacity: usize,
+    shards: Vec<ClusterShard>,
+}
+
+impl SecCluster {
+    /// Creates a cluster of `shards` empty shards with version caches
+    /// disabled (the mode whose read accounting is bit-compatible with the
+    /// single-archive references).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NoShards`] for zero shards, or the
+    /// engine/versioning error when the configured code cannot be built over
+    /// `GF(2^8)`.
+    pub fn new(config: ArchiveConfig, shards: usize) -> Result<Self, ClusterError> {
+        Self::with_cache(config, shards, 0)
+    }
+
+    /// Like [`SecCluster::new`], giving every object's engine a version
+    /// cache of `cache_capacity` decoded versions (0 disables caching).
+    ///
+    /// # Errors
+    ///
+    /// As for [`SecCluster::new`].
+    pub fn with_cache(
+        config: ArchiveConfig,
+        shards: usize,
+        cache_capacity: usize,
+    ) -> Result<Self, ClusterError> {
+        if shards == 0 {
+            return Err(ClusterError::NoShards);
+        }
+        // Build the one codec every per-object archive will share; routing a
+        // new object then costs no table materialization at all.
+        let codec = ByteVersionedArchive::new(config)
+            .map_err(StoreError::from)?
+            .codec()
+            .clone();
+        let n = config.params().n;
+        Ok(Self {
+            config,
+            codec,
+            cache_capacity,
+            shards: (0..shards)
+                .map(|_| ClusterShard {
+                    liveness: Arc::new(NodeLiveness::new(n)),
+                    objects: RwLock::new(BTreeMap::new()),
+                })
+                .collect(),
+        })
+    }
+
+    /// The archive configuration every object is encoded under.
+    pub fn config(&self) -> ArchiveConfig {
+        self.config
+    }
+
+    /// The process-wide shared codec (one `Arc<SecCode>`/`Arc<CoeffTables>`
+    /// for the whole cluster).
+    pub fn codec(&self) -> &ByteCodec {
+        &self.codec
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of storage nodes per shard (`n`).
+    pub fn node_count(&self) -> usize {
+        self.config.params().n
+    }
+
+    /// Total number of objects routed so far.
+    pub fn object_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.objects.read().expect("object map poisoned").len())
+            .sum()
+    }
+
+    /// Whether any version was appended for `id`.
+    pub fn contains_object(&self, id: ObjectId) -> bool {
+        self.shards[self.shard_of(id)]
+            .objects
+            .read()
+            .expect("object map poisoned")
+            .contains_key(&id)
+    }
+
+    /// Number of versions appended for `id`, or `None` for an unknown
+    /// object.
+    pub fn version_count(&self, id: ObjectId) -> Option<usize> {
+        self.engine_of(id).ok().map(|e| e.len())
+    }
+
+    /// The shard `id` routes to. Deterministic across runs and processes.
+    pub fn shard_of(&self, id: ObjectId) -> usize {
+        // SplitMix64 finalizer: a full-avalanche bijection, so dense ids
+        // (0, 1, 2, …) spread as evenly as pre-hashed ones.
+        let mut z = id.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, shard: usize) -> Result<&ClusterShard, ClusterError> {
+        self.shards.get(shard).ok_or(ClusterError::InvalidShard {
+            shard,
+            shards: self.shards.len(),
+        })
+    }
+
+    fn check_node(&self, shard: &ClusterShard, node: usize) -> Result<(), ClusterError> {
+        if node >= shard.liveness.len() {
+            return Err(ClusterError::Engine(StoreError::InvalidNode {
+                node,
+                n: shard.liveness.len(),
+            }));
+        }
+        Ok(())
+    }
+
+    /// The engine serving `id`, or [`ClusterError::UnknownObject`].
+    fn engine_of(&self, id: ObjectId) -> Result<Arc<SecEngine>, ClusterError> {
+        self.shards[self.shard_of(id)]
+            .objects
+            .read()
+            .expect("object map poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or(ClusterError::UnknownObject { object: id })
+    }
+
+    /// Runs an append against `id`'s engine, creating the engine (on its
+    /// routed shard, sharing the shard's liveness and the cluster codec) on
+    /// first append.
+    ///
+    /// The encode work always runs *outside* the shard's object-map lock —
+    /// a first append of a large history must not stall retrievals of
+    /// co-hosted objects. A first appender encodes into a private engine and
+    /// then admits it under the write lock (a map insert, nothing more); if
+    /// another appender won the race in the meantime, the private engine is
+    /// discarded and the append is replayed against the winner's, so no
+    /// admitted version can be lost to the race. A brand-new engine is
+    /// admitted only if the append landed at least one version — a failed
+    /// *first* append (empty sequence, length/size validation) must not
+    /// leave a phantom zero-version object behind.
+    fn append_with<R>(
+        &self,
+        id: ObjectId,
+        append: impl Fn(&SecEngine) -> Result<R, StoreError>,
+    ) -> Result<R, ClusterError> {
+        let shard = &self.shards[self.shard_of(id)];
+        let existing = shard
+            .objects
+            .read()
+            .expect("object map poisoned")
+            .get(&id)
+            .cloned();
+        if let Some(engine) = existing {
+            return Ok(append(&engine)?);
+        }
+        // First append (probably — confirmed under the write lock below):
+        // encode into a private engine with no map lock held.
+        let archive = ByteVersionedArchive::with_codec(self.config, self.codec.clone())
+            .map_err(StoreError::from)?;
+        let engine = Arc::new(SecEngine::from_parts(
+            archive,
+            self.cache_capacity,
+            Arc::clone(&shard.liveness),
+        ));
+        let result = append(&engine);
+        let winner = {
+            let mut objects = shard.objects.write().expect("object map poisoned");
+            match objects.get(&id) {
+                Some(winner) => Some(Arc::clone(winner)),
+                None => {
+                    // `append_all` serves whatever landed before a
+                    // mid-sequence error, so admission is keyed on the
+                    // engine's state, not the result.
+                    if !engine.is_empty() {
+                        objects.insert(id, engine);
+                    }
+                    None
+                }
+            }
+        };
+        match winner {
+            // A racing first appender admitted the object while we encoded:
+            // drop our never-visible engine and replay on the winner's.
+            Some(winner) => Ok(append(&winner)?),
+            None => Ok(result?),
+        }
+    }
+
+    /// Appends the next version of object `id`, routing it to its shard and
+    /// creating its archive on first append.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Engine`] for a length mismatch or encoding
+    /// failure. A failed first append leaves the cluster without the object
+    /// (`contains_object(id)` stays `false`).
+    pub fn append_version(&self, id: ObjectId, object: &[u8]) -> Result<VersionId, ClusterError> {
+        self.append_with(id, |engine| engine.append_version(object))
+    }
+
+    /// Appends every version of a sequence for object `id` in order,
+    /// returning the id of the last one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first append error; versions appended before it remain
+    /// served. An empty sequence for an object with no versions yields the
+    /// engine's `EmptyArchive` error and does not create the object.
+    pub fn append_all<B: AsRef<[u8]>>(
+        &self,
+        id: ObjectId,
+        versions: &[B],
+    ) -> Result<VersionId, ClusterError> {
+        self.append_with(id, |engine| engine.append_all(versions))
+    }
+
+    /// Retrieves version `l` (1-based) of object `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownObject`] for an object with no
+    /// versions, otherwise as [`SecEngine::get_version`].
+    pub fn get_version(&self, id: ObjectId, l: usize) -> Result<EngineRetrieval, ClusterError> {
+        Ok(self.engine_of(id)?.get_version(l)?)
+    }
+
+    /// Retrieves the first `l` versions of object `id` in order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SecCluster::get_version`].
+    pub fn get_prefix(&self, id: ObjectId, l: usize) -> Result<EnginePrefix, ClusterError> {
+        Ok(self.engine_of(id)?.get_prefix(l)?)
+    }
+
+    /// Whether node `node` of shard `shard` is live. Lock-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidShard`] / [`StoreError::InvalidNode`]
+    /// for a bad address.
+    pub fn is_node_alive(&self, shard: usize, node: usize) -> Result<bool, ClusterError> {
+        let s = self.shard(shard)?;
+        self.check_node(s, node)?;
+        Ok(s.liveness.is_alive(node))
+    }
+
+    /// Fails node `node` of shard `shard`: one atomic store, observed by the
+    /// read planner of every object on the shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidShard`] / [`StoreError::InvalidNode`]
+    /// for a bad address — failure-injection typos are handled errors, never
+    /// process aborts.
+    pub fn fail_node(&self, shard: usize, node: usize) -> Result<(), ClusterError> {
+        let s = self.shard(shard)?;
+        self.check_node(s, node)?;
+        s.liveness.set(node, false);
+        Ok(())
+    }
+
+    /// Revives node `node` of shard `shard`, keeping whatever blocks it held
+    /// (crash recovery; use [`SecCluster::repair_node`] after data loss).
+    ///
+    /// # Errors
+    ///
+    /// As for [`SecCluster::fail_node`].
+    pub fn revive_node(&self, shard: usize, node: usize) -> Result<(), ClusterError> {
+        let s = self.shard(shard)?;
+        self.check_node(s, node)?;
+        s.liveness.set(node, true);
+        Ok(())
+    }
+
+    /// Applies a failure pattern to one shard's nodes.
+    ///
+    /// **Overwrite semantics** (as [`SecEngine::apply_pattern`]): within the
+    /// pattern's length the pattern *is* the shard's new liveness; nodes
+    /// beyond its length keep theirs. Use
+    /// [`SecCluster::apply_pattern_additive`] to layer failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidShard`] for a bad shard index.
+    pub fn apply_pattern(&self, shard: usize, pattern: &FailurePattern) -> Result<(), ClusterError> {
+        let s = self.shard(shard)?;
+        for idx in 0..s.liveness.len() {
+            if pattern.is_failed(idx) {
+                s.liveness.set(idx, false);
+            } else if idx < pattern.len() {
+                s.liveness.set(idx, true);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fails every node the pattern marks failed on shard `shard`, leaving
+    /// all other nodes' liveness untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidShard`] for a bad shard index.
+    pub fn apply_pattern_additive(
+        &self,
+        shard: usize,
+        pattern: &FailurePattern,
+    ) -> Result<(), ClusterError> {
+        let s = self.shard(shard)?;
+        for idx in 0..s.liveness.len() {
+            if pattern.is_failed(idx) {
+                s.liveness.set(idx, false);
+            }
+        }
+        Ok(())
+    }
+
+    /// Repairs node `node` of shard `shard` after data loss: rebuilds the
+    /// node's blocks for **every** object on the shard (each staged before
+    /// commit), then revives the node once. Returns the total number of
+    /// blocks rebuilt across objects.
+    ///
+    /// If any object's rebuild fails the node stays failed and the error is
+    /// returned; objects rebuilt before the failure keep their fresh blocks
+    /// (they are byte-identical to what a completed repair would have
+    /// written), so no object is ever left *less* recoverable than before
+    /// the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidShard`] / [`StoreError::InvalidNode`]
+    /// for a bad address, or [`StoreError::Unrecoverable`] when some
+    /// object's entry has fewer than `k` other live blocks.
+    pub fn repair_node(&self, shard: usize, node: usize) -> Result<usize, ClusterError> {
+        let s = self.shard(shard)?;
+        self.check_node(s, node)?;
+        // Snapshot the engines, then release the map lock: rebuilds decode
+        // k blocks per entry per object and must not block object admission.
+        let engines: Vec<Arc<SecEngine>> = s
+            .objects
+            .read()
+            .expect("object map poisoned")
+            .values()
+            .cloned()
+            .collect();
+        let mut rebuilt = 0usize;
+        for engine in engines {
+            rebuilt += engine.rebuild_node(node)?;
+        }
+        s.liveness.set(node, true);
+        Ok(rebuilt)
+    }
+
+    /// A point-in-time snapshot of every counter the cluster maintains,
+    /// aggregated per shard and cluster-wide.
+    pub fn metrics_snapshot(&self) -> ClusterMetrics {
+        self.collect_metrics(|engine| engine.metrics_snapshot())
+    }
+
+    /// Resets every object engine's aggregate I/O counters and returns the
+    /// final pre-reset cluster metrics.
+    ///
+    /// Per-engine semantics are [`SecEngine::reset_metrics`]: the I/O
+    /// counters are drained with atomic swaps (each counter increment is
+    /// reported exactly once across reset epochs), while per-node read
+    /// counters, cache statistics, liveness and version counts keep
+    /// accumulating.
+    pub fn reset_metrics(&self) -> ClusterMetrics {
+        self.collect_metrics(|engine| engine.reset_metrics())
+    }
+
+    fn collect_metrics(&self, view: impl Fn(&SecEngine) -> EngineMetrics) -> ClusterMetrics {
+        let n = self.node_count();
+        let mut totals = ClusterMetrics {
+            shards: Vec::with_capacity(self.shards.len()),
+            io: IoMetrics::new(),
+            cache: CacheStats::default(),
+            objects: 0,
+            versions: 0,
+        };
+        for shard in &self.shards {
+            let engines: Vec<Arc<SecEngine>> = shard
+                .objects
+                .read()
+                .expect("object map poisoned")
+                .values()
+                .cloned()
+                .collect();
+            let mut sm = ShardMetrics {
+                io: IoMetrics::new(),
+                node_reads: vec![0; n],
+                live_nodes: shard.liveness.live_count(),
+                objects: engines.len(),
+                versions: 0,
+                cache: CacheStats::default(),
+            };
+            for engine in engines {
+                let m = view(&engine);
+                sm.io.absorb(&m.io);
+                for (total, reads) in sm.node_reads.iter_mut().zip(m.node_reads) {
+                    *total += reads;
+                }
+                sm.versions += m.versions;
+                sm.cache.absorb(&m.cache);
+            }
+            totals.io.absorb(&sm.io);
+            totals.cache.absorb(&sm.cache);
+            totals.objects += sm.objects;
+            totals.versions += sm.versions;
+            totals.shards.push(sm);
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_erasure::GeneratorForm;
+    use sec_versioning::{EncodingStrategy, VersioningError};
+
+    const N: usize = 6;
+    const K: usize = 3;
+
+    fn config(strategy: EncodingStrategy) -> ArchiveConfig {
+        ArchiveConfig::new(N, K, GeneratorForm::NonSystematic, strategy).unwrap()
+    }
+
+    fn cluster(shards: usize) -> SecCluster {
+        SecCluster::new(config(EncodingStrategy::BasicSec), shards).unwrap()
+    }
+
+    /// Three versions of a 60-byte object, seeded so distinct objects get
+    /// distinct histories.
+    fn versions(seed: u8) -> Vec<Vec<u8>> {
+        let v1: Vec<u8> = (0..60).map(|i| (i * 7) as u8 ^ seed).collect();
+        let mut v2 = v1.clone();
+        v2[5] ^= 0x7C; // block 0
+        let mut v3 = v2.clone();
+        v3[25] ^= 0x11; // block 1
+        vec![v1, v2, v3]
+    }
+
+    /// Finds an id (probing a salt) that routes to `shard`.
+    fn id_on_shard(cluster: &SecCluster, shard: usize, mut salt: u64) -> ObjectId {
+        loop {
+            let id = ObjectId(salt);
+            if cluster.shard_of(id) == shard {
+                return id;
+            }
+            salt = salt.wrapping_add(0x1000_0000_0100_0001);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_every_shard() {
+        let cluster = cluster(4);
+        let mut hit = [false; 4];
+        for raw in 0..64u64 {
+            let shard = cluster.shard_of(ObjectId(raw));
+            assert!(shard < 4);
+            assert_eq!(shard, cluster.shard_of(ObjectId(raw)), "routing must be stable");
+            hit[shard] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "64 dense ids must reach all 4 shards");
+        // Name-derived ids are stable too.
+        assert_eq!(
+            ObjectId::from_name("wiki/Main_Page"),
+            ObjectId::from_name("wiki/Main_Page")
+        );
+        assert_ne!(ObjectId::from_name("a"), ObjectId::from_name("b"));
+    }
+
+    #[test]
+    fn objects_keep_independent_version_sequences() {
+        let cluster = cluster(4);
+        let a = ObjectId(1);
+        let b = ObjectId(2);
+        cluster.append_all(a, &versions(0)).unwrap();
+        cluster.append_version(b, &versions(0x40)[0]).unwrap();
+        // Version numbering is per object: b has exactly one version even
+        // though a already has three.
+        assert_eq!(cluster.version_count(a), Some(3));
+        assert_eq!(cluster.version_count(b), Some(1));
+        assert_eq!(*cluster.get_version(a, 3).unwrap().data, versions(0)[2]);
+        assert_eq!(*cluster.get_version(b, 1).unwrap().data, versions(0x40)[0]);
+        assert!(matches!(
+            cluster.get_version(b, 2),
+            Err(ClusterError::Engine(StoreError::Versioning(
+                VersioningError::NoSuchVersion { .. }
+            )))
+        ));
+        let p = cluster.get_prefix(a, 2).unwrap();
+        assert_eq!(p.versions, &versions(0)[..2]);
+        assert_eq!(cluster.object_count(), 2);
+    }
+
+    #[test]
+    fn addressing_errors_never_panic() {
+        let cluster = cluster(2);
+        assert!(matches!(
+            SecCluster::new(config(EncodingStrategy::BasicSec), 0),
+            Err(ClusterError::NoShards)
+        ));
+        assert!(matches!(
+            cluster.get_version(ObjectId(7), 1),
+            Err(ClusterError::UnknownObject { object: ObjectId(7) })
+        ));
+        assert!(matches!(
+            cluster.fail_node(2, 0),
+            Err(ClusterError::InvalidShard { shard: 2, shards: 2 })
+        ));
+        assert!(matches!(
+            cluster.fail_node(0, N),
+            Err(ClusterError::Engine(StoreError::InvalidNode { node: 6, n: 6 }))
+        ));
+        assert!(matches!(
+            cluster.revive_node(1, 99),
+            Err(ClusterError::Engine(StoreError::InvalidNode { .. }))
+        ));
+        assert!(matches!(
+            cluster.repair_node(0, 99),
+            Err(ClusterError::Engine(StoreError::InvalidNode { .. }))
+        ));
+        assert!(cluster.is_node_alive(1, 99).is_err());
+        assert!(cluster.apply_pattern(9, &FailurePattern::none(N)).is_err());
+        assert!(cluster
+            .apply_pattern_additive(9, &FailurePattern::none(N))
+            .is_err());
+        // Display impls cover the addressing errors.
+        assert!(ClusterError::NoShards.to_string().contains("at least one"));
+        assert!(cluster
+            .fail_node(2, 0)
+            .unwrap_err()
+            .to_string()
+            .contains("shard 2"));
+        assert!(cluster
+            .get_version(ObjectId(7), 1)
+            .unwrap_err()
+            .to_string()
+            .contains("object-"));
+    }
+
+    #[test]
+    fn failed_first_append_leaves_no_phantom_object() {
+        let cluster = cluster(2);
+        let id = ObjectId(5);
+        // Empty first sequence: no versions landed, so the object must not
+        // be admitted.
+        let empty: Vec<Vec<u8>> = Vec::new();
+        assert!(matches!(
+            cluster.append_all(id, &empty),
+            Err(ClusterError::Engine(StoreError::Versioning(
+                VersioningError::EmptyArchive
+            )))
+        ));
+        assert!(!cluster.contains_object(id));
+        assert_eq!(cluster.object_count(), 0);
+        assert_eq!(cluster.version_count(id), None);
+        assert!(matches!(
+            cluster.get_version(id, 1),
+            Err(ClusterError::UnknownObject { .. })
+        ));
+
+        // A partially successful first sequence serves what landed before
+        // the error, exactly like SecEngine::append_all.
+        let vs = versions(0);
+        let mixed: Vec<Vec<u8>> = vec![vs[0].clone(), vec![1, 2, 3]]; // wrong length
+        assert!(matches!(
+            cluster.append_all(id, &mixed),
+            Err(ClusterError::Engine(StoreError::Versioning(
+                VersioningError::ObjectLengthMismatch { .. }
+            )))
+        ));
+        assert!(cluster.contains_object(id));
+        assert_eq!(cluster.version_count(id), Some(1));
+        assert_eq!(*cluster.get_version(id, 1).unwrap().data, vs[0]);
+
+        // Appends to the now-existing object keep working.
+        cluster.append_version(id, &vs[1]).unwrap();
+        assert_eq!(cluster.version_count(id), Some(2));
+    }
+
+    #[test]
+    fn shard_failure_hits_cohosted_objects_but_not_other_shards() {
+        let cluster = cluster(2);
+        let on0 = id_on_shard(&cluster, 0, 1);
+        let also0 = id_on_shard(&cluster, 0, on0.0.wrapping_add(1));
+        let on1 = id_on_shard(&cluster, 1, 2);
+        cluster.append_all(on0, &versions(0)).unwrap();
+        cluster.append_all(also0, &versions(1)).unwrap();
+        cluster.append_all(on1, &versions(2)).unwrap();
+
+        // n − k failures on shard 0: both of its objects survive, shard 1
+        // untouched.
+        for node in 0..N - K {
+            cluster.fail_node(0, node).unwrap();
+        }
+        assert_eq!(*cluster.get_version(on0, 3).unwrap().data, versions(0)[2]);
+        assert_eq!(*cluster.get_version(also0, 3).unwrap().data, versions(1)[2]);
+        assert_eq!(cluster.metrics_snapshot().shards[0].live_nodes, K);
+        assert_eq!(cluster.metrics_snapshot().shards[1].live_nodes, N);
+
+        // One more failure makes *both* shard-0 objects unrecoverable —
+        // the shard is one failure domain — while shard 1 still serves.
+        cluster.fail_node(0, N - K).unwrap();
+        assert!(matches!(
+            cluster.get_version(on0, 1),
+            Err(ClusterError::Engine(StoreError::Unrecoverable { .. }))
+        ));
+        assert!(matches!(
+            cluster.get_version(also0, 1),
+            Err(ClusterError::Engine(StoreError::Unrecoverable { .. }))
+        ));
+        assert_eq!(*cluster.get_version(on1, 3).unwrap().data, versions(2)[2]);
+
+        // Repair rebuilds the node for every object on the shard: 3 stored
+        // entries per object × 2 objects.
+        cluster.revive_node(0, 0).unwrap();
+        let rebuilt = cluster.repair_node(0, 1).unwrap();
+        assert_eq!(rebuilt, 6);
+        assert!(cluster.is_node_alive(0, 1).unwrap());
+        assert_eq!(*cluster.get_version(on0, 3).unwrap().data, versions(0)[2]);
+        assert_eq!(*cluster.get_version(also0, 3).unwrap().data, versions(1)[2]);
+    }
+
+    #[test]
+    fn patterns_apply_per_shard_with_overwrite_and_additive_semantics() {
+        let cluster = cluster(2);
+        cluster.fail_node(0, 4).unwrap();
+        // Additive keeps node 4 down; overwrite revives it.
+        cluster
+            .apply_pattern_additive(0, &FailurePattern::with_failures(N, &[1]))
+            .unwrap();
+        assert!(!cluster.is_node_alive(0, 4).unwrap());
+        assert!(!cluster.is_node_alive(0, 1).unwrap());
+        cluster
+            .apply_pattern(0, &FailurePattern::with_failures(N, &[1]))
+            .unwrap();
+        assert!(cluster.is_node_alive(0, 4).unwrap());
+        assert!(!cluster.is_node_alive(0, 1).unwrap());
+        // Shard 1 was never touched.
+        assert_eq!(cluster.metrics_snapshot().shards[1].live_nodes, N);
+    }
+
+    #[test]
+    fn metrics_aggregate_across_objects_and_shards() {
+        let cluster = SecCluster::with_cache(config(EncodingStrategy::BasicSec), 2, 2).unwrap();
+        let a = ObjectId(1);
+        let b = ObjectId(2);
+        cluster.append_all(a, &versions(0)).unwrap();
+        cluster.append_all(b, &versions(9)).unwrap();
+        let cold = cluster.reset_metrics(); // drain the append-side counters
+        assert!(cold.io.symbol_writes > 0, "pre-reset totals are returned");
+
+        let r1 = cluster.get_version(a, 1).unwrap();
+        let r2 = cluster.get_version(b, 1).unwrap();
+        let m = cluster.metrics_snapshot();
+        assert_eq!(m.objects, 2);
+        assert_eq!(m.versions, 6);
+        assert_eq!(m.io.retrievals, 2);
+        assert_eq!(m.io.symbol_reads as usize, r1.io_reads + r2.io_reads);
+        assert_eq!(
+            m.shards.iter().map(|s| s.io.symbol_reads).sum::<u64>(),
+            m.io.symbol_reads
+        );
+        assert_eq!(
+            m.shards.iter().flat_map(|s| s.node_reads.iter()).sum::<u64>(),
+            m.io.symbol_reads,
+            "per-node counters must sum to the aggregate"
+        );
+        // Appends pre-warmed each object's cache: hot reads cost no I/O.
+        assert!(cluster.get_version(a, 3).unwrap().cached);
+        let m = cluster.metrics_snapshot();
+        assert!(m.cache.hits >= 1);
+        assert_eq!(m.cache.capacity, 4, "two objects × capacity 2");
+
+        // reset_metrics drains exactly the accumulated I/O; a fresh snapshot
+        // starts from zero.
+        let drained = cluster.reset_metrics();
+        assert_eq!(drained.io.retrievals, 3);
+        assert_eq!(cluster.metrics_snapshot().io, IoMetrics::default());
+        // Node-read counters survive resets.
+        assert!(
+            drained
+                .shards
+                .iter()
+                .flat_map(|s| s.node_reads.iter())
+                .sum::<u64>()
+                > 0
+        );
+    }
+
+    #[test]
+    fn codec_tables_are_shared_across_objects() {
+        let cluster = cluster(4);
+        let tables = cluster.codec().shared_tables();
+        let before = Arc::strong_count(&tables);
+        for raw in 0..8u64 {
+            cluster
+                .append_version(ObjectId(raw), &versions(raw as u8)[0])
+                .unwrap();
+        }
+        // Every new object added codec handles pointing at the *same*
+        // tables allocation — nothing rebuilt its own.
+        assert!(Arc::strong_count(&tables) > before);
+        assert!(Arc::ptr_eq(&tables, &cluster.codec().shared_tables()));
+    }
+}

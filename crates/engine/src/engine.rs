@@ -4,6 +4,43 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 
+/// Liveness flags of `n` storage nodes, outside every lock.
+///
+/// Kept in its own (crate-internal) type so a [`SecCluster`](crate::SecCluster)
+/// shard can share one liveness array across the per-object engines that live
+/// on the same physical nodes: failing a shard's node is then a single atomic
+/// store observed by every object's read planner at once.
+#[derive(Debug)]
+pub(crate) struct NodeLiveness {
+    alive: Vec<AtomicBool>,
+}
+
+impl NodeLiveness {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether node `node` is live. Callers must have range-checked `node`.
+    pub(crate) fn is_alive(&self, node: usize) -> bool {
+        self.alive[node].load(Ordering::Acquire)
+    }
+
+    /// Sets node `node`'s liveness. Callers must have range-checked `node`.
+    pub(crate) fn set(&self, node: usize, alive: bool) {
+        self.alive[node].store(alive, Ordering::Release);
+    }
+
+    pub(crate) fn live_count(&self) -> usize {
+        (0..self.len()).filter(|&i| self.is_alive(i)).count()
+    }
+}
+
 use sec_erasure::read_plan::plan_read;
 use sec_erasure::{ByteCodec, ByteShards};
 use sec_store::node::{StorageNode, SymbolKey};
@@ -88,7 +125,7 @@ pub struct SecEngine {
     archive: RwLock<ByteVersionedArchive>,
     codec: ByteCodec,
     nodes: Vec<RwLock<StorageNode<Vec<u8>>>>,
-    alive: Vec<AtomicBool>,
+    alive: Arc<NodeLiveness>,
     metrics: AtomicIoMetrics,
     cache: VersionCache<Vec<u8>>,
 }
@@ -118,6 +155,24 @@ impl SecEngine {
         Ok(Self::from_archive_with_cache(archive, cache_capacity))
     }
 
+    /// Creates an empty engine that reuses an existing codec (its code and
+    /// `GF(2^8)` multiplication tables sit behind `Arc`s) instead of building
+    /// one — the constructor a multi-engine deployment uses so the tables
+    /// exist once per process, not once per engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Versioning`] when the codec's code does not
+    /// match the configuration's `(n, k, form)`.
+    pub fn with_shared_codec(
+        config: ArchiveConfig,
+        codec: &ByteCodec,
+        cache_capacity: usize,
+    ) -> Result<Self, StoreError> {
+        let archive = ByteVersionedArchive::with_codec(config, codec.clone())?;
+        Ok(Self::from_archive_with_cache(archive, cache_capacity))
+    }
+
     /// Wraps an existing archive, distributing its coded blocks across the
     /// engine's nodes (colocated placement: node `i` holds block position
     /// `i` of every stored entry, the placement the paper shows maximizes
@@ -130,9 +185,22 @@ impl SecEngine {
     /// capacity.
     pub fn from_archive_with_cache(archive: ByteVersionedArchive, cache_capacity: usize) -> Self {
         let n = archive.code().n();
+        Self::from_parts(archive, cache_capacity, Arc::new(NodeLiveness::new(n)))
+    }
+
+    /// Wraps an archive around an externally owned liveness array — the
+    /// cluster constructor: every per-object engine of one shard shares the
+    /// shard's liveness, so failing a shard node is one atomic store.
+    pub(crate) fn from_parts(
+        archive: ByteVersionedArchive,
+        cache_capacity: usize,
+        alive: Arc<NodeLiveness>,
+    ) -> Self {
+        debug_assert_eq!(alive.len(), archive.code().n());
         let codec = archive.codec().clone();
         let metrics = AtomicIoMetrics::new();
-        let mut nodes: Vec<StorageNode<Vec<u8>>> = (0..n).map(StorageNode::new).collect();
+        let mut nodes: Vec<StorageNode<Vec<u8>>> =
+            (0..archive.code().n()).map(StorageNode::new).collect();
         for (entry_idx, entry) in archive.stored_entries().iter().enumerate() {
             for (position, node) in nodes.iter_mut().enumerate().take(entry.shards.shard_count()) {
                 let key = SymbolKey {
@@ -147,7 +215,7 @@ impl SecEngine {
             archive: RwLock::new(archive),
             codec,
             nodes: nodes.into_iter().map(RwLock::new).collect(),
-            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            alive,
             metrics,
             cache: VersionCache::new(cache_capacity),
         }
@@ -173,44 +241,81 @@ impl SecEngine {
         self.read_archive().is_empty()
     }
 
+    /// Range-checks a node id against this engine's cluster size.
+    fn check_node(&self, node: usize) -> Result<(), StoreError> {
+        if node >= self.alive.len() {
+            return Err(StoreError::InvalidNode {
+                node,
+                n: self.alive.len(),
+            });
+        }
+        Ok(())
+    }
+
     /// Whether node `node` is currently live. Lock-free.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is out of range.
-    pub fn is_node_alive(&self, node: usize) -> bool {
-        self.alive[node].load(Ordering::Acquire)
+    /// Returns [`StoreError::InvalidNode`] if `node` is out of range — a bad
+    /// node id is an error the caller handles, never a process abort.
+    pub fn is_node_alive(&self, node: usize) -> Result<bool, StoreError> {
+        self.check_node(node)?;
+        Ok(self.alive.is_alive(node))
     }
 
     /// Marks a node failed. Lock-free: in-flight retrievals that already
     /// planned around the node finish normally (the crash model — blocks
     /// survive on disk), later plans exclude it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is out of range.
-    pub fn fail_node(&self, node: usize) {
-        self.alive[node].store(false, Ordering::Release);
+    /// Returns [`StoreError::InvalidNode`] if `node` is out of range, so a
+    /// typo in a failure-injection script is a handled error instead of a
+    /// panic inside the serving process.
+    pub fn fail_node(&self, node: usize) -> Result<(), StoreError> {
+        self.check_node(node)?;
+        self.alive.set(node, false);
+        Ok(())
     }
 
     /// Revives a node, keeping whatever blocks it held (crash recovery; use
     /// [`SecEngine::repair_node`] after data loss).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is out of range.
-    pub fn revive_node(&self, node: usize) {
-        self.alive[node].store(true, Ordering::Release);
+    /// Returns [`StoreError::InvalidNode`] if `node` is out of range.
+    pub fn revive_node(&self, node: usize) -> Result<(), StoreError> {
+        self.check_node(node)?;
+        self.alive.set(node, true);
+        Ok(())
     }
 
-    /// Applies a failure pattern across the cluster (shorter patterns leave
-    /// the remaining nodes untouched).
+    /// Applies a failure pattern across the cluster.
+    ///
+    /// **Overwrite semantics:** within the pattern's length the pattern *is*
+    /// the new liveness — covered nodes the pattern marks alive are revived
+    /// even if they were failed before the call (so replaying a sequence of
+    /// sampled patterns always leaves the cluster in the last pattern's
+    /// state). Nodes beyond the pattern's length keep their liveness. Use
+    /// [`SecEngine::apply_pattern_additive`] to layer failures instead.
     pub fn apply_pattern(&self, pattern: &FailurePattern) {
-        for (idx, flag) in self.alive.iter().enumerate() {
+        for idx in 0..self.alive.len() {
             if pattern.is_failed(idx) {
-                flag.store(false, Ordering::Release);
+                self.alive.set(idx, false);
             } else if idx < pattern.len() {
-                flag.store(true, Ordering::Release);
+                self.alive.set(idx, true);
+            }
+        }
+    }
+
+    /// Fails every node the pattern marks failed and leaves all other nodes'
+    /// liveness untouched — the additive counterpart of
+    /// [`SecEngine::apply_pattern`], for tests and experiments that layer
+    /// patterns on top of already-injected failures.
+    pub fn apply_pattern_additive(&self, pattern: &FailurePattern) {
+        for idx in 0..self.alive.len() {
+            if pattern.is_failed(idx) {
+                self.alive.set(idx, false);
             }
         }
     }
@@ -399,19 +504,27 @@ impl SecEngine {
     /// # Errors
     ///
     /// Returns [`StoreError::Unrecoverable`] if some entry has fewer than
-    /// `k` other live blocks.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node_id` is out of range.
+    /// `k` other live blocks, or [`StoreError::InvalidNode`] if `node_id` is
+    /// out of range.
     pub fn repair_node(&self, node_id: usize) -> Result<usize, StoreError> {
+        let rebuilt = self.rebuild_node(node_id)?;
+        self.alive.set(node_id, true);
+        Ok(rebuilt)
+    }
+
+    /// The rebuild half of [`SecEngine::repair_node`]: stages and commits the
+    /// node's contents but leaves its liveness untouched, so a cluster can
+    /// rebuild the same physical node across every co-hosted object before
+    /// reviving it once.
+    pub(crate) fn rebuild_node(&self, node_id: usize) -> Result<usize, StoreError> {
+        self.check_node(node_id)?;
         let archive = self.archive.write().expect("archive lock poisoned");
         let k = self.codec.code().k();
         let entries = archive.stored_entries();
         let mut staged: Vec<(SymbolKey, Vec<u8>)> = Vec::with_capacity(entries.len());
         for entry_idx in 0..entries.len() {
             let live: Vec<usize> = (0..self.nodes.len())
-                .filter(|&p| p != node_id && self.is_node_alive(p))
+                .filter(|&p| p != node_id && self.alive.is_alive(p))
                 .collect();
             if live.len() < k {
                 return Err(StoreError::Unrecoverable { entry: entry_idx });
@@ -443,8 +556,7 @@ impl SecEngine {
             };
             staged.push((key, codeword.shard(node_id).to_vec()));
         }
-        // Commit: every block rebuilt, so replace the node's contents and
-        // only then mark it live for read planning.
+        // Commit: every block rebuilt, so replace the node's contents.
         let rebuilt = staged.len();
         {
             let mut node = self.nodes[node_id].write().expect("node lock poisoned");
@@ -454,31 +566,48 @@ impl SecEngine {
                 self.metrics.add_symbol_writes(1);
             }
         }
-        self.alive[node_id].store(true, Ordering::Release);
         self.metrics.add_repair();
         Ok(rebuilt)
     }
 
     /// A point-in-time snapshot of every counter the engine maintains.
     pub fn metrics_snapshot(&self) -> EngineMetrics {
+        self.metrics_view(self.metrics.snapshot())
+    }
+
+    /// Resets the aggregate I/O counters and returns the final pre-reset
+    /// metrics.
+    ///
+    /// Each counter is drained with an atomic swap, so across reset epochs
+    /// every individual increment is reported exactly once — unlike a
+    /// `metrics_snapshot()` + reset pair, which loses the increments that
+    /// land between the two calls. The guarantee is per *counter*, not per
+    /// operation: a retrieval in flight during the reset may have its
+    /// `retrievals` increment drained into the returned snapshot while its
+    /// `symbol_reads` land in the fresh epoch.
+    ///
+    /// **What survives a reset:** only the aggregate [`EngineMetrics::io`]
+    /// counters are cleared. Per-node read counters (`node_reads`), cache
+    /// statistics, node liveness and the version count keep accumulating;
+    /// the returned snapshot reports their current values.
+    pub fn reset_metrics(&self) -> EngineMetrics {
+        self.metrics_view(self.metrics.take())
+    }
+
+    /// Completes an [`EngineMetrics`] around an already-captured `io` view.
+    fn metrics_view(&self, io: IoMetrics) -> EngineMetrics {
         let node_reads = self
             .nodes
             .iter()
             .map(|node| node.read().expect("node lock poisoned").reads())
             .collect();
         EngineMetrics {
-            io: self.metrics.snapshot(),
+            io,
             node_reads,
-            live_nodes: (0..self.alive.len()).filter(|&i| self.is_node_alive(i)).count(),
+            live_nodes: self.alive.live_count(),
             cache: self.cache.stats(),
             versions: self.len(),
         }
-    }
-
-    /// Resets the aggregate I/O counters (per-node read counters and cache
-    /// statistics keep accumulating).
-    pub fn reset_metrics(&self) {
-        self.metrics.reset();
     }
 
     fn read_archive(&self) -> RwLockReadGuard<'_, ByteVersionedArchive> {
@@ -521,7 +650,9 @@ impl SecEngine {
         };
         // Lock-free planning: liveness is read from the atomics, no node
         // lock is held until the plan is fixed.
-        let live: Vec<usize> = (0..self.nodes.len()).filter(|&p| self.is_node_alive(p)).collect();
+        let live: Vec<usize> = (0..self.nodes.len())
+            .filter(|&p| self.alive.is_alive(p))
+            .collect();
         let plan = plan_read(self.codec.code(), &live, target)
             .map_err(|_| StoreError::Unrecoverable { entry: entry_idx })?;
 
@@ -613,6 +744,33 @@ mod tests {
     }
 
     #[test]
+    fn with_shared_codec_shares_tables_and_rejects_mismatches() {
+        let donor = ByteVersionedArchive::new(config(EncodingStrategy::BasicSec)).unwrap();
+        let codec = donor.codec().clone();
+        let tables = codec.shared_tables();
+        let before = Arc::strong_count(&tables);
+        let engine =
+            SecEngine::with_shared_codec(config(EncodingStrategy::BasicSec), &codec, 2).unwrap();
+        // The engine (and its archive) hold handles to the donor's tables
+        // allocation instead of materializing their own.
+        assert!(Arc::strong_count(&tables) > before);
+        let vs = versions();
+        engine.append_all(&vs).unwrap();
+        for (l, expect) in vs.iter().enumerate() {
+            assert_eq!(&*engine.get_version(l + 1).unwrap().data, expect);
+        }
+        // A codec built for a different code is rejected, not adopted.
+        let other = ArchiveConfig::new(4, 2, sec_erasure::GeneratorForm::NonSystematic, {
+            EncodingStrategy::BasicSec
+        })
+        .unwrap();
+        assert!(matches!(
+            SecEngine::with_shared_codec(other, &codec, 0),
+            Err(StoreError::Versioning(VersioningError::CodecMismatch { .. }))
+        ));
+    }
+
+    #[test]
     fn from_archive_serves_preexisting_versions() {
         let mut archive = ByteVersionedArchive::new(config(EncodingStrategy::BasicSec)).unwrap();
         let vs = versions();
@@ -634,20 +792,20 @@ mod tests {
         let engine = SecEngine::new(config(EncodingStrategy::BasicSec)).unwrap();
         let vs = versions();
         engine.append_all(&vs).unwrap();
-        engine.fail_node(0);
-        engine.fail_node(3);
-        engine.fail_node(5);
+        engine.fail_node(0).unwrap();
+        engine.fail_node(3).unwrap();
+        engine.fail_node(5).unwrap();
         for (l, expect) in vs.iter().enumerate() {
             assert_eq!(&*engine.get_version(l + 1).unwrap().data, expect);
         }
         // A fourth failure is fatal for full entries…
-        engine.fail_node(1);
+        engine.fail_node(1).unwrap();
         assert!(matches!(
             engine.get_version(1),
             Err(StoreError::Unrecoverable { .. })
         ));
         // …until a repair rebuilds a node from the survivors.
-        engine.revive_node(1);
+        engine.revive_node(1).unwrap();
         let rebuilt = engine.repair_node(0).unwrap();
         assert_eq!(rebuilt, 3);
         assert_eq!(*engine.get_version(3).unwrap().data, vs[2]);
@@ -662,9 +820,9 @@ mod tests {
         let engine = SecEngine::new(config(EncodingStrategy::BasicSec)).unwrap();
         let vs = versions();
         engine.append_all(&vs).unwrap();
-        engine.fail_node(3);
-        engine.fail_node(4);
-        engine.fail_node(5);
+        engine.fail_node(3).unwrap();
+        engine.fail_node(4).unwrap();
+        engine.fail_node(5).unwrap();
         // Recoverable from {0, 1, 2} — but repairing node 0 has only two
         // other live sources, so the repair must fail *without* wiping the
         // node it was asked to rebuild.
@@ -672,7 +830,10 @@ mod tests {
             engine.repair_node(0),
             Err(StoreError::Unrecoverable { .. })
         ));
-        assert!(engine.is_node_alive(0), "failed repair must not change liveness");
+        assert!(
+            engine.is_node_alive(0).unwrap(),
+            "failed repair must not change liveness"
+        );
         for (l, expect) in vs.iter().enumerate() {
             assert_eq!(
                 &*engine.get_version(l + 1).unwrap().data,

@@ -43,9 +43,41 @@
 //! assert_eq!(*r.data, v2);
 //! assert_eq!(r.io_reads, 3 + 2); // k + 2γ block reads
 //!
-//! engine.fail_node(0);
-//! engine.fail_node(5);
+//! engine.fail_node(0)?;
+//! engine.fail_node(5)?;
 //! assert_eq!(*engine.get_version(2)?.data, v2); // MDS survives n−k failures
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Scaling out: [`SecCluster`]
+//!
+//! One engine serves one versioned object. A [`SecCluster`] hashes
+//! [`ObjectId`]s across `S` independent shards — each with its own storage
+//! nodes, liveness atomics and version cache, all sharing a single set of
+//! `GF(2^8)` multiplication tables — so independent objects append and
+//! retrieve concurrently on different shards with zero shared locking:
+//!
+//! ```rust
+//! use sec_engine::{ObjectId, SecCluster};
+//! use sec_erasure::GeneratorForm;
+//! use sec_versioning::{ArchiveConfig, EncodingStrategy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)?;
+//! let cluster = SecCluster::new(config, 4)?;
+//!
+//! let wiki = ObjectId::from_name("wiki/Main_Page");
+//! let v1 = vec![7u8; 30];
+//! cluster.append_version(wiki, &v1)?;
+//! assert_eq!(*cluster.get_version(wiki, 1)?.data, v1);
+//!
+//! // Failure injection is addressed as (shard, node) and is fallible: a
+//! // typo'd address is an error, not a process abort.
+//! let shard = cluster.shard_of(wiki);
+//! cluster.fail_node(shard, 0)?;
+//! assert!(cluster.fail_node(99, 0).is_err());
+//! assert_eq!(*cluster.get_version(wiki, 1)?.data, v1);
 //! # Ok(())
 //! # }
 //! ```
@@ -53,8 +85,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod engine;
 
+pub use cluster::{ClusterError, ClusterMetrics, ObjectId, SecCluster, ShardMetrics};
 pub use engine::{EngineMetrics, EnginePrefix, EngineRetrieval, SecEngine};
 pub use sec_store::StoreError as EngineError;
 pub use sec_versioning::{CacheStats, VersionCache};

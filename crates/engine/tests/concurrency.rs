@@ -247,9 +247,9 @@ fn readers_race_failures_appends_and_repairs_without_corruption() {
         thread::spawn(move || {
             for (i, v) in vs[4..].iter().enumerate() {
                 let node = i % N;
-                engine.fail_node(node);
+                engine.fail_node(node).expect("in-range node");
                 engine.append_version(v).expect("append during failures");
-                engine.revive_node(node);
+                engine.revive_node(node).expect("in-range node");
                 engine.repair_node(node).expect("repair with one failure");
             }
         })

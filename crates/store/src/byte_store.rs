@@ -137,14 +137,31 @@ impl ByteDistributedStore {
         self.nodes[node].revive();
     }
 
-    /// Applies a failure pattern over the whole cluster (shorter patterns
-    /// leave the remaining nodes untouched).
+    /// Applies a failure pattern over the whole cluster.
+    ///
+    /// **Overwrite semantics:** within the pattern's length the pattern *is*
+    /// the new liveness — covered nodes that the pattern marks alive are
+    /// revived even if they were failed before the call. Nodes beyond the
+    /// pattern's length are left untouched. Use
+    /// [`ByteDistributedStore::apply_pattern_additive`] to layer failures on
+    /// top of existing ones instead.
     pub fn apply_pattern(&self, pattern: &FailurePattern) {
         for (idx, node) in self.nodes.iter().enumerate() {
             if pattern.is_failed(idx) {
                 node.fail();
             } else if idx < pattern.len() {
                 node.revive();
+            }
+        }
+    }
+
+    /// Fails every node the pattern marks failed, leaving all other nodes'
+    /// liveness untouched — the additive counterpart of
+    /// [`ByteDistributedStore::apply_pattern`], for layering patterns.
+    pub fn apply_pattern_additive(&self, pattern: &FailurePattern) {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if pattern.is_failed(idx) {
+                node.fail();
             }
         }
     }
@@ -400,6 +417,21 @@ mod tests {
             assert!(store.metrics().symbol_reads > 0);
             assert_eq!(store.metrics().retrievals, vs.len() as u64);
         }
+    }
+
+    #[test]
+    fn additive_patterns_layer_on_existing_failures() {
+        let (archive, _) = archive(EncodingStrategy::BasicSec);
+        let store = ByteDistributedStore::colocated(&archive);
+        store.fail_node(4);
+        store.apply_pattern_additive(&FailurePattern::with_failures(6, &[1]));
+        assert!(!store.node(4).unwrap().is_alive(), "additive must not revive");
+        assert!(!store.node(1).unwrap().is_alive());
+        store.apply_pattern(&FailurePattern::with_failures(6, &[1]));
+        assert!(
+            store.node(4).unwrap().is_alive(),
+            "overwrite revives covered nodes"
+        );
     }
 
     #[test]

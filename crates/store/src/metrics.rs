@@ -36,6 +36,16 @@ impl IoMetrics {
         *self = Self::default();
     }
 
+    /// Accumulates another snapshot's counters into this one (used to
+    /// aggregate per-shard or per-object metrics into cluster totals).
+    pub fn absorb(&mut self, other: &IoMetrics) {
+        self.symbol_reads += other.symbol_reads;
+        self.symbol_writes += other.symbol_writes;
+        self.failed_reads += other.failed_reads;
+        self.retrievals += other.retrievals;
+        self.repairs += other.repairs;
+    }
+
     /// Average symbol reads per retrieval, or `None` before any retrieval.
     pub fn reads_per_retrieval(&self) -> Option<f64> {
         if self.retrievals == 0 {
@@ -114,12 +124,29 @@ impl AtomicIoMetrics {
     }
 
     /// Resets every counter to zero.
+    ///
+    /// Prefer [`AtomicIoMetrics::take`] when the pre-reset values matter: a
+    /// `snapshot()` followed by `reset()` loses any increments that land
+    /// between the two calls.
     pub fn reset(&self) {
-        self.symbol_reads.store(0, Ordering::Relaxed);
-        self.symbol_writes.store(0, Ordering::Relaxed);
-        self.failed_reads.store(0, Ordering::Relaxed);
-        self.retrievals.store(0, Ordering::Relaxed);
-        self.repairs.store(0, Ordering::Relaxed);
+        self.take();
+    }
+
+    /// Atomically swaps every counter to zero and returns the values that
+    /// were cleared.
+    ///
+    /// Each counter is drained with a single atomic swap, so across reset
+    /// epochs every increment is reported exactly once — concurrent
+    /// increments land either in the returned snapshot or in the fresh
+    /// epoch, never in both and never in neither.
+    pub fn take(&self) -> IoMetrics {
+        IoMetrics {
+            symbol_reads: self.symbol_reads.swap(0, Ordering::Relaxed),
+            symbol_writes: self.symbol_writes.swap(0, Ordering::Relaxed),
+            failed_reads: self.failed_reads.swap(0, Ordering::Relaxed),
+            retrievals: self.retrievals.swap(0, Ordering::Relaxed),
+            repairs: self.repairs.swap(0, Ordering::Relaxed),
+        }
     }
 }
 
@@ -182,6 +209,45 @@ mod tests {
         assert_eq!(m.snapshot(), IoMetrics::default());
         // The clone kept its own counters.
         assert_eq!(cloned.snapshot(), snap);
+    }
+
+    #[test]
+    fn take_drains_counters_exactly_once() {
+        let m = AtomicIoMetrics::new();
+        m.add_symbol_reads(4);
+        m.add_retrieval();
+        let drained = m.take();
+        assert_eq!(drained.symbol_reads, 4);
+        assert_eq!(drained.retrievals, 1);
+        assert_eq!(m.snapshot(), IoMetrics::default());
+        // A second take reports nothing: the counters were already drained.
+        assert_eq!(m.take(), IoMetrics::default());
+    }
+
+    #[test]
+    fn absorb_accumulates_totals() {
+        let mut total = IoMetrics::new();
+        let a = IoMetrics {
+            symbol_reads: 3,
+            symbol_writes: 1,
+            failed_reads: 0,
+            retrievals: 2,
+            repairs: 0,
+        };
+        let b = IoMetrics {
+            symbol_reads: 5,
+            symbol_writes: 0,
+            failed_reads: 1,
+            retrievals: 1,
+            repairs: 1,
+        };
+        total.absorb(&a);
+        total.absorb(&b);
+        assert_eq!(total.symbol_reads, 8);
+        assert_eq!(total.symbol_writes, 1);
+        assert_eq!(total.failed_reads, 1);
+        assert_eq!(total.retrievals, 3);
+        assert_eq!(total.repairs, 1);
     }
 
     #[test]

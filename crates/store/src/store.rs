@@ -33,6 +33,14 @@ pub enum StoreError {
         /// Entries in the supplied archive.
         supplied: usize,
     },
+    /// A node id outside `0..n` was passed to a node-addressing operation
+    /// (failure injection, liveness query, repair).
+    InvalidNode {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes the addressed cluster actually has.
+        n: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -53,6 +61,9 @@ impl fmt::Display for StoreError {
                 f,
                 "store was provisioned for {provisioned} entries but the archive has {supplied}"
             ),
+            StoreError::InvalidNode { node, n } => {
+                write!(f, "node id {node} is out of range for a {n}-node cluster")
+            }
         }
     }
 }
@@ -189,15 +200,31 @@ impl<F: GaloisField> DistributedStore<F> {
         self.nodes[node].revive();
     }
 
-    /// Applies a failure pattern over the whole cluster (pattern length must
-    /// equal the node count; shorter patterns leave the remaining nodes
-    /// untouched).
+    /// Applies a failure pattern over the whole cluster.
+    ///
+    /// **Overwrite semantics:** within the pattern's length the pattern *is*
+    /// the new liveness — covered nodes that the pattern marks alive are
+    /// revived even if they were failed before the call. Nodes beyond the
+    /// pattern's length are left untouched. Use
+    /// [`DistributedStore::apply_pattern_additive`] to layer failures on top
+    /// of existing ones instead.
     pub fn apply_pattern(&self, pattern: &FailurePattern) {
         for (idx, node) in self.nodes.iter().enumerate() {
             if pattern.is_failed(idx) {
                 node.fail();
             } else if idx < pattern.len() {
                 node.revive();
+            }
+        }
+    }
+
+    /// Fails every node the pattern marks failed, leaving all other nodes'
+    /// liveness untouched — the additive counterpart of
+    /// [`DistributedStore::apply_pattern`], for layering patterns.
+    pub fn apply_pattern_additive(&self, pattern: &FailurePattern) {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if pattern.is_failed(idx) {
+                node.fail();
             }
         }
     }
@@ -609,5 +636,24 @@ mod tests {
         }
         .to_string()
         .contains("provisioned"));
+        assert!(StoreError::InvalidNode { node: 9, n: 6 }
+            .to_string()
+            .contains("node id 9"));
+    }
+
+    #[test]
+    fn additive_patterns_layer_while_overwrite_replaces() {
+        let (archive, _) = archive(EncodingStrategy::BasicSec);
+        let store = DistributedStore::colocated(&archive);
+        store.fail_node(0);
+        // Additive: node 0 stays failed even though the pattern marks it alive.
+        store.apply_pattern_additive(&FailurePattern::with_failures(6, &[2]));
+        assert!(!store.node(0).unwrap().is_alive());
+        assert!(!store.node(2).unwrap().is_alive());
+        assert!(store.node(1).unwrap().is_alive());
+        // Overwrite: the same pattern revives every covered node it marks alive.
+        store.apply_pattern(&FailurePattern::with_failures(6, &[2]));
+        assert!(store.node(0).unwrap().is_alive());
+        assert!(!store.node(2).unwrap().is_alive());
     }
 }

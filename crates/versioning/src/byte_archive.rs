@@ -109,9 +109,32 @@ impl ByteVersionedArchive {
     /// built over `GF(2^8)` (e.g. `n` too large for the Cauchy construction).
     pub fn new(config: ArchiveConfig) -> Result<Self, VersioningError> {
         let code = SecCode::cauchy(config.params().n, config.params().k, config.form())?;
+        Self::with_codec(config, ByteCodec::new(code))
+    }
+
+    /// Creates an empty byte archive that reuses an existing codec instead of
+    /// building one.
+    ///
+    /// [`ByteCodec`] is `Clone`-cheap (its code and multiplication tables sit
+    /// behind `Arc`s), so a fleet of archives over the same `(n, k)` code —
+    /// e.g. the per-object archives of a sharded cluster — can share one set
+    /// of `GF(2^8)` tables per process instead of materializing `n·k` cached
+    /// coefficient tables per archive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VersioningError::CodecMismatch`] when the codec's code does
+    /// not match the configuration's `(n, k, form)`.
+    pub fn with_codec(config: ArchiveConfig, codec: ByteCodec) -> Result<Self, VersioningError> {
+        let expected = (config.params().n, config.params().k, config.form());
+        let code = codec.code();
+        let actual = (code.n(), code.k(), code.form());
+        if expected != actual {
+            return Err(VersioningError::CodecMismatch { expected, actual });
+        }
         Ok(Self {
             config,
-            codec: ByteCodec::new(code),
+            codec,
             object_len: None,
             entries: Vec::new(),
             latest_full: None,
@@ -415,6 +438,44 @@ mod tests {
     fn archive(strategy: EncodingStrategy) -> ByteVersionedArchive {
         let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, strategy).unwrap();
         ByteVersionedArchive::new(config).unwrap()
+    }
+
+    #[test]
+    fn with_codec_shares_tables_and_rejects_mismatches() {
+        let config =
+            ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec).unwrap();
+        let donor = ByteVersionedArchive::new(config).unwrap();
+        let shared = ByteVersionedArchive::with_codec(config, donor.codec().clone()).unwrap();
+        // One set of mul tables per code: both archives point at the same
+        // allocations.
+        assert!(std::sync::Arc::ptr_eq(
+            &donor.codec().shared_code(),
+            &shared.codec().shared_code()
+        ));
+        assert!(std::sync::Arc::ptr_eq(
+            &donor.codec().shared_tables(),
+            &shared.codec().shared_tables()
+        ));
+
+        // A codec for a different (n, k) is rejected, not silently adopted.
+        let other =
+            ArchiveConfig::new(4, 2, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec).unwrap();
+        let other_codec = ByteVersionedArchive::new(other).unwrap().codec().clone();
+        match ByteVersionedArchive::with_codec(config, other_codec) {
+            Err(VersioningError::CodecMismatch { expected, actual }) => {
+                assert_eq!((expected.0, expected.1), (6, 3));
+                assert_eq!((actual.0, actual.1), (4, 2));
+            }
+            other => panic!("expected CodecMismatch, got {other:?}"),
+        }
+        // Same (n, k) but the wrong generator form is a mismatch too.
+        let sys =
+            ArchiveConfig::new(6, 3, GeneratorForm::Systematic, EncodingStrategy::BasicSec).unwrap();
+        let sys_codec = ByteVersionedArchive::new(sys).unwrap().codec().clone();
+        assert!(matches!(
+            ByteVersionedArchive::with_codec(config, sys_codec),
+            Err(VersioningError::CodecMismatch { .. })
+        ));
     }
 
     /// Three versions of a 90-byte object (30-byte blocks): v2 edits one

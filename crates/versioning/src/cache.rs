@@ -115,6 +115,18 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
+impl CacheStats {
+    /// Accumulates another snapshot's counters into this one (used to
+    /// aggregate many caches' statistics into fleet-wide totals; `len` and
+    /// `capacity` sum as well).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.len += other.len;
+        self.capacity += other.capacity;
+    }
+}
+
 /// One cached version: its number, its decoded value, and an atomically
 /// touchable recency stamp.
 #[derive(Debug)]

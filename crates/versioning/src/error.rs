@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use sec_erasure::CodeError;
+use sec_erasure::{CodeError, GeneratorForm};
 
 /// Errors returned by archive construction, appending and retrieval.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +32,14 @@ pub enum VersioningError {
         /// Supplied number of bytes.
         actual_bytes: usize,
     },
+    /// A shared codec passed to an archive constructor was built for a
+    /// different code than the archive configuration names.
+    CodecMismatch {
+        /// `(n, k, form)` the archive configuration requires.
+        expected: (usize, usize, GeneratorForm),
+        /// `(n, k, form)` of the supplied codec's code.
+        actual: (usize, usize, GeneratorForm),
+    },
     /// An underlying erasure-coding error.
     Code(CodeError),
 }
@@ -59,6 +67,14 @@ impl fmt::Display for VersioningError {
                 write!(
                     f,
                     "object of {actual_bytes} bytes exceeds the {max_bytes}-byte capacity"
+                )
+            }
+            VersioningError::CodecMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "shared codec was built for a ({}, {}) {} code but the archive requires a \
+                     ({}, {}) {} code",
+                    actual.0, actual.1, actual.2, expected.0, expected.1, expected.2
                 )
             }
             VersioningError::Code(err) => write!(f, "erasure coding error: {err}"),

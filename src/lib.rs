@@ -54,7 +54,7 @@ pub use sec_store as store;
 pub use sec_versioning as versioning;
 pub use sec_workload as workload;
 
-pub use sec_engine::SecEngine;
+pub use sec_engine::{ObjectId, SecCluster, SecEngine};
 pub use sec_erasure::{ByteCodec, ByteShards, CodeParams, DecodeScratch, GeneratorForm, SecCode};
 pub use sec_store::{ByteDistributedStore, DistributedStore, PlacementStrategy};
 pub use sec_versioning::{

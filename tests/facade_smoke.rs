@@ -3,7 +3,7 @@
 //! interoperate end-to-end (encode → store → fail → retrieve → analyze).
 
 use sec::analysis::patterns::census;
-use sec::engine::{EngineMetrics, EngineRetrieval};
+use sec::engine::{ClusterMetrics, EngineMetrics, EngineRetrieval};
 use sec::erasure::{CodeError, DecodeMethod, ReadPlan, ReadTarget, ReplicationCode, Share};
 use sec::gf::{GaloisField, Gf1024, Gf16, Gf256, Gf65536, Poly};
 use sec::linalg::{cauchy::cauchy_matrix, checks, Matrix, MatrixError};
@@ -11,8 +11,8 @@ use sec::store::{FailurePattern, IoMetrics, Placement, StorageNode, StoredRetrie
 use sec::versioning::{PrefixRetrieval, VersionRetrieval, VersioningError};
 use sec::workload::{EditModel, TraceConfig, VersionTrace};
 use sec::{
-    ArchiveConfig, CodeParams, DistributedStore, EncodingStrategy, GeneratorForm, IoModel,
-    PlacementStrategy, SecCode, SecEngine, SparsityPmf, VersionedArchive,
+    ArchiveConfig, CodeParams, DistributedStore, EncodingStrategy, GeneratorForm, IoModel, ObjectId,
+    PlacementStrategy, SecCluster, SecCode, SecEngine, SparsityPmf, VersionedArchive,
 };
 
 /// Every crate-root re-export participates in one end-to-end flow.
@@ -61,12 +61,33 @@ fn facade_types_interoperate_end_to_end() {
     let engine = SecEngine::new(config).expect("engine");
     engine.append_version(&[1, 2, 3, 4, 5, 6]).expect("append v1");
     engine.append_version(&[1, 2, 9, 4, 5, 6]).expect("append v2");
-    engine.fail_node(0);
+    engine.fail_node(0).expect("node 0 is in range");
+    assert!(
+        engine.fail_node(99).is_err(),
+        "bad node ids are errors, not panics"
+    );
     let served: EngineRetrieval = engine.get_version(2).expect("engine retrieval");
     assert_eq!(*served.data, vec![1, 2, 9, 4, 5, 6]);
     let engine_metrics: EngineMetrics = engine.metrics_snapshot();
     assert_eq!(engine_metrics.live_nodes, 5);
     assert!(engine_metrics.io.symbol_reads > 0);
+
+    // cluster: the sharded multi-archive router over per-object engines.
+    let cluster = SecCluster::new(config, 4).expect("cluster");
+    let object = ObjectId::from_name("facade/smoke");
+    cluster
+        .append_version(object, &[1, 2, 3, 4, 5, 6])
+        .expect("cluster append");
+    assert_eq!(
+        *cluster.get_version(object, 1).expect("cluster read").data,
+        vec![1, 2, 3, 4, 5, 6]
+    );
+    let shard = cluster.shard_of(object);
+    cluster.fail_node(shard, 1).expect("valid address");
+    assert!(cluster.fail_node(99, 0).is_err());
+    let cluster_metrics: ClusterMetrics = cluster.metrics_snapshot();
+    assert_eq!(cluster_metrics.objects, 1);
+    assert_eq!(cluster_metrics.shards[shard].live_nodes, 5);
 
     // analysis: §IV-C pattern census through the facade path.
     let census_ns = census(&code, 1);
