@@ -27,6 +27,13 @@
 //! objects over more independent lock domains (archive locks, node locks,
 //! object maps), so aggregate throughput should hold or rise as S grows.
 //!
+//! A sixth series measures *placement scaling*: the same archive served by a
+//! colocated engine (`n` shared nodes) vs a dispersed engine (`n` fresh
+//! nodes per entry) under an **identical failure rate** (one node in six
+//! down). Colocated loses one codeword position of every entry; dispersed
+//! loses one position of each entry independently — read counts match, so
+//! the comparison isolates the layout's lock/liveness topology.
+//!
 //! Run with `cargo run --release -p sec-bench --bin throughput`. Pass
 //! `--smoke` for a quick CI-sized run (4 KiB shards only) and `--out <path>`
 //! to change the JSON destination.
@@ -35,7 +42,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sec_engine::{ObjectId, SecCluster, SecEngine};
+use sec_engine::{ObjectId, PlacementStrategy, SecCluster, SecEngine};
 use sec_erasure::{shards, ByteCodec, ByteShards, GeneratorForm, SecCode, Share};
 use sec_gf::{GaloisField, Gf256};
 use sec_versioning::{ArchiveConfig, EncodingStrategy};
@@ -59,6 +66,88 @@ struct ScalingSample {
     retrievals: u64,
     retrievals_per_s: f64,
     mb_per_s: f64,
+}
+
+/// One placement-scaling data point: aggregate engine throughput for a
+/// placement strategy under a fixed failure rate.
+struct PlacementScalingSample {
+    placement: PlacementStrategy,
+    threads: usize,
+    shard_bytes: usize,
+    nodes: usize,
+    failed_nodes: usize,
+    retrievals: u64,
+    retrievals_per_s: f64,
+    mb_per_s: f64,
+}
+
+/// Measures `SecEngine::get_version` throughput under `placement` with
+/// `threads` concurrent readers and one-in-six nodes failed: node 0 of the
+/// shared group (colocated), or position 0 of every entry's private node set
+/// (dispersed) — the same failure *rate* in both layouts, and read plans of
+/// identical cost.
+fn measure_placement_scaling(
+    shard_bytes: usize,
+    versions: usize,
+    placement: PlacementStrategy,
+    threads: usize,
+    min_total: Duration,
+) -> PlacementScalingSample {
+    let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
+        .expect("(6,3) fits in GF(256)");
+    let engine = SecEngine::with_placement(config, placement, 0).expect("engine builds");
+    let mut object = vec![0u8; 3 * shard_bytes];
+    fill(&mut object, shard_bytes as u64 + 29);
+    engine.append_version(&object).expect("append v1");
+    for v in 1..versions {
+        object[(v * 131) % shard_bytes] ^= 0xA5;
+        engine.append_version(&object).expect("append delta");
+    }
+    let nodes = engine.node_count();
+    let mut failed_nodes = 0usize;
+    for node in (0..nodes).step_by(6) {
+        engine.fail_node(node).expect("in range");
+        failed_nodes += 1;
+    }
+    let engine = Arc::new(engine);
+
+    let calibrate = Instant::now();
+    let mut calibration_rounds = 0u64;
+    while calibrate.elapsed() < min_total / 4 {
+        let l = (calibration_rounds as usize) % versions + 1;
+        std::hint::black_box(engine.get_version(l).expect("retrieval"));
+        calibration_rounds += 1;
+    }
+    let per_thread = calibration_rounds.max(1);
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let l = (t + i as usize) % versions + 1;
+                    std::hint::black_box(engine.get_version(l).expect("retrieval"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("reader thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let retrievals = per_thread * threads as u64;
+    let object_bytes = 3 * shard_bytes;
+    PlacementScalingSample {
+        placement,
+        threads,
+        shard_bytes,
+        nodes,
+        failed_nodes,
+        retrievals,
+        retrievals_per_s: retrievals as f64 / elapsed,
+        mb_per_s: (retrievals as f64 * object_bytes as f64 / 1e6) / elapsed,
+    }
 }
 
 /// One shard-scaling data point: aggregate cluster throughput at a shard
@@ -519,6 +608,23 @@ fn main() -> std::io::Result<()> {
         })
         .collect();
 
+    // ---- placement scaling: colocated vs dispersed under failures ----------
+    let placement_versions = 8;
+    let placement_threads = 8;
+    let placement_scaling: Vec<PlacementScalingSample> =
+        [PlacementStrategy::Colocated, PlacementStrategy::Dispersed]
+            .iter()
+            .map(|&placement| {
+                measure_placement_scaling(
+                    scaling_shard_bytes,
+                    placement_versions,
+                    placement,
+                    placement_threads,
+                    min_total,
+                )
+            })
+            .collect();
+
     // Human-readable table.
     println!(
         "{:<16} {:<14} {:>4} {:>4} {:>12} {:>14} {:>12}",
@@ -553,6 +659,23 @@ fn main() -> std::io::Result<()> {
         );
     }
 
+    println!(
+        "\n{:<11} {:>8} {:>7} {:>12} {:>14} {:>16} {:>12}",
+        "placement", "nodes", "failed", "shard_bytes", "retrievals", "retrievals/s", "MB/s"
+    );
+    for s in &placement_scaling {
+        println!(
+            "{:<11} {:>8} {:>7} {:>12} {:>14} {:>16.0} {:>12.1}",
+            s.placement,
+            s.nodes,
+            s.failed_nodes,
+            s.shard_bytes,
+            s.retrievals,
+            s.retrievals_per_s,
+            s.mb_per_s
+        );
+    }
+
     // Headline speedup: byte vs per-symbol encode for the (6,3) code at the
     // largest measured shard size.
     let headline_size = *sizes.last().expect("at least one size");
@@ -576,7 +699,7 @@ fn main() -> std::io::Result<()> {
     // JSON emission (hand-rolled; the workspace has no serde).
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"schema\": \"sec-bench-throughput/v3\",").unwrap();
+    writeln!(json, "  \"schema\": \"sec-bench-throughput/v4\",").unwrap();
     writeln!(json, "  \"smoke\": {},", args.smoke).unwrap();
     writeln!(json, "  \"headline_shard_bytes\": {headline_size},").unwrap();
     match speedup {
@@ -625,6 +748,31 @@ fn main() -> std::io::Result<()> {
              \"shard_bytes\": {}, \"retrievals\": {}, \"retrievals_per_s\": {:.1}, \
              \"mb_per_s\": {:.3}}}{comma}",
             s.shards, s.objects, s.threads, s.shard_bytes, s.retrievals, s.retrievals_per_s, s.mb_per_s
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"placement_scaling\": [").unwrap();
+    for (idx, s) in placement_scaling.iter().enumerate() {
+        let comma = if idx + 1 == placement_scaling.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(
+            json,
+            "    {{\"engine\": \"sec-engine\", \"n\": 6, \"k\": 3, \"strategy\": \"basic-sec\", \
+             \"placement\": \"{}\", \"versions\": {placement_versions}, \"threads\": {}, \
+             \"nodes\": {}, \"failed_nodes\": {}, \"shard_bytes\": {}, \"retrievals\": {}, \
+             \"retrievals_per_s\": {:.1}, \"mb_per_s\": {:.3}}}{comma}",
+            s.placement,
+            s.threads,
+            s.nodes,
+            s.failed_nodes,
+            s.shard_bytes,
+            s.retrievals,
+            { s.retrievals_per_s },
+            s.mb_per_s
         )
         .unwrap();
     }

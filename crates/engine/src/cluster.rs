@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, RwLock};
 
-use sec_store::{FailurePattern, IoMetrics, StoreError};
+use sec_store::{FailurePattern, IoMetrics, PlacementStrategy, StoreError};
 use sec_versioning::object::VersionId;
 use sec_versioning::{ArchiveConfig, ByteVersionedArchive, CacheStats};
 
@@ -85,6 +85,14 @@ pub enum ClusterError {
     /// An error from the addressed shard's engine (including
     /// [`StoreError::InvalidNode`] for an out-of-range node id).
     Engine(StoreError),
+    /// An operation that only makes sense under one placement strategy was
+    /// invoked on a cluster built with the other (shard-scoped node
+    /// addressing needs colocated placement's shared node groups;
+    /// object-scoped repair needs dispersed placement's private node sets).
+    PlacementMismatch {
+        /// The placement the cluster was built with.
+        placement: PlacementStrategy,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -98,6 +106,9 @@ impl fmt::Display for ClusterError {
                 write!(f, "{object} holds no versions in this cluster")
             }
             ClusterError::Engine(e) => write!(f, "engine error: {e}"),
+            ClusterError::PlacementMismatch { placement } => {
+                write!(f, "operation is not addressable under {placement} placement")
+            }
         }
     }
 }
@@ -123,11 +134,19 @@ impl From<StoreError> for ClusterError {
 pub struct ShardMetrics {
     /// Aggregate I/O counters summed across the shard's objects.
     pub io: IoMetrics,
-    /// Reads served by each of the shard's `n` nodes (summed across the
-    /// per-object block stores colocated on that node).
+    /// Reads served per codeword position: under colocated placement entry
+    /// `i` is the shard's physical node `i` (summed across the per-object
+    /// block stores colocated on it); under dispersed placement the
+    /// per-object node spaces are folded by position (`id mod n`), giving
+    /// the read load of each codeword slot across the shard's objects.
     pub node_reads: Vec<u64>,
-    /// Number of currently live nodes on the shard.
+    /// Number of currently live nodes on the shard (shared group of `n` for
+    /// colocated; summed over the per-object node spaces for dispersed).
     pub live_nodes: usize,
+    /// Total storage nodes the shard's placement addresses: `n` under
+    /// colocated placement, the sum of per-object `n · entries` node spaces
+    /// under dispersed.
+    pub nodes: usize,
     /// Number of objects routed to the shard so far.
     pub objects: usize,
     /// Total versions appended across the shard's objects.
@@ -140,23 +159,32 @@ pub struct ShardMetrics {
 /// A point-in-time view of everything the cluster counts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterMetrics {
+    /// The placement strategy every object is stored under.
+    pub placement: PlacementStrategy,
     /// Per-shard breakdown, indexed by shard id.
     pub shards: Vec<ShardMetrics>,
     /// Cluster-wide I/O totals.
     pub io: IoMetrics,
     /// Cluster-wide cache totals.
     pub cache: CacheStats,
+    /// Total storage nodes across all shards (per-placement semantics as
+    /// [`ShardMetrics::nodes`]).
+    pub nodes: usize,
+    /// Total live storage nodes across all shards.
+    pub live_nodes: usize,
     /// Total objects across all shards.
     pub objects: usize,
     /// Total versions across all objects.
     pub versions: usize,
 }
 
-/// One shard: a group of `n` storage nodes (their shared liveness) plus the
-/// engines of the objects routed here.
+/// One shard: the engines of the objects routed here, plus — under
+/// colocated placement — the shared liveness of the shard's physical group
+/// of `n` nodes. Dispersed shards have no shared node group (every object
+/// owns its node space), so their `liveness` is `None`.
 #[derive(Debug)]
 struct ClusterShard {
-    liveness: Arc<NodeLiveness>,
+    liveness: Option<Arc<NodeLiveness>>,
     objects: RwLock<BTreeMap<ObjectId, Arc<SecEngine>>>,
 }
 
@@ -173,16 +201,24 @@ struct ClusterShard {
 ///
 /// # Failure domains
 ///
-/// `(shard, node)` addresses one simulated physical node: failing it makes
-/// block position `node` of **every** object on that shard unreadable (one
-/// atomic store), and [`SecCluster::repair_node`] rebuilds that position for
-/// every object before reviving the node — staged per object, so a repair
-/// that fails midway leaves each object exactly as recoverable as before.
+/// Under **colocated** placement (the default) `(shard, node)` addresses one
+/// simulated physical node: failing it makes block position `node` of
+/// **every** object on that shard unreadable (one atomic store), and
+/// [`SecCluster::repair_node`] rebuilds that position for every object
+/// before reviving the node — staged per object, so a repair that fails
+/// midway leaves each object exactly as recoverable as before.
+///
+/// Under **dispersed** placement every stored entry of every object owns a
+/// private set of `n` nodes, so there is no shard-wide node to address:
+/// failure injection and repair go through the object-scoped API
+/// ([`SecCluster::fail_object_node`], [`SecCluster::repair_object_node`]),
+/// and a node failure degrades exactly one entry of exactly one object.
 #[derive(Debug)]
 pub struct SecCluster {
     config: ArchiveConfig,
     codec: ByteCodec,
     cache_capacity: usize,
+    placement: PlacementStrategy,
     shards: Vec<ClusterShard>,
 }
 
@@ -211,6 +247,24 @@ impl SecCluster {
         shards: usize,
         cache_capacity: usize,
     ) -> Result<Self, ClusterError> {
+        Self::with_placement(config, shards, cache_capacity, PlacementStrategy::Colocated)
+    }
+
+    /// Like [`SecCluster::with_cache`] under an explicit placement strategy
+    /// (§IV of the paper). Colocated keeps one shared liveness array of `n`
+    /// nodes per shard; dispersed gives every object's every stored entry a
+    /// private set of `n` nodes, addressed through the object-scoped node
+    /// API.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SecCluster::new`].
+    pub fn with_placement(
+        config: ArchiveConfig,
+        shards: usize,
+        cache_capacity: usize,
+        placement: PlacementStrategy,
+    ) -> Result<Self, ClusterError> {
         if shards == 0 {
             return Err(ClusterError::NoShards);
         }
@@ -225,9 +279,13 @@ impl SecCluster {
             config,
             codec,
             cache_capacity,
+            placement,
             shards: (0..shards)
                 .map(|_| ClusterShard {
-                    liveness: Arc::new(NodeLiveness::new(n)),
+                    liveness: match placement {
+                        PlacementStrategy::Colocated => Some(Arc::new(NodeLiveness::new(n))),
+                        PlacementStrategy::Dispersed => None,
+                    },
                     objects: RwLock::new(BTreeMap::new()),
                 })
                 .collect(),
@@ -237,6 +295,11 @@ impl SecCluster {
     /// The archive configuration every object is encoded under.
     pub fn config(&self) -> ArchiveConfig {
         self.config
+    }
+
+    /// The placement strategy every object is stored under.
+    pub fn placement(&self) -> PlacementStrategy {
+        self.placement
     }
 
     /// The process-wide shared codec (one `Arc<SecCode>`/`Arc<CoeffTables>`
@@ -250,7 +313,10 @@ impl SecCluster {
         self.shards.len()
     }
 
-    /// Number of storage nodes per shard (`n`).
+    /// Codeword length `n`: the size of each shard's shared node group
+    /// under colocated placement, and of each stored entry's private node
+    /// set under dispersed (see [`SecCluster::object_node_count`] for an
+    /// object's total).
     pub fn node_count(&self) -> usize {
         self.config.params().n
     }
@@ -296,11 +362,25 @@ impl SecCluster {
         })
     }
 
-    fn check_node(&self, shard: &ClusterShard, node: usize) -> Result<(), ClusterError> {
-        if node >= shard.liveness.len() {
+    /// The shard's shared node group, for the shard-scoped node API. Only
+    /// colocated placement has one; under dispersed every object owns its
+    /// node space, so shard-scoped node addressing is a
+    /// [`ClusterError::PlacementMismatch`].
+    fn shard_group(&self, shard: usize) -> Result<(&ClusterShard, &Arc<NodeLiveness>), ClusterError> {
+        let s = self.shard(shard)?;
+        match &s.liveness {
+            Some(liveness) => Ok((s, liveness)),
+            None => Err(ClusterError::PlacementMismatch {
+                placement: self.placement,
+            }),
+        }
+    }
+
+    fn check_node(&self, liveness: &NodeLiveness, node: usize) -> Result<(), ClusterError> {
+        if node >= liveness.len() {
             return Err(ClusterError::Engine(StoreError::InvalidNode {
                 node,
-                n: shard.liveness.len(),
+                n: liveness.len(),
             }));
         }
         Ok(())
@@ -350,10 +430,11 @@ impl SecCluster {
         // encode into a private engine with no map lock held.
         let archive = ByteVersionedArchive::with_codec(self.config, self.codec.clone())
             .map_err(StoreError::from)?;
-        let engine = Arc::new(SecEngine::from_parts(
+        let engine = Arc::new(SecEngine::from_layout(
             archive,
             self.cache_capacity,
-            Arc::clone(&shard.liveness),
+            self.placement,
+            shard.liveness.as_ref().map(Arc::clone),
         ));
         let result = append(&engine);
         let winner = {
@@ -431,11 +512,12 @@ impl SecCluster {
     /// # Errors
     ///
     /// Returns [`ClusterError::InvalidShard`] / [`StoreError::InvalidNode`]
-    /// for a bad address.
+    /// for a bad address, or [`ClusterError::PlacementMismatch`] under
+    /// dispersed placement (use [`SecCluster::is_object_node_alive`]).
     pub fn is_node_alive(&self, shard: usize, node: usize) -> Result<bool, ClusterError> {
-        let s = self.shard(shard)?;
-        self.check_node(s, node)?;
-        Ok(s.liveness.is_alive(node))
+        let (_, liveness) = self.shard_group(shard)?;
+        self.check_node(liveness, node)?;
+        Ok(liveness.is_alive(node))
     }
 
     /// Fails node `node` of shard `shard`: one atomic store, observed by the
@@ -445,11 +527,12 @@ impl SecCluster {
     ///
     /// Returns [`ClusterError::InvalidShard`] / [`StoreError::InvalidNode`]
     /// for a bad address — failure-injection typos are handled errors, never
-    /// process aborts.
+    /// process aborts — or [`ClusterError::PlacementMismatch`] under
+    /// dispersed placement (use [`SecCluster::fail_object_node`]).
     pub fn fail_node(&self, shard: usize, node: usize) -> Result<(), ClusterError> {
-        let s = self.shard(shard)?;
-        self.check_node(s, node)?;
-        s.liveness.set(node, false);
+        let (_, liveness) = self.shard_group(shard)?;
+        self.check_node(liveness, node)?;
+        liveness.set(node, false);
         Ok(())
     }
 
@@ -460,10 +543,75 @@ impl SecCluster {
     ///
     /// As for [`SecCluster::fail_node`].
     pub fn revive_node(&self, shard: usize, node: usize) -> Result<(), ClusterError> {
-        let s = self.shard(shard)?;
-        self.check_node(s, node)?;
-        s.liveness.set(node, true);
+        let (_, liveness) = self.shard_group(shard)?;
+        self.check_node(liveness, node)?;
+        liveness.set(node, true);
         Ok(())
+    }
+
+    /// Whether node `node` of object `id`'s node space is live. Node ids are
+    /// the object's placement ids (entry `e`, position `i` ↔ `e·n + i` under
+    /// dispersed; position `i` of the shared shard group under colocated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownObject`] / [`StoreError::InvalidNode`]
+    /// for a bad address.
+    pub fn is_object_node_alive(&self, id: ObjectId, node: usize) -> Result<bool, ClusterError> {
+        Ok(self.engine_of(id)?.is_node_alive(node)?)
+    }
+
+    /// Fails node `node` of object `id`'s node space. Under dispersed
+    /// placement this degrades exactly one stored entry of exactly this
+    /// object; under colocated placement the object's nodes *are* the
+    /// shard's shared group, so this is [`SecCluster::fail_node`] for the
+    /// object's shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownObject`] / [`StoreError::InvalidNode`]
+    /// for a bad address.
+    pub fn fail_object_node(&self, id: ObjectId, node: usize) -> Result<(), ClusterError> {
+        Ok(self.engine_of(id)?.fail_node(node)?)
+    }
+
+    /// Revives node `node` of object `id`'s node space, keeping whatever
+    /// blocks it held.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SecCluster::fail_object_node`].
+    pub fn revive_object_node(&self, id: ObjectId, node: usize) -> Result<(), ClusterError> {
+        Ok(self.engine_of(id)?.revive_node(node)?)
+    }
+
+    /// Repairs node `node` of object `id`'s node space after data loss:
+    /// rebuilds the blocks it hosts (one entry's block under dispersed) and
+    /// revives it. Dispersed placement only — under colocated placement a
+    /// node is shared by every co-hosted object, and repairing it for one
+    /// object would revive it with the other objects' blocks still missing;
+    /// use [`SecCluster::repair_node`] there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::PlacementMismatch`] under colocated
+    /// placement, [`ClusterError::UnknownObject`] /
+    /// [`StoreError::InvalidNode`] for a bad address, or
+    /// [`StoreError::Unrecoverable`] when too few live sources remain.
+    pub fn repair_object_node(&self, id: ObjectId, node: usize) -> Result<usize, ClusterError> {
+        if self.placement == PlacementStrategy::Colocated {
+            return Err(ClusterError::PlacementMismatch {
+                placement: self.placement,
+            });
+        }
+        Ok(self.engine_of(id)?.repair_node(node)?)
+    }
+
+    /// Total nodes in object `id`'s node space (`n` under colocated
+    /// placement, `n · entries` under dispersed), or `None` for an unknown
+    /// object.
+    pub fn object_node_count(&self, id: ObjectId) -> Option<usize> {
+        self.engine_of(id).ok().map(|e| e.node_count())
     }
 
     /// Applies a failure pattern to one shard's nodes.
@@ -475,14 +623,15 @@ impl SecCluster {
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError::InvalidShard`] for a bad shard index.
+    /// Returns [`ClusterError::InvalidShard`] for a bad shard index, or
+    /// [`ClusterError::PlacementMismatch`] under dispersed placement.
     pub fn apply_pattern(&self, shard: usize, pattern: &FailurePattern) -> Result<(), ClusterError> {
-        let s = self.shard(shard)?;
-        for idx in 0..s.liveness.len() {
+        let (_, liveness) = self.shard_group(shard)?;
+        for idx in 0..liveness.len() {
             if pattern.is_failed(idx) {
-                s.liveness.set(idx, false);
+                liveness.set(idx, false);
             } else if idx < pattern.len() {
-                s.liveness.set(idx, true);
+                liveness.set(idx, true);
             }
         }
         Ok(())
@@ -493,16 +642,17 @@ impl SecCluster {
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError::InvalidShard`] for a bad shard index.
+    /// Returns [`ClusterError::InvalidShard`] for a bad shard index, or
+    /// [`ClusterError::PlacementMismatch`] under dispersed placement.
     pub fn apply_pattern_additive(
         &self,
         shard: usize,
         pattern: &FailurePattern,
     ) -> Result<(), ClusterError> {
-        let s = self.shard(shard)?;
-        for idx in 0..s.liveness.len() {
+        let (_, liveness) = self.shard_group(shard)?;
+        for idx in 0..liveness.len() {
             if pattern.is_failed(idx) {
-                s.liveness.set(idx, false);
+                liveness.set(idx, false);
             }
         }
         Ok(())
@@ -522,11 +672,13 @@ impl SecCluster {
     /// # Errors
     ///
     /// Returns [`ClusterError::InvalidShard`] / [`StoreError::InvalidNode`]
-    /// for a bad address, or [`StoreError::Unrecoverable`] when some
-    /// object's entry has fewer than `k` other live blocks.
+    /// for a bad address, [`ClusterError::PlacementMismatch`] under
+    /// dispersed placement (use [`SecCluster::repair_object_node`]), or
+    /// [`StoreError::Unrecoverable`] when some object's entry has fewer than
+    /// `k` other live blocks.
     pub fn repair_node(&self, shard: usize, node: usize) -> Result<usize, ClusterError> {
-        let s = self.shard(shard)?;
-        self.check_node(s, node)?;
+        let (s, liveness) = self.shard_group(shard)?;
+        self.check_node(liveness, node)?;
         // Snapshot the engines, then release the map lock: rebuilds decode
         // k blocks per entry per object and must not block object admission.
         let engines: Vec<Arc<SecEngine>> = s
@@ -540,7 +692,7 @@ impl SecCluster {
         for engine in engines {
             rebuilt += engine.rebuild_node(node)?;
         }
-        s.liveness.set(node, true);
+        liveness.set(node, true);
         Ok(rebuilt)
     }
 
@@ -565,9 +717,12 @@ impl SecCluster {
     fn collect_metrics(&self, view: impl Fn(&SecEngine) -> EngineMetrics) -> ClusterMetrics {
         let n = self.node_count();
         let mut totals = ClusterMetrics {
+            placement: self.placement,
             shards: Vec::with_capacity(self.shards.len()),
             io: IoMetrics::new(),
             cache: CacheStats::default(),
+            nodes: 0,
+            live_nodes: 0,
             objects: 0,
             versions: 0,
         };
@@ -582,7 +737,8 @@ impl SecCluster {
             let mut sm = ShardMetrics {
                 io: IoMetrics::new(),
                 node_reads: vec![0; n],
-                live_nodes: shard.liveness.live_count(),
+                live_nodes: 0,
+                nodes: 0,
                 objects: engines.len(),
                 versions: 0,
                 cache: CacheStats::default(),
@@ -590,14 +746,28 @@ impl SecCluster {
             for engine in engines {
                 let m = view(&engine);
                 sm.io.absorb(&m.io);
-                for (total, reads) in sm.node_reads.iter_mut().zip(m.node_reads) {
-                    *total += reads;
+                // Per-object node spaces fold onto the n codeword positions
+                // (the identity map for a colocated engine's n nodes).
+                for (idx, reads) in m.node_reads.iter().enumerate() {
+                    sm.node_reads[idx % n] += reads;
                 }
                 sm.versions += m.versions;
                 sm.cache.absorb(&m.cache);
+                if self.placement == PlacementStrategy::Dispersed {
+                    sm.live_nodes += m.live_nodes;
+                    sm.nodes += m.nodes;
+                }
+            }
+            if let Some(liveness) = &shard.liveness {
+                // Colocated: the shard's physical group, whether or not any
+                // object lives on it yet.
+                sm.live_nodes = liveness.live_count();
+                sm.nodes = n;
             }
             totals.io.absorb(&sm.io);
             totals.cache.absorb(&sm.cache);
+            totals.nodes += sm.nodes;
+            totals.live_nodes += sm.live_nodes;
             totals.objects += sm.objects;
             totals.versions += sm.versions;
             totals.shards.push(sm);
@@ -881,6 +1051,133 @@ mod tests {
                 .flat_map(|s| s.node_reads.iter())
                 .sum::<u64>()
                 > 0
+        );
+    }
+
+    #[test]
+    fn dispersed_cluster_uses_object_scoped_node_addressing() {
+        let cluster = SecCluster::with_placement(
+            config(EncodingStrategy::BasicSec),
+            2,
+            0,
+            PlacementStrategy::Dispersed,
+        )
+        .unwrap();
+        assert_eq!(cluster.placement(), PlacementStrategy::Dispersed);
+        let a = ObjectId(1);
+        let b = ObjectId(2);
+        cluster.append_all(a, &versions(0)).unwrap();
+        cluster.append_all(b, &versions(7)).unwrap();
+        // Three stored entries × six private nodes each.
+        assert_eq!(cluster.object_node_count(a), Some(3 * N));
+        // Shard-scoped node addressing has no shared group to hit: a
+        // placement mismatch, never a panic.
+        assert!(matches!(
+            cluster.fail_node(0, 0),
+            Err(ClusterError::PlacementMismatch { .. })
+        ));
+        assert!(cluster.is_node_alive(0, 0).is_err());
+        assert!(cluster.revive_node(0, 0).is_err());
+        assert!(cluster.repair_node(0, 0).is_err());
+        assert!(cluster.apply_pattern(0, &FailurePattern::none(N)).is_err());
+        assert!(cluster
+            .apply_pattern_additive(0, &FailurePattern::none(N))
+            .is_err());
+        assert!(cluster
+            .fail_node(0, 0)
+            .unwrap_err()
+            .to_string()
+            .contains("dispersed"));
+        // Bad shard indices still win over placement checks.
+        assert!(matches!(
+            cluster.fail_node(9, 0),
+            Err(ClusterError::InvalidShard { .. })
+        ));
+
+        // Failing every node of a's entry 2 (δ3) degrades only a's v3.
+        for node in 2 * N..3 * N {
+            cluster.fail_object_node(a, node).unwrap();
+        }
+        assert!(!cluster.is_object_node_alive(a, 2 * N).unwrap());
+        assert_eq!(*cluster.get_version(a, 2).unwrap().data, versions(0)[1]);
+        assert!(matches!(
+            cluster.get_version(a, 3),
+            Err(ClusterError::Engine(StoreError::Unrecoverable { entry: 2 }))
+        ));
+        // b is untouched — even if it shares a's shard.
+        assert_eq!(*cluster.get_version(b, 3).unwrap().data, versions(7)[2]);
+
+        // Object-scoped repair rebuilds the single hosted block.
+        for node in 2 * N..3 * N {
+            cluster.revive_object_node(a, node).unwrap();
+        }
+        cluster.fail_object_node(a, 2 * N).unwrap();
+        assert_eq!(cluster.repair_object_node(a, 2 * N).unwrap(), 1);
+        assert_eq!(*cluster.get_version(a, 3).unwrap().data, versions(0)[2]);
+        // Out-of-range object node ids surface the engine's InvalidNode.
+        assert!(matches!(
+            cluster.fail_object_node(a, 3 * N),
+            Err(ClusterError::Engine(StoreError::InvalidNode { .. }))
+        ));
+        assert_eq!(cluster.object_node_count(ObjectId(99)), None);
+    }
+
+    #[test]
+    fn colocated_object_scoped_ops_hit_the_shared_shard_group() {
+        let cluster = cluster(2);
+        let a = ObjectId(1);
+        cluster.append_all(a, &versions(0)).unwrap();
+        // Object-scoped failure flips the shard's shared liveness…
+        cluster.fail_object_node(a, 0).unwrap();
+        assert!(!cluster.is_node_alive(cluster.shard_of(a), 0).unwrap());
+        assert!(!cluster.is_object_node_alive(a, 0).unwrap());
+        cluster.revive_object_node(a, 0).unwrap();
+        assert!(cluster.is_node_alive(cluster.shard_of(a), 0).unwrap());
+        // …but object-scoped repair is refused: it would revive a shared
+        // node with co-hosted objects' blocks still missing.
+        assert!(matches!(
+            cluster.repair_object_node(a, 0),
+            Err(ClusterError::PlacementMismatch { .. })
+        ));
+        assert_eq!(cluster.object_node_count(a), Some(N));
+    }
+
+    #[test]
+    fn metrics_report_per_placement_node_counts() {
+        // Colocated: n nodes per shard exist with or without objects.
+        let colo = cluster(2);
+        let m = colo.metrics_snapshot();
+        assert_eq!(m.placement, PlacementStrategy::Colocated);
+        assert_eq!(m.nodes, 2 * N);
+        assert_eq!(m.live_nodes, 2 * N);
+        assert!(m.shards.iter().all(|s| s.nodes == N));
+
+        // Dispersed: nodes exist per stored entry, summed over objects.
+        let disp = SecCluster::with_placement(
+            config(EncodingStrategy::BasicSec),
+            2,
+            0,
+            PlacementStrategy::Dispersed,
+        )
+        .unwrap();
+        assert_eq!(disp.metrics_snapshot().nodes, 0);
+        let a = ObjectId(1);
+        let b = ObjectId(2);
+        disp.append_all(a, &versions(0)).unwrap();
+        disp.append_all(b, &versions(3)).unwrap();
+        disp.fail_object_node(b, 0).unwrap();
+        let m = disp.metrics_snapshot();
+        assert_eq!(m.placement, PlacementStrategy::Dispersed);
+        assert_eq!(m.nodes, 2 * 3 * N);
+        assert_eq!(m.live_nodes, 2 * 3 * N - 1);
+        assert_eq!(m.shards.iter().map(|s| s.nodes).sum::<usize>(), m.nodes);
+        // Per-object node spaces fold onto the n codeword positions.
+        let r = disp.get_version(a, 1).unwrap();
+        let m = disp.metrics_snapshot();
+        assert!(m.shards.iter().all(|s| s.node_reads.len() == N));
+        assert_eq!(
+            m.shards.iter().flat_map(|s| s.node_reads.iter()).sum::<u64>() as usize,
+            r.io_reads
         );
     }
 

@@ -1,5 +1,6 @@
 //! The [`SecEngine`]: a sharded-lock serving layer over a byte archive and
-//! its distributed storage nodes.
+//! its distributed storage nodes, generic over the paper's §IV placement
+//! strategies.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard};
@@ -44,7 +45,7 @@ impl NodeLiveness {
 use sec_erasure::read_plan::plan_read;
 use sec_erasure::{ByteCodec, ByteShards};
 use sec_store::node::{StorageNode, SymbolKey};
-use sec_store::{AtomicIoMetrics, FailurePattern, IoMetrics, StoreError};
+use sec_store::{AtomicIoMetrics, FailurePattern, IoMetrics, Placement, PlacementStrategy, StoreError};
 use sec_versioning::object::VersionId;
 use sec_versioning::walk::{decode_planned, read_target, trim_object, walk_prefix, walk_version};
 use sec_versioning::{
@@ -80,14 +81,46 @@ pub struct EnginePrefix {
 pub struct EngineMetrics {
     /// Aggregate I/O counters (block reads/writes, retrievals, repairs).
     pub io: IoMetrics,
-    /// Reads served by each storage node, by node id.
+    /// Reads served by each storage node, by placement node id (length
+    /// [`EngineMetrics::nodes`]).
     pub node_reads: Vec<u64>,
     /// Number of currently live nodes.
     pub live_nodes: usize,
+    /// Total number of storage nodes the placement currently addresses —
+    /// `n` under colocated placement, `n · entries` under dispersed.
+    pub nodes: usize,
     /// Version-cache statistics.
     pub cache: CacheStats,
     /// Number of versions appended so far.
     pub versions: usize,
+}
+
+/// One contiguous group of `n` storage nodes plus their liveness flags: the
+/// whole node set under colocated placement, one entry's private node set
+/// under dispersed placement. Both handles are `Arc`s so a reader can fetch
+/// a slab from the directory, release the directory lock, and keep reading
+/// blocks while an append grows the directory behind it.
+#[derive(Debug, Clone)]
+struct NodeSlab {
+    nodes: Arc<Vec<RwLock<StorageNode<Vec<u8>>>>>,
+    alive: Arc<NodeLiveness>,
+}
+
+impl NodeSlab {
+    /// A slab of `n` empty nodes whose global ids start at `first_id`, with
+    /// the given (possibly externally shared) liveness flags.
+    fn fresh(n: usize, first_id: usize, alive: Arc<NodeLiveness>) -> Self {
+        debug_assert_eq!(alive.len(), n);
+        Self {
+            nodes: Arc::new(
+                (first_id..first_id + n)
+                    .map(StorageNode::new)
+                    .map(RwLock::new)
+                    .collect(),
+            ),
+            alive,
+        }
+    }
 }
 
 /// A concurrent SEC serving engine.
@@ -106,12 +139,27 @@ pub struct EngineMetrics {
 ///    reads of concurrent retrievals. Reversed SEC rewrites its trailing
 ///    full-copy slot in place on append, so its readers hold the lock for
 ///    the whole walk.
-/// 2. **Storage nodes** (`Vec<RwLock<StorageNode<Vec<u8>>>>`) — one lock per
-///    node, so a `2γ`-read sparse retrieval locks only the `2γ` nodes its
-///    plan names, and writers (append, repair) lock one node at a time.
-/// 3. **Liveness** (`Vec<AtomicBool>`) — outside every lock. Read planning
-///    is lock-free: [`SecEngine::fail_node`] is a single atomic store and
-///    never blocks in-flight retrievals.
+/// 2. **Slab directory** (`RwLock<Vec<NodeSlab>>`) — the placement-driven
+///    node map. Under colocated placement it holds one slab of `n` nodes;
+///    under dispersed placement one slab of `n` fresh nodes *per stored
+///    entry*, appended on `append_version`. The directory lock is held only
+///    long enough to clone a slab's `Arc` handles (readers) or push new
+///    slabs (appends) — never across a block read — so directory growth
+///    does not block in-flight retrievals.
+/// 3. **Storage nodes** (`RwLock<StorageNode<Vec<u8>>>`, inside each slab) —
+///    one lock per node, so a `2γ`-read sparse retrieval locks only the
+///    `2γ` nodes its plan names, and writers (append, repair) lock one node
+///    at a time.
+/// 4. **Liveness** (one atomic array per slab) — outside every node lock.
+///    Read planning is lock-free once the slab is in hand:
+///    [`SecEngine::fail_node`] is a single atomic store and never blocks
+///    in-flight retrievals.
+///
+/// Node addressing consults the engine's [`Placement`] rather than assuming
+/// `node i ↔ codeword position i`: under [`PlacementStrategy::Dispersed`]
+/// node `e·n + i` is position `i` of entry `e`'s private node set, so
+/// failing it degrades only entry `e`. The placement grows monotonically on
+/// append ([`Placement::grow_to`]) under the archive write lock.
 ///
 /// Counters ([`AtomicIoMetrics`], per-node read counts, cache statistics)
 /// are atomics and never require exclusive access.
@@ -124,8 +172,8 @@ pub struct EngineMetrics {
 pub struct SecEngine {
     archive: RwLock<ByteVersionedArchive>,
     codec: ByteCodec,
-    nodes: Vec<RwLock<StorageNode<Vec<u8>>>>,
-    alive: Arc<NodeLiveness>,
+    placement: RwLock<Placement>,
+    slabs: RwLock<Vec<NodeSlab>>,
     metrics: AtomicIoMetrics,
     cache: VersionCache<Vec<u8>>,
 }
@@ -151,8 +199,27 @@ impl SecEngine {
     /// Returns a versioning error when the configured code cannot be built
     /// over `GF(2^8)`.
     pub fn with_cache(config: ArchiveConfig, cache_capacity: usize) -> Result<Self, StoreError> {
+        Self::with_placement(config, PlacementStrategy::Colocated, cache_capacity)
+    }
+
+    /// Creates an empty engine under the given placement strategy (§IV of
+    /// the paper). [`PlacementStrategy::Colocated`] is the default layout:
+    /// `n` nodes, node `i` holding block position `i` of every entry.
+    /// [`PlacementStrategy::Dispersed`] gives every stored entry its own
+    /// fresh set of `n` nodes (appended as versions arrive), so a node
+    /// failure degrades exactly one entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a versioning error when the configured code cannot be built
+    /// over `GF(2^8)`.
+    pub fn with_placement(
+        config: ArchiveConfig,
+        placement: PlacementStrategy,
+        cache_capacity: usize,
+    ) -> Result<Self, StoreError> {
         let archive = ByteVersionedArchive::new(config)?;
-        Ok(Self::from_archive_with_cache(archive, cache_capacity))
+        Ok(Self::from_layout(archive, cache_capacity, placement, None))
     }
 
     /// Creates an empty engine that reuses an existing codec (its code and
@@ -184,29 +251,66 @@ impl SecEngine {
     /// Like [`SecEngine::from_archive`] with a version cache of the given
     /// capacity.
     pub fn from_archive_with_cache(archive: ByteVersionedArchive, cache_capacity: usize) -> Self {
-        let n = archive.code().n();
-        Self::from_parts(archive, cache_capacity, Arc::new(NodeLiveness::new(n)))
+        Self::from_layout(archive, cache_capacity, PlacementStrategy::Colocated, None)
     }
 
-    /// Wraps an archive around an externally owned liveness array — the
-    /// cluster constructor: every per-object engine of one shard shares the
-    /// shard's liveness, so failing a shard node is one atomic store.
-    pub(crate) fn from_parts(
+    /// Wraps an existing archive under an explicit placement strategy; under
+    /// [`PlacementStrategy::Dispersed`] every already-stored entry gets its
+    /// own slab of `n` fresh nodes.
+    pub fn from_archive_with_placement(
+        archive: ByteVersionedArchive,
+        placement: PlacementStrategy,
+        cache_capacity: usize,
+    ) -> Self {
+        Self::from_layout(archive, cache_capacity, placement, None)
+    }
+
+    /// The one constructor every other one funnels into: builds the
+    /// placement and the slab directory for the archive's stored entries
+    /// and writes every coded block to its node.
+    ///
+    /// `shared_liveness` is the cluster hook (colocated only): every
+    /// per-object engine of one shard shares the shard's liveness array, so
+    /// failing a shard node is one atomic store observed by every
+    /// co-hosted read planner. Dispersed engines own their node space.
+    pub(crate) fn from_layout(
         archive: ByteVersionedArchive,
         cache_capacity: usize,
-        alive: Arc<NodeLiveness>,
+        strategy: PlacementStrategy,
+        shared_liveness: Option<Arc<NodeLiveness>>,
     ) -> Self {
-        debug_assert_eq!(alive.len(), archive.code().n());
+        let n = archive.code().n();
         let codec = archive.codec().clone();
         let metrics = AtomicIoMetrics::new();
-        let mut nodes: Vec<StorageNode<Vec<u8>>> =
-            (0..archive.code().n()).map(StorageNode::new).collect();
-        for (entry_idx, entry) in archive.stored_entries().iter().enumerate() {
-            for (position, node) in nodes.iter_mut().enumerate().take(entry.shards.shard_count()) {
+        let entries = archive.stored_entries();
+        let placement = Placement::new(strategy, n, entries.len());
+        let slabs: Vec<NodeSlab> = match strategy {
+            PlacementStrategy::Colocated => {
+                let alive = shared_liveness.unwrap_or_else(|| Arc::new(NodeLiveness::new(n)));
+                debug_assert_eq!(alive.len(), n);
+                vec![NodeSlab::fresh(n, 0, alive)]
+            }
+            PlacementStrategy::Dispersed => {
+                debug_assert!(
+                    shared_liveness.is_none(),
+                    "dispersed engines own their node space"
+                );
+                (0..entries.len())
+                    .map(|entry| NodeSlab::fresh(n, entry * n, Arc::new(NodeLiveness::new(n))))
+                    .collect()
+            }
+        };
+        for (entry_idx, entry) in entries.iter().enumerate() {
+            let slab = match strategy {
+                PlacementStrategy::Colocated => &slabs[0],
+                PlacementStrategy::Dispersed => &slabs[entry_idx],
+            };
+            for position in 0..entry.shards.shard_count() {
                 let key = SymbolKey {
                     entry: entry_idx,
                     position,
                 };
+                let mut node = slab.nodes[position].write().expect("node lock poisoned");
                 node.put(key, entry.shards.shard(position).to_vec());
                 metrics.add_symbol_writes(1);
             }
@@ -214,8 +318,8 @@ impl SecEngine {
         Self {
             archive: RwLock::new(archive),
             codec,
-            nodes: nodes.into_iter().map(RwLock::new).collect(),
-            alive,
+            placement: RwLock::new(placement),
+            slabs: RwLock::new(slabs),
             metrics,
             cache: VersionCache::new(cache_capacity),
         }
@@ -226,9 +330,17 @@ impl SecEngine {
         self.read_archive().config()
     }
 
-    /// Number of storage nodes (`n`).
+    /// The node placement currently in effect. Under dispersed placement the
+    /// covered entry count (and with it [`Placement::node_count`]) grows as
+    /// versions are appended.
+    pub fn placement(&self) -> Placement {
+        *self.placement.read().expect("placement lock poisoned")
+    }
+
+    /// Total number of storage nodes the placement currently addresses:
+    /// `n` under colocated placement, `n · entries` under dispersed.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.placement().node_count()
     }
 
     /// Number of versions appended so far.
@@ -241,15 +353,47 @@ impl SecEngine {
         self.read_archive().is_empty()
     }
 
-    /// Range-checks a node id against this engine's cluster size.
-    fn check_node(&self, node: usize) -> Result<(), StoreError> {
-        if node >= self.alive.len() {
-            return Err(StoreError::InvalidNode {
-                node,
-                n: self.alive.len(),
-            });
+    /// Resolves a placement node id to its `(slab, position)` address.
+    ///
+    /// Under colocated placement the single slab holds nodes `0..n`; under
+    /// dispersed placement node `e·n + i` is position `i` of entry `e`'s
+    /// slab. The bound is the placement's *current* node count, so ids for
+    /// not-yet-appended dispersed entries are [`StoreError::InvalidNode`].
+    fn locate(&self, node: usize) -> Result<(usize, usize), StoreError> {
+        let placement = self.placement();
+        let total = placement.node_count();
+        if node >= total {
+            return Err(StoreError::InvalidNode { node, n: total });
         }
-        Ok(())
+        Ok(match placement.strategy() {
+            PlacementStrategy::Colocated => (0, node),
+            PlacementStrategy::Dispersed => {
+                let n = placement.codeword_len();
+                (node / n, node % n)
+            }
+        })
+    }
+
+    /// Clones the `Arc` handles of slab `idx`, holding the directory lock
+    /// only for the fetch.
+    fn slab(&self, idx: usize) -> NodeSlab {
+        self.slabs.read().expect("slab directory poisoned")[idx].clone()
+    }
+
+    /// Resolves a node id straight to its slab handles and in-slab position
+    /// — one placement read and one directory read per logical lookup.
+    fn locate_slab(&self, node: usize) -> Result<(NodeSlab, usize), StoreError> {
+        let (slab_idx, position) = self.locate(node)?;
+        Ok((self.slab(slab_idx), position))
+    }
+
+    /// The slab hosting `entry`'s coded blocks.
+    fn slab_for_entry(&self, entry: usize) -> NodeSlab {
+        let idx = match self.placement().strategy() {
+            PlacementStrategy::Colocated => 0,
+            PlacementStrategy::Dispersed => entry,
+        };
+        self.slab(idx)
     }
 
     /// Whether node `node` is currently live. Lock-free.
@@ -259,13 +403,14 @@ impl SecEngine {
     /// Returns [`StoreError::InvalidNode`] if `node` is out of range — a bad
     /// node id is an error the caller handles, never a process abort.
     pub fn is_node_alive(&self, node: usize) -> Result<bool, StoreError> {
-        self.check_node(node)?;
-        Ok(self.alive.is_alive(node))
+        let (slab, position) = self.locate_slab(node)?;
+        Ok(slab.alive.is_alive(position))
     }
 
     /// Marks a node failed. Lock-free: in-flight retrievals that already
     /// planned around the node finish normally (the crash model — blocks
-    /// survive on disk), later plans exclude it.
+    /// survive on disk), later plans exclude it. Under dispersed placement
+    /// the node hosts exactly one entry, so only that entry degrades.
     ///
     /// # Errors
     ///
@@ -273,8 +418,8 @@ impl SecEngine {
     /// typo in a failure-injection script is a handled error instead of a
     /// panic inside the serving process.
     pub fn fail_node(&self, node: usize) -> Result<(), StoreError> {
-        self.check_node(node)?;
-        self.alive.set(node, false);
+        let (slab, position) = self.locate_slab(node)?;
+        slab.alive.set(position, false);
         Ok(())
     }
 
@@ -285,12 +430,14 @@ impl SecEngine {
     ///
     /// Returns [`StoreError::InvalidNode`] if `node` is out of range.
     pub fn revive_node(&self, node: usize) -> Result<(), StoreError> {
-        self.check_node(node)?;
-        self.alive.set(node, true);
+        let (slab, position) = self.locate_slab(node)?;
+        slab.alive.set(position, true);
         Ok(())
     }
 
-    /// Applies a failure pattern across the cluster.
+    /// Applies a failure pattern across the node space, indexed by placement
+    /// node id (so under dispersed placement index `e·n + i` addresses
+    /// position `i` of entry `e`'s node set).
     ///
     /// **Overwrite semantics:** within the pattern's length the pattern *is*
     /// the new liveness — covered nodes the pattern marks alive are revived
@@ -299,12 +446,18 @@ impl SecEngine {
     /// state). Nodes beyond the pattern's length keep their liveness. Use
     /// [`SecEngine::apply_pattern_additive`] to layer failures instead.
     pub fn apply_pattern(&self, pattern: &FailurePattern) {
-        for idx in 0..self.alive.len() {
-            if pattern.is_failed(idx) {
-                self.alive.set(idx, false);
-            } else if idx < pattern.len() {
-                self.alive.set(idx, true);
+        let slabs = self.slabs.read().expect("slab directory poisoned");
+        let mut base = 0usize;
+        for slab in slabs.iter() {
+            for position in 0..slab.alive.len() {
+                let idx = base + position;
+                if pattern.is_failed(idx) {
+                    slab.alive.set(position, false);
+                } else if idx < pattern.len() {
+                    slab.alive.set(position, true);
+                }
             }
+            base += slab.alive.len();
         }
     }
 
@@ -313,15 +466,42 @@ impl SecEngine {
     /// [`SecEngine::apply_pattern`], for tests and experiments that layer
     /// patterns on top of already-injected failures.
     pub fn apply_pattern_additive(&self, pattern: &FailurePattern) {
-        for idx in 0..self.alive.len() {
-            if pattern.is_failed(idx) {
-                self.alive.set(idx, false);
+        let slabs = self.slabs.read().expect("slab directory poisoned");
+        let mut base = 0usize;
+        for slab in slabs.iter() {
+            for position in 0..slab.alive.len() {
+                if pattern.is_failed(base + position) {
+                    slab.alive.set(position, false);
+                }
+            }
+            base += slab.alive.len();
+        }
+    }
+
+    /// Grows the placement — and, under dispersed placement, the slab
+    /// directory — to cover `entries` stored entries. Called with the
+    /// archive write lock held, so growth is atomic with the append that
+    /// caused it. The directory's write lock is held only for the pushes:
+    /// in-flight readers work off `Arc` handles to the slabs of entries
+    /// that already existed, so appending slabs never blocks their block
+    /// reads.
+    fn grow_to_entries(&self, entries: usize) {
+        let mut placement = self.placement.write().expect("placement lock poisoned");
+        placement.grow_to(entries);
+        if placement.strategy() == PlacementStrategy::Dispersed {
+            let n = placement.codeword_len();
+            let mut slabs = self.slabs.write().expect("slab directory poisoned");
+            while slabs.len() < placement.entries() {
+                let first_id = slabs.len() * n;
+                slabs.push(NodeSlab::fresh(n, first_id, Arc::new(NodeLiveness::new(n))));
             }
         }
     }
 
     /// Appends the next version, encoding it under the configured strategy
-    /// and writing every new coded block to its node.
+    /// and writing every new coded block to its node. Under dispersed
+    /// placement each new stored entry first gets its own fresh slab of `n`
+    /// live nodes.
     ///
     /// Takes the archive lock exclusively; concurrent readers observe either
     /// the archive before the append or after it, never an intermediate
@@ -337,19 +517,24 @@ impl SecEngine {
         let id = archive.append_version(object)?;
         // Reversed SEC rewrites the trailing full copy's slot (it becomes
         // the new delta) in addition to appending; every other strategy only
-        // appends one entry.
+        // appends one entry. The rewritten slot keeps its node set — entry
+        // indices never move, so placement addressing stays stable.
         let start = match archive.config().strategy() {
             EncodingStrategy::ReversedSec => stored_before.saturating_sub(1),
             _ => stored_before,
         };
         let entries = archive.stored_entries();
+        // Admit the new entries into the placement (and their slabs into the
+        // directory) before any block lands.
+        self.grow_to_entries(entries.len());
         for (entry_idx, entry) in entries.iter().enumerate().skip(start) {
+            let slab = self.slab_for_entry(entry_idx);
             for position in 0..entry.shards.shard_count() {
                 let key = SymbolKey {
                     entry: entry_idx,
                     position,
                 };
-                let mut node = self.nodes[position].write().expect("node lock poisoned");
+                let mut node = slab.nodes[position].write().expect("node lock poisoned");
                 node.put(key, entry.shards.shard(position).to_vec());
                 self.metrics.add_symbol_writes(1);
             }
@@ -507,8 +692,10 @@ impl SecEngine {
     /// `k` other live blocks, or [`StoreError::InvalidNode`] if `node_id` is
     /// out of range.
     pub fn repair_node(&self, node_id: usize) -> Result<usize, StoreError> {
-        let rebuilt = self.rebuild_node(node_id)?;
-        self.alive.set(node_id, true);
+        let (slab_idx, position) = self.locate(node_id)?;
+        let slab = self.slab(slab_idx);
+        let rebuilt = self.rebuild_at(&slab, slab_idx, position)?;
+        slab.alive.set(position, true);
         Ok(rebuilt)
     }
 
@@ -517,49 +704,66 @@ impl SecEngine {
     /// rebuild the same physical node across every co-hosted object before
     /// reviving it once.
     pub(crate) fn rebuild_node(&self, node_id: usize) -> Result<usize, StoreError> {
-        self.check_node(node_id)?;
+        let (slab_idx, position) = self.locate(node_id)?;
+        let slab = self.slab(slab_idx);
+        self.rebuild_at(&slab, slab_idx, position)
+    }
+
+    /// Rebuilds the node at an already-resolved slab address.
+    ///
+    /// A colocated node hosts one block of every stored entry; a dispersed
+    /// node hosts exactly one block of the single entry its slab belongs to,
+    /// so a dispersed rebuild decodes one entry, not the whole archive.
+    fn rebuild_at(
+        &self,
+        slab: &NodeSlab,
+        slab_idx: usize,
+        position: usize,
+    ) -> Result<usize, StoreError> {
         let archive = self.archive.write().expect("archive lock poisoned");
         let k = self.codec.code().k();
+        let n = self.codec.code().n();
         let entries = archive.stored_entries();
-        let mut staged: Vec<(SymbolKey, Vec<u8>)> = Vec::with_capacity(entries.len());
-        for entry_idx in 0..entries.len() {
-            let live: Vec<usize> = (0..self.nodes.len())
-                .filter(|&p| p != node_id && self.alive.is_alive(p))
+        let hosted: Vec<usize> = match self.placement().strategy() {
+            PlacementStrategy::Colocated => (0..entries.len()).collect(),
+            PlacementStrategy::Dispersed => vec![slab_idx],
+        };
+        let mut staged: Vec<(SymbolKey, Vec<u8>)> = Vec::with_capacity(hosted.len());
+        for entry_idx in hosted {
+            let live: Vec<usize> = (0..n)
+                .filter(|&p| p != position && slab.alive.is_alive(p))
                 .collect();
             if live.len() < k {
                 return Err(StoreError::Unrecoverable { entry: entry_idx });
             }
             let codeword = {
-                let guards = self.lock_nodes(&live[..k]);
+                let guards = lock_nodes(&slab.nodes, &live[..k]);
                 let mut shares: Vec<(usize, &[u8])> = Vec::with_capacity(k);
-                for (position, guard) in live[..k].iter().copied().zip(guards.iter()) {
+                for (source, guard) in live[..k].iter().copied().zip(guards.iter()) {
                     let key = SymbolKey {
                         entry: entry_idx,
-                        position,
+                        position: source,
                     };
                     if !guard.touch(key) {
                         self.metrics.add_failed_read();
                         return Err(StoreError::Unrecoverable { entry: entry_idx });
                     }
                     self.metrics.add_symbol_reads(1);
-                    shares.push((
-                        position,
-                        guard.peek_stored(key).expect("touched above").as_slice(),
-                    ));
+                    shares.push((source, guard.peek_stored(key).expect("touched above").as_slice()));
                 }
                 let object = self.codec.decode_blocks(&shares)?;
                 self.codec.encode_blocks(&object)?
             };
             let key = SymbolKey {
                 entry: entry_idx,
-                position: node_id,
+                position,
             };
-            staged.push((key, codeword.shard(node_id).to_vec()));
+            staged.push((key, codeword.shard(position).to_vec()));
         }
         // Commit: every block rebuilt, so replace the node's contents.
         let rebuilt = staged.len();
         {
-            let mut node = self.nodes[node_id].write().expect("node lock poisoned");
+            let mut node = slab.nodes[position].write().expect("node lock poisoned");
             node.wipe();
             for (key, block) in staged {
                 node.put(key, block);
@@ -596,15 +800,21 @@ impl SecEngine {
 
     /// Completes an [`EngineMetrics`] around an already-captured `io` view.
     fn metrics_view(&self, io: IoMetrics) -> EngineMetrics {
-        let node_reads = self
-            .nodes
-            .iter()
-            .map(|node| node.read().expect("node lock poisoned").reads())
-            .collect();
+        let slabs = self.slabs.read().expect("slab directory poisoned");
+        let mut node_reads = Vec::new();
+        let mut live_nodes = 0usize;
+        for slab in slabs.iter() {
+            live_nodes += slab.alive.live_count();
+            for node in slab.nodes.iter() {
+                node_reads.push(node.read().expect("node lock poisoned").reads());
+            }
+        }
+        let nodes = node_reads.len();
         EngineMetrics {
             io,
             node_reads,
-            live_nodes: self.alive.live_count(),
+            live_nodes,
+            nodes,
             cache: self.cache.stats(),
             versions: self.len(),
         }
@@ -614,31 +824,10 @@ impl SecEngine {
         self.archive.read().expect("archive lock poisoned")
     }
 
-    /// Read-locks the given nodes in ascending id order (stable acquisition
-    /// order keeps the lock graph acyclic alongside the one-at-a-time
-    /// writers), returning guards in the caller's order.
-    fn lock_nodes(&self, positions: &[usize]) -> Vec<RwLockReadGuard<'_, StorageNode<Vec<u8>>>> {
-        let mut sorted: Vec<usize> = positions.to_vec();
-        sorted.sort_unstable();
-        let mut guards: Vec<(usize, RwLockReadGuard<'_, StorageNode<Vec<u8>>>)> = sorted
-            .into_iter()
-            .map(|p| (p, self.nodes[p].read().expect("node lock poisoned")))
-            .collect();
-        // Hand the guards back in plan order.
-        positions
-            .iter()
-            .map(|&p| {
-                let idx = guards
-                    .iter()
-                    .position(|(gp, _)| *gp == p)
-                    .expect("every planned position was locked");
-                guards.swap_remove(idx).1
-            })
-            .collect()
-    }
-
-    /// Reads and decodes one stored entry from live nodes under the SEC read
-    /// plan, locking exactly the planned nodes.
+    /// Reads and decodes one stored entry from the live nodes of its slab
+    /// under the SEC read plan, locking exactly the planned nodes. Under
+    /// dispersed placement the slab is the entry's private node set, so
+    /// failures elsewhere in the engine cannot affect this entry's plan.
     fn read_entry(
         &self,
         entry_idx: usize,
@@ -648,15 +837,16 @@ impl SecEngine {
         let Some(target) = read_target(payload) else {
             return Ok((0, ByteShards::zeroed(self.codec.code().k(), shard_len)));
         };
-        // Lock-free planning: liveness is read from the atomics, no node
-        // lock is held until the plan is fixed.
-        let live: Vec<usize> = (0..self.nodes.len())
-            .filter(|&p| self.alive.is_alive(p))
+        let slab = self.slab_for_entry(entry_idx);
+        // Lock-free planning: liveness is read from the slab's atomics, no
+        // node lock is held until the plan is fixed.
+        let live: Vec<usize> = (0..slab.alive.len())
+            .filter(|&p| slab.alive.is_alive(p))
             .collect();
         let plan = plan_read(self.codec.code(), &live, target)
             .map_err(|_| StoreError::Unrecoverable { entry: entry_idx })?;
 
-        let guards = self.lock_nodes(&plan.nodes);
+        let guards = lock_nodes(&slab.nodes, &plan.nodes);
         let mut shares: Vec<(usize, &[u8])> = Vec::with_capacity(plan.nodes.len());
         for (&position, guard) in plan.nodes.iter().zip(guards.iter()) {
             let key = SymbolKey {
@@ -680,6 +870,32 @@ impl SecEngine {
         let decoded = decode_planned(&self.codec, plan.method, target, &shares)?;
         Ok((plan.io_reads, decoded))
     }
+}
+
+/// Read-locks the given nodes of one slab in ascending id order (stable
+/// acquisition order keeps the lock graph acyclic alongside the
+/// one-at-a-time writers), returning guards in the caller's order.
+fn lock_nodes<'a>(
+    nodes: &'a [RwLock<StorageNode<Vec<u8>>>],
+    positions: &[usize],
+) -> Vec<RwLockReadGuard<'a, StorageNode<Vec<u8>>>> {
+    let mut sorted: Vec<usize> = positions.to_vec();
+    sorted.sort_unstable();
+    let mut guards: Vec<(usize, RwLockReadGuard<'a, StorageNode<Vec<u8>>>)> = sorted
+        .into_iter()
+        .map(|p| (p, nodes[p].read().expect("node lock poisoned")))
+        .collect();
+    // Hand the guards back in plan order.
+    positions
+        .iter()
+        .map(|&p| {
+            let idx = guards
+                .iter()
+                .position(|(gp, _)| *gp == p)
+                .expect("every planned position was locked");
+            guards.swap_remove(idx).1
+        })
+        .collect()
 }
 
 fn check_version(archive: &ByteVersionedArchive, l: usize) -> Result<(), StoreError> {
@@ -908,6 +1124,123 @@ mod tests {
                 VersioningError::ObjectLengthMismatch { .. }
             ))
         ));
+    }
+
+    #[test]
+    fn dispersed_engine_grows_node_space_and_serves_every_strategy() {
+        for strategy in [
+            EncodingStrategy::BasicSec,
+            EncodingStrategy::OptimizedSec,
+            EncodingStrategy::ReversedSec,
+            EncodingStrategy::NonDifferential,
+        ] {
+            let engine =
+                SecEngine::with_placement(config(strategy), PlacementStrategy::Dispersed, 0).unwrap();
+            assert_eq!(engine.node_count(), 0, "{strategy}: empty means zero nodes");
+            let mut reference = ByteVersionedArchive::new(config(strategy)).unwrap();
+            let vs = versions();
+            engine.append_all(&vs).unwrap();
+            reference.append_all(&vs).unwrap();
+            // One slab of 6 fresh nodes per stored entry.
+            assert_eq!(engine.node_count(), 6 * reference.stored_entry_count());
+            assert_eq!(engine.placement().strategy(), PlacementStrategy::Dispersed);
+            for (l, expect) in vs.iter().enumerate() {
+                let r = engine.get_version(l + 1).unwrap();
+                let want = reference.retrieve_version(l + 1).unwrap();
+                assert_eq!(&*r.data, expect, "{strategy} version {}", l + 1);
+                assert_eq!(r.io_reads, want.io_reads, "{strategy} version {}", l + 1);
+            }
+            let p = engine.get_prefix(vs.len()).unwrap();
+            let want = reference.retrieve_prefix(vs.len()).unwrap();
+            assert_eq!(p.versions, want.versions, "{strategy} prefix");
+            assert_eq!(p.io_reads, want.io_reads, "{strategy} prefix reads");
+        }
+    }
+
+    #[test]
+    fn dispersed_failure_degrades_only_the_hosting_entry() {
+        // BasicSec stores [full v1, δ2, δ3]; under dispersed placement each
+        // lives on its own 6 nodes (ids 0..6, 6..12, 12..18).
+        let engine = SecEngine::with_placement(
+            config(EncodingStrategy::BasicSec),
+            PlacementStrategy::Dispersed,
+            0,
+        )
+        .unwrap();
+        let vs = versions();
+        engine.append_all(&vs).unwrap();
+        // Kill every node of entry 2 (δ3): only version 3 needs it.
+        for node in 12..18 {
+            engine.fail_node(node).unwrap();
+        }
+        assert_eq!(*engine.get_version(1).unwrap().data, vs[0]);
+        assert_eq!(*engine.get_version(2).unwrap().data, vs[1]);
+        assert!(matches!(
+            engine.get_version(3),
+            Err(StoreError::Unrecoverable { entry: 2 })
+        ));
+        // A colocated engine with the same six failures in one group would
+        // have lost everything; dispersed isolation also survives n − k
+        // failures *per entry* independently.
+        engine.revive_node(12).unwrap();
+        engine.revive_node(13).unwrap();
+        engine.revive_node(14).unwrap();
+        assert_eq!(*engine.get_version(3).unwrap().data, vs[2]);
+        let m = engine.metrics_snapshot();
+        assert_eq!(m.nodes, 18);
+        assert_eq!(m.live_nodes, 15);
+    }
+
+    #[test]
+    fn dispersed_repair_rebuilds_a_single_entry_block() {
+        let engine = SecEngine::with_placement(
+            config(EncodingStrategy::BasicSec),
+            PlacementStrategy::Dispersed,
+            0,
+        )
+        .unwrap();
+        let vs = versions();
+        engine.append_all(&vs).unwrap();
+        // Node 7 = entry 1, position 1: exactly one block to rebuild.
+        engine.fail_node(7).unwrap();
+        let rebuilt = engine.repair_node(7).unwrap();
+        assert_eq!(rebuilt, 1);
+        assert!(engine.is_node_alive(7).unwrap());
+        for (l, expect) in vs.iter().enumerate() {
+            assert_eq!(&*engine.get_version(l + 1).unwrap().data, expect);
+        }
+        // Out-of-range ids report the grown node count.
+        assert!(matches!(
+            engine.fail_node(18),
+            Err(StoreError::InvalidNode { node: 18, n: 18 })
+        ));
+        // from_archive_with_placement adopts an existing archive dispersed.
+        let mut archive = ByteVersionedArchive::new(config(EncodingStrategy::BasicSec)).unwrap();
+        archive.append_all(&vs).unwrap();
+        let adopted = SecEngine::from_archive_with_placement(archive, PlacementStrategy::Dispersed, 0);
+        assert_eq!(adopted.node_count(), 18);
+        assert_eq!(*adopted.get_version(3).unwrap().data, vs[2]);
+    }
+
+    #[test]
+    fn dispersed_patterns_index_the_global_node_space() {
+        let engine = SecEngine::with_placement(
+            config(EncodingStrategy::BasicSec),
+            PlacementStrategy::Dispersed,
+            0,
+        )
+        .unwrap();
+        engine.append_all(&versions()).unwrap();
+        // Fail position 0 of every entry additively, then overwrite-revive
+        // entry 0's group only.
+        engine.apply_pattern_additive(&FailurePattern::with_failures(18, &[0, 6, 12]));
+        assert!(!engine.is_node_alive(0).unwrap());
+        assert!(!engine.is_node_alive(6).unwrap());
+        assert!(!engine.is_node_alive(12).unwrap());
+        engine.apply_pattern(&FailurePattern::none(6));
+        assert!(engine.is_node_alive(0).unwrap(), "overwrite revives in range");
+        assert!(!engine.is_node_alive(6).unwrap(), "beyond pattern length: kept");
+        assert_eq!(engine.metrics_snapshot().live_nodes, 16);
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! * read planning is **lock-free**: node liveness lives in an array of
 //!   atomics outside the node locks, so planning a `2γ`-read sparse
 //!   retrieval never contends with in-flight block reads;
+//! * the node layout is **placement-generic** (§IV of the paper): every
+//!   layer consults a shared [`Placement`] instead of assuming `node i ↔
+//!   codeword position i`, so the same serving stack runs colocated (`n`
+//!   shared nodes, the paper's resilience-optimal layout) or dispersed
+//!   (`n` fresh nodes per stored entry, slabs appended on write without
+//!   blocking in-flight readers) — under dispersed placement a node
+//!   failure degrades exactly the one entry it hosts;
 //! * an optional [`VersionCache`] (shared-read LRU) serves hot versions
 //!   without touching a single node;
 //! * every I/O is accounted exactly as in the paper's model — the engine's
@@ -91,4 +98,7 @@ mod engine;
 pub use cluster::{ClusterError, ClusterMetrics, ObjectId, SecCluster, ShardMetrics};
 pub use engine::{EngineMetrics, EnginePrefix, EngineRetrieval, SecEngine};
 pub use sec_store::StoreError as EngineError;
+// One source of truth for node placement: the engine and cluster consume
+// `sec-store`'s `Placement` rather than growing a parallel notion of layout.
+pub use sec_store::{Placement, PlacementStrategy};
 pub use sec_versioning::{CacheStats, VersionCache};

@@ -59,7 +59,7 @@ impl ByteDistributedStore {
     /// every coded block to its node.
     pub fn new(archive: &ByteVersionedArchive, strategy: PlacementStrategy) -> Self {
         let entries = archive.stored_entries();
-        let placement = Placement::new(strategy, archive.code().n(), entries.len().max(1));
+        let placement = Placement::new(strategy, archive.code().n(), entries.len());
         let mut store = Self {
             // Share the archive's code and multiplication tables instead of
             // cloning the generator per store.
@@ -75,7 +75,10 @@ impl ByteDistributedStore {
                     entry: entry_idx,
                     position,
                 };
-                let node = store.placement.node_for(key);
+                let node = store
+                    .placement
+                    .try_node_for(key)
+                    .expect("placement covers every archive entry");
                 store.nodes[node].put(key, entry.shards.shard(position).to_vec());
                 store.metrics.add_symbol_writes(1);
             }
@@ -186,13 +189,14 @@ impl ByteDistributedStore {
     }
 
     /// Indices of live nodes holding entry `entry`, as positions within the
-    /// entry's coded blocks.
+    /// entry's coded blocks. An entry outside the placement has no live
+    /// positions.
     pub fn live_positions(&self, entry: usize) -> Vec<usize> {
         (0..self.placement.codeword_len())
             .filter(|&position| {
-                let key = SymbolKey { entry, position };
-                let node = self.placement.node_for(key);
-                self.nodes[node].is_alive()
+                self.placement
+                    .try_node_for(SymbolKey { entry, position })
+                    .is_ok_and(|node| self.nodes[node].is_alive())
             })
             .collect()
     }
@@ -230,7 +234,7 @@ impl ByteDistributedStore {
                 entry: entry_idx,
                 position,
             };
-            let node = self.placement.node_for(key);
+            let node = self.placement.try_node_for(key)?;
             if self.nodes[node].touch(key) {
                 self.metrics.add_symbol_reads(1);
             } else {
@@ -246,7 +250,7 @@ impl ByteDistributedStore {
                     entry: entry_idx,
                     position,
                 };
-                let node = self.placement.node_for(key);
+                let node = self.placement.try_node_for(key).expect("planned above");
                 let block = self.nodes[node].peek_stored(key).expect("touched above");
                 (position, block.as_slice())
             })
@@ -320,7 +324,7 @@ impl ByteDistributedStore {
                     entry: entry_idx,
                     position,
                 };
-                if self.placement.node_for(key) == node_id {
+                if self.placement.try_node_for(key)? == node_id {
                     to_rebuild.push(key);
                 }
             }
@@ -342,7 +346,7 @@ impl ByteDistributedStore {
                     entry: key.entry,
                     position,
                 };
-                let node = self.placement.node_for(skey);
+                let node = self.placement.try_node_for(skey)?;
                 if !self.nodes[node].touch(skey) {
                     return Err(StoreError::Unrecoverable { entry: key.entry });
                 }
@@ -359,7 +363,7 @@ impl ByteDistributedStore {
                             entry: key.entry,
                             position,
                         };
-                        let node = self.placement.node_for(skey);
+                        let node = self.placement.try_node_for(skey).expect("checked above");
                         let block = self.nodes[node].peek_stored(skey).expect("touched above");
                         (position, block.as_slice())
                     })

@@ -8,6 +8,7 @@
 //!   nodes, for `n·L` nodes in total.
 
 use crate::node::SymbolKey;
+use crate::store::StoreError;
 
 /// Which placement strategy a store uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,6 +30,17 @@ impl core::fmt::Display for PlacementStrategy {
 
 /// A concrete node assignment for `entries` stored objects of codeword length
 /// `n` each.
+///
+/// # Growth contract
+///
+/// A placement starts out covering the entries that existed when it was
+/// built and grows monotonically via [`Placement::grow_to`] as versions are
+/// appended: growing never renames an existing symbol's node, it only adds
+/// addressable entries (and, under [`PlacementStrategy::Dispersed`], the `n`
+/// fresh nodes each new entry lives on). An **empty** placement covers zero
+/// entries: under `Dispersed` it therefore has **zero** nodes and rejects
+/// every key, while under `Colocated` the `n` physical nodes exist
+/// regardless of how many entries they hold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Placement {
     strategy: PlacementStrategy,
@@ -62,12 +74,42 @@ impl Placement {
         self.entries
     }
 
-    /// Total number of distinct nodes required.
+    /// Total number of distinct nodes required. An empty dispersed placement
+    /// needs zero nodes (consistently with [`Placement::try_node_for`], which
+    /// rejects every key until [`Placement::grow_to`] admits entries); a
+    /// colocated placement always needs exactly `n`.
     pub fn node_count(&self) -> usize {
         match self.strategy {
             PlacementStrategy::Colocated => self.n,
-            PlacementStrategy::Dispersed => self.n * self.entries.max(1),
+            PlacementStrategy::Dispersed => self.n * self.entries,
         }
+    }
+
+    /// The node that stores the given coded symbol, or
+    /// [`StoreError::InvalidSymbol`] when the key lies outside the
+    /// placement's geometry.
+    pub fn try_node_for(&self, key: SymbolKey) -> Result<usize, StoreError> {
+        if key.position >= self.n || key.entry >= self.entries {
+            return Err(StoreError::InvalidSymbol {
+                entry: key.entry,
+                position: key.position,
+                n: self.n,
+                entries: self.entries,
+            });
+        }
+        Ok(match self.strategy {
+            PlacementStrategy::Colocated => key.position,
+            PlacementStrategy::Dispersed => key.entry * self.n + key.position,
+        })
+    }
+
+    /// The set of nodes holding the given entry in codeword-position order,
+    /// or [`StoreError::InvalidSymbol`] when the entry is outside the
+    /// placement.
+    pub fn try_nodes_for_entry(&self, entry: usize) -> Result<Vec<usize>, StoreError> {
+        (0..self.n)
+            .map(|position| self.try_node_for(SymbolKey { entry, position }))
+            .collect()
     }
 
     /// The node that stores the given coded symbol.
@@ -75,34 +117,28 @@ impl Placement {
     /// # Panics
     ///
     /// Panics if the key is outside the placement (entry or position too
-    /// large).
+    /// large); use [`Placement::try_node_for`] where a bad key is a handled
+    /// error rather than a bug.
     pub fn node_for(&self, key: SymbolKey) -> usize {
-        assert!(
-            key.position < self.n,
-            "symbol position {} out of range",
-            key.position
-        );
-        assert!(
-            key.entry < self.entries.max(1),
-            "entry {} out of range for {} entries",
-            key.entry,
-            self.entries
-        );
-        match self.strategy {
-            PlacementStrategy::Colocated => key.position,
-            PlacementStrategy::Dispersed => key.entry * self.n + key.position,
-        }
+        self.try_node_for(key).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The set of nodes holding the given entry, in codeword-position order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is outside the placement; use
+    /// [`Placement::try_nodes_for_entry`] for the fallible form.
     pub fn nodes_for_entry(&self, entry: usize) -> Vec<usize> {
-        (0..self.n)
-            .map(|position| self.node_for(SymbolKey { entry, position }))
-            .collect()
+        self.try_nodes_for_entry(entry).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Grows the placement to cover more entries (used when versions are
-    /// appended after the store was created).
+    /// Grows the placement to cover at least `entries` stored objects (used
+    /// when versions are appended after the store or engine was created).
+    /// Growing is monotone — it never shrinks coverage nor reassigns an
+    /// already-addressable symbol — and under
+    /// [`PlacementStrategy::Dispersed`] each admitted entry adds `n` fresh
+    /// nodes to [`Placement::node_count`].
     pub fn grow_to(&mut self, entries: usize) {
         self.entries = self.entries.max(entries);
     }
@@ -156,6 +192,57 @@ mod tests {
         // Growing never shrinks.
         p.grow_to(2);
         assert_eq!(p.entries(), 3);
+    }
+
+    #[test]
+    fn empty_placement_has_no_dispersed_nodes_and_rejects_every_key() {
+        // The former `entries.max(1)` quirk reported `n` nodes for an empty
+        // dispersed placement while rejecting entry 0; empty now means zero
+        // nodes, and growth admits them.
+        let mut p = Placement::new(PlacementStrategy::Dispersed, 4, 0);
+        assert_eq!(p.node_count(), 0);
+        assert!(p
+            .try_node_for(SymbolKey {
+                entry: 0,
+                position: 0,
+            })
+            .is_err());
+        p.grow_to(2);
+        assert_eq!(p.node_count(), 8);
+        assert_eq!(p.try_nodes_for_entry(1).unwrap(), vec![4, 5, 6, 7]);
+        // Colocated nodes exist independently of entries.
+        let colo = Placement::new(PlacementStrategy::Colocated, 4, 0);
+        assert_eq!(colo.node_count(), 4);
+        assert!(colo.try_nodes_for_entry(0).is_err());
+    }
+
+    #[test]
+    fn try_addressing_reports_the_offending_key() {
+        let p = Placement::new(PlacementStrategy::Dispersed, 6, 2);
+        assert_eq!(
+            p.try_node_for(SymbolKey {
+                entry: 1,
+                position: 4,
+            }),
+            Ok(10)
+        );
+        let err = p
+            .try_node_for(SymbolKey {
+                entry: 2,
+                position: 0,
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::InvalidSymbol {
+                entry: 2,
+                position: 0,
+                n: 6,
+                entries: 2,
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+        assert!(p.try_nodes_for_entry(2).is_err());
     }
 
     #[test]

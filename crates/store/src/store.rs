@@ -41,6 +41,18 @@ pub enum StoreError {
         /// Number of nodes the addressed cluster actually has.
         n: usize,
     },
+    /// A symbol key outside the placement's geometry was addressed (entry or
+    /// codeword position too large).
+    InvalidSymbol {
+        /// Entry index of the offending key.
+        entry: usize,
+        /// Codeword position of the offending key.
+        position: usize,
+        /// Codeword length `n` of the placement.
+        n: usize,
+        /// Number of entries the placement covers.
+        entries: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -64,6 +76,16 @@ impl fmt::Display for StoreError {
             StoreError::InvalidNode { node, n } => {
                 write!(f, "node id {node} is out of range for a {n}-node cluster")
             }
+            StoreError::InvalidSymbol {
+                entry,
+                position,
+                n,
+                entries,
+            } => write!(
+                f,
+                "symbol (entry {entry}, position {position}) is out of range for a placement of \
+                 {entries} entries with codeword length {n}"
+            ),
         }
     }
 }
@@ -109,7 +131,7 @@ impl<F: GaloisField> DistributedStore<F> {
     /// coded symbol to its node.
     pub fn new(archive: &VersionedArchive<F>, strategy: PlacementStrategy) -> Self {
         let entries = Self::entry_list(archive).len();
-        let placement = Placement::new(strategy, archive.code().n(), entries.max(1));
+        let placement = Placement::new(strategy, archive.code().n(), entries);
         let mut store = Self {
             nodes: (0..placement.node_count()).map(StorageNode::new).collect(),
             placement,
@@ -150,7 +172,10 @@ impl<F: GaloisField> DistributedStore<F> {
                     entry: entry_idx,
                     position,
                 };
-                let node = self.placement.node_for(key);
+                let node = self
+                    .placement
+                    .try_node_for(key)
+                    .expect("placement covers every archive entry");
                 self.nodes[node].put(key, symbol);
                 self.metrics.add_symbol_writes(1);
             }
@@ -237,13 +262,14 @@ impl<F: GaloisField> DistributedStore<F> {
     }
 
     /// Indices of live nodes holding entry `entry`, as positions within the
-    /// entry's codeword.
+    /// entry's codeword. An entry outside the placement has no live
+    /// positions.
     pub fn live_positions(&self, entry: usize) -> Vec<usize> {
         (0..self.placement.codeword_len())
             .filter(|&position| {
-                let key = SymbolKey { entry, position };
-                let node = self.placement.node_for(key);
-                self.nodes[node].is_alive()
+                self.placement
+                    .try_node_for(SymbolKey { entry, position })
+                    .is_ok_and(|node| self.nodes[node].is_alive())
             })
             .collect()
     }
@@ -292,7 +318,7 @@ impl<F: GaloisField> DistributedStore<F> {
                 entry: entry_idx,
                 position,
             };
-            let node = self.placement.node_for(key);
+            let node = self.placement.try_node_for(key)?;
             match self.nodes[node].read(key) {
                 Some(symbol) => {
                     self.metrics.add_symbol_reads(1);
@@ -408,7 +434,7 @@ impl<F: GaloisField> DistributedStore<F> {
                     entry: entry_idx,
                     position,
                 };
-                if self.placement.node_for(key) == node_id {
+                if self.placement.try_node_for(key)? == node_id {
                     to_rebuild.push(key);
                 }
             }
@@ -430,7 +456,7 @@ impl<F: GaloisField> DistributedStore<F> {
                     entry: key.entry,
                     position,
                 };
-                let node = self.placement.node_for(skey);
+                let node = self.placement.try_node_for(skey)?;
                 let symbol = self.nodes[node]
                     .read(skey)
                     .ok_or(StoreError::Unrecoverable { entry: key.entry })?;

@@ -56,7 +56,7 @@ pub use sec_workload as workload;
 
 pub use sec_engine::{ObjectId, SecCluster, SecEngine};
 pub use sec_erasure::{ByteCodec, ByteShards, CodeParams, DecodeScratch, GeneratorForm, SecCode};
-pub use sec_store::{ByteDistributedStore, DistributedStore, PlacementStrategy};
+pub use sec_store::{ByteDistributedStore, DistributedStore, Placement, PlacementStrategy};
 pub use sec_versioning::{
     ArchiveConfig, ByteVersionedArchive, EncodingStrategy, IoModel, VersionCache, VersionedArchive,
 };
