@@ -437,15 +437,19 @@ impl SecCluster {
             shard.liveness.as_ref().map(Arc::clone),
         ));
         let result = append(&engine);
+        // `append_all` serves whatever landed before a mid-sequence error, so
+        // admission is keyed on the engine's state, not the result. Probe it
+        // *before* taking the object-map lock: `is_empty` acquires the
+        // engine's archive lock, and the object map is innermost in the
+        // documented hierarchy — no engine lock may be acquired under it.
+        // The engine is still private here, so the answer cannot go stale.
+        let landed = !engine.is_empty();
         let winner = {
             let mut objects = shard.objects.write().expect("object map poisoned");
             match objects.get(&id) {
                 Some(winner) => Some(Arc::clone(winner)),
                 None => {
-                    // `append_all` serves whatever landed before a
-                    // mid-sequence error, so admission is keyed on the
-                    // engine's state, not the result.
-                    if !engine.is_empty() {
+                    if landed {
                         objects.insert(id, engine);
                     }
                     None

@@ -800,6 +800,13 @@ impl SecEngine {
 
     /// Completes an [`EngineMetrics`] around an already-captured `io` view.
     fn metrics_view(&self, io: IoMetrics) -> EngineMetrics {
+        // The version count takes the archive lock, which is *outermost* in
+        // the engine's hierarchy: capture it before acquiring the slab
+        // directory. Waiting on the archive while holding the directory
+        // inverts the order used by `append_version` (archive → directory)
+        // and can deadlock against a concurrent writer.
+        let versions = self.len();
+        let cache = self.cache.stats();
         let slabs = self.slabs.read().expect("slab directory poisoned");
         let mut node_reads = Vec::new();
         let mut live_nodes = 0usize;
@@ -815,8 +822,8 @@ impl SecEngine {
             node_reads,
             live_nodes,
             nodes,
-            cache: self.cache.stats(),
-            versions: self.len(),
+            cache,
+            versions,
         }
     }
 
