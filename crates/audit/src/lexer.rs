@@ -1,0 +1,306 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The auditor works at the token level, not the AST level: the workspace has
+//! no parser crates (no crates.io access), and the four rule families only
+//! need identifiers, punctuation and line numbers with comments, strings and
+//! literals stripped. The lexer therefore recognises exactly:
+//!
+//! - identifiers / keywords (one token kind — rules keep their own keyword
+//!   lists where the distinction matters),
+//! - punctuation, one character per token,
+//! - literals (string, raw string, byte string, char, numeric), collapsed to
+//!   a single [`Tok::Lit`] so token adjacency stays meaningful,
+//! - lifetimes (`'a`, `'static`), which must not be confused with char
+//!   literals.
+//!
+//! Comments and whitespace produce no tokens, but `//` line comments can be
+//! captured separately via [`line_comments`] — that is how annotation
+//! comments are read without mistaking string literals that merely *look*
+//! like comments for the real thing.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`.`, `(`, `[`, `&`, …).
+    Punct(char),
+    /// A string / char / numeric literal (contents discarded).
+    Lit,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream. Never fails: unrecognised bytes are
+/// emitted as punctuation so downstream rules see a best-effort stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    lex_inner(src, &mut Vec::new())
+}
+
+/// Extracts every `//` line comment as `(line, text-after-the-slashes)`,
+/// using the full lexer so comments inside string literals are not captured.
+pub fn line_comments(src: &str) -> Vec<(u32, String)> {
+    let mut comments = Vec::new();
+    lex_inner(src, &mut comments);
+    comments
+}
+
+fn lex_inner(src: &str, comments: &mut Vec<(u32, String)>) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let count_lines = |text: &[char]| text.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment: capture to end of line (newline handled above).
+                let start = i + 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                comments.push((line, chars[start.min(i)..i].iter().collect()));
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, nested as in Rust.
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_lines(&chars[start..i]);
+            }
+            '"' => {
+                let start = i;
+                i = skip_string(&chars, i);
+                line += count_lines(&chars[start..i]);
+                toks.push(Token { line, tok: Tok::Lit });
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`). A lifetime is a
+                // quote followed by an identifier that is *not* closed by
+                // another quote.
+                let is_lifetime = chars.get(i + 1).is_some_and(|&c2| is_ident_start(c2))
+                    && chars.get(i + 2) != Some(&'\'');
+                if is_lifetime {
+                    i += 1;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    toks.push(Token {
+                        line,
+                        tok: Tok::Lifetime,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    line += count_lines(&chars[start..i.min(chars.len())]);
+                    toks.push(Token { line, tok: Tok::Lit });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                // Numeric literal: digits, hex/bin prefixes, suffixes. Dots
+                // are deliberately *not* consumed so `0..n` lexes as
+                // `Lit . . Ident`.
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                toks.push(Token { line, tok: Tok::Lit });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                // Raw / byte string prefixes: `r"…"`, `r#"…"#`, `b"…"`,
+                // `br#"…"#`.
+                let next = chars.get(i).copied();
+                if matches!(word.as_str(), "r" | "b" | "br") && matches!(next, Some('"') | Some('#')) {
+                    let lit_start = i;
+                    if let Some(end) = skip_raw_string(&chars, i) {
+                        i = end;
+                        line += count_lines(&chars[lit_start..i]);
+                        toks.push(Token { line, tok: Tok::Lit });
+                        continue;
+                    }
+                }
+                toks.push(Token {
+                    line,
+                    tok: Tok::Ident(word),
+                });
+            }
+            other => {
+                toks.push(Token {
+                    line,
+                    tok: Tok::Punct(other),
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Skips a normal (escaped) string literal starting at the opening quote.
+/// Returns the index one past the closing quote.
+fn skip_string(chars: &[char], mut i: usize) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string body starting at `i` (positioned on `"` or the first
+/// `#`). Returns `None` when this is not actually a raw string (e.g. `r #`).
+fn skip_raw_string(chars: &[char], mut i: usize) -> Option<usize> {
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return None;
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return Some(j);
+            }
+        }
+        i += 1;
+    }
+    Some(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r#"
+            // line comment with unwrap()
+            /* block /* nested */ comment */
+            let x = "string with .read() inside";
+            let y = 'c';
+        "#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+        // No stray Lit tokens from the quotes.
+        assert!(!toks.iter().any(|t| t.tok == Tok::Lit));
+    }
+
+    #[test]
+    fn raw_strings_are_single_literals() {
+        let toks = lex(r##"let s = r#"embedded "quotes" and .write()"#;"##);
+        let lits = toks.iter().filter(|t| t.tok == Tok::Lit).count();
+        assert_eq!(lits, 1);
+        assert!(!toks.iter().any(|t| t.is_ident("write")));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = 2;";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let toks = lex("for i in 0..n {}");
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+        assert!(toks.iter().any(|t| t.is_ident("n")));
+    }
+}

@@ -1,0 +1,115 @@
+//! Atomic-ordering audit: every `Ordering::Relaxed/Acquire/Release/AcqRel/
+//! SeqCst` use outside tests must carry an `// audit: atomic ok — <reason>`
+//! justification. The rule also produces the full inventory (file, line,
+//! ordering, reason) that `--report` renders, so the workspace's entire
+//! memory-ordering surface is reviewable in one table.
+
+use crate::rules::{Rule, Violation};
+use crate::source::SourceFile;
+
+/// The orderings the rule recognises after `Ordering::`.
+pub const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One `Ordering::*` site, annotated or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicSite {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The ordering name (`Relaxed`, …).
+    pub ordering: String,
+    /// Justification text, when annotated.
+    pub reason: Option<String>,
+}
+
+/// Scans one file: returns the inventory of non-test sites and a violation
+/// for each unannotated one.
+pub fn check(file: &SourceFile) -> (Vec<AtomicSite>, Vec<Violation>) {
+    let mut sites = Vec::new();
+    let mut violations = Vec::new();
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("Ordering") {
+            continue;
+        }
+        let is_path = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'));
+        if !is_path {
+            continue;
+        }
+        let Some(ordering) = toks
+            .get(i + 3)
+            .and_then(|t| t.ident())
+            .filter(|o| ORDERINGS.contains(o))
+        else {
+            continue;
+        };
+        let line = toks[i].line;
+        if file.is_test_line(line) {
+            continue;
+        }
+        let reason = file
+            .annotation_for(Rule::Atomic.id(), line)
+            .map(|a| a.reason.clone());
+        if reason.is_none() {
+            violations.push(Violation {
+                rule: Rule::Atomic,
+                file: file.rel.clone(),
+                line,
+                message: format!(
+                    "`Ordering::{ordering}` without a justification — add \
+                     `// audit: atomic ok — <why this ordering is sufficient>`"
+                ),
+            });
+        }
+        sites.push(AtomicSite {
+            file: file.rel.clone(),
+            line,
+            ordering: ordering.to_owned(),
+            reason,
+        });
+    }
+    (sites, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unannotated_orderings_are_flagged_and_inventoried() {
+        let src = "\
+use std::sync::atomic::Ordering;
+fn f(a: &AtomicU64) {
+    a.load(Ordering::Relaxed);
+    // audit: atomic ok — pure statistic, no synchronization piggybacks on it
+    a.store(1, Ordering::Release);
+}
+#[cfg(test)]
+mod tests {
+    fn t(a: &AtomicU64) { a.load(Ordering::SeqCst); }
+}
+";
+        let f = SourceFile::from_source("t.rs", src);
+        let (sites, violations) = check(&f);
+        // The `use` line has no ordering variant; the test line is skipped.
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].ordering, "Relaxed");
+        assert!(sites[0].reason.is_none());
+        assert_eq!(sites[1].ordering, "Release");
+        assert!(sites[1].reason.as_deref().unwrap().contains("statistic"));
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].line, 3);
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_confused_with_atomics() {
+        let src = "fn f(a: usize, b: usize) -> core::cmp::Ordering { a.cmp(&b) }\n\
+                   fn g() -> Ordering { Ordering::Less }\n";
+        let f = SourceFile::from_source("t.rs", src);
+        let (sites, violations) = check(&f);
+        assert!(sites.is_empty());
+        assert!(violations.is_empty());
+    }
+}

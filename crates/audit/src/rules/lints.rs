@@ -1,0 +1,101 @@
+//! Crate-root lint-attribute check: every scanned crate root (`lib.rs` under
+//! an include root) must carry `#![forbid(unsafe_code)]`, except the roots
+//! listed as carve-outs (reserved for future SIMD kernels), which must carry
+//! `#![deny(unsafe_code)]` instead — deniable per-block with an explicit
+//! `#[allow]`, but never silently forbidden-free.
+
+use crate::config::AuditConfig;
+use crate::rules::{Rule, Violation};
+use crate::source::SourceFile;
+
+/// Runs the check over the loaded file set.
+pub fn check(cfg: &AuditConfig, files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for root in &cfg.include {
+        let lib_rel = format!("{}/lib.rs", root.trim_end_matches('/'));
+        let Some(file) = files.iter().find(|f| f.rel == lib_rel) else {
+            continue; // include root without a crate root (e.g. a file list)
+        };
+        let carve_out = cfg.unsafe_carve_outs.iter().any(|c| c == root);
+        let has = |attr: &str| has_inner_attr(file, attr, "unsafe_code");
+        let problem = if carve_out {
+            if has("forbid") {
+                Some(
+                    "carve-out crate must use `#![deny(unsafe_code)]`, not `#![forbid]` — \
+                     future kernels need per-block `#[allow]`s"
+                        .to_owned(),
+                )
+            } else if !has("deny") {
+                Some(
+                    "crate root must carry `#![deny(unsafe_code)]` (this crate is a carve-out \
+                     reserved for SIMD kernels)"
+                        .to_owned(),
+                )
+            } else {
+                None
+            }
+        } else if !has("forbid") {
+            Some("crate root must carry `#![forbid(unsafe_code)]`".to_owned())
+        } else {
+            None
+        };
+        if let Some(message) = problem {
+            out.push(Violation {
+                rule: Rule::UnsafeCode,
+                file: lib_rel.clone(),
+                line: 1,
+                message,
+            });
+        }
+    }
+    out
+}
+
+/// Looks for `#![<level>(<lint>)]` in the token stream.
+fn has_inner_attr(file: &SourceFile, level: &str, lint: &str) -> bool {
+    let toks = &file.tokens;
+    (0..toks.len()).any(|i| {
+        toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident(level))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 5).is_some_and(|t| t.is_ident(lint))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(')'))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AuditConfig;
+
+    fn cfg() -> AuditConfig {
+        AuditConfig::parse(
+            "[paths]\ninclude = [\"crates/a/src\", \"crates/gf/src\"]\n\
+             [rules.unsafe-code]\ncarve-outs = [\"crates/gf/src\"]\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forbid_everywhere_and_deny_in_the_carve_out() {
+        let files = vec![
+            SourceFile::from_source("crates/a/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            SourceFile::from_source("crates/gf/src/lib.rs", "#![deny(unsafe_code)]\n"),
+        ];
+        assert!(check(&cfg(), &files).is_empty());
+    }
+
+    #[test]
+    fn missing_or_wrong_levels_are_flagged() {
+        let files = vec![
+            SourceFile::from_source("crates/a/src/lib.rs", "#![warn(missing_docs)]\n"),
+            SourceFile::from_source("crates/gf/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+        ];
+        let v = check(&cfg(), &files);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("forbid(unsafe_code)"));
+        assert!(v[1].message.contains("deny(unsafe_code)"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Panic-freedom rule for the designated read-path modules: no `.unwrap()`,
+//! `.expect(…)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` or
+//! direct slice/array indexing, unless the site carries an
+//! `// audit: panic ok — <why this cannot fire>` justification. A panic on a
+//! read path is a poisoned lock for every other reader — the whole point of
+//! the shared-read refactor was that readers never take each other down.
+
+use crate::config::AuditConfig;
+use crate::lexer::Tok;
+use crate::rules::lock_order::KEYWORDS;
+use crate::rules::{Rule, Violation};
+use crate::source::SourceFile;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Whether the rule applies to this file at all.
+pub fn applies(cfg: &AuditConfig, rel: &str) -> bool {
+    cfg.panic_modules.iter().any(|m| rel.ends_with(m.as_str()))
+}
+
+/// Runs the rule over one designated file.
+pub fn check(cfg: &AuditConfig, file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    let mut flag = |line: u32, message: String| {
+        if file.is_test_line(line) {
+            return;
+        }
+        if file.annotation_for(Rule::Panic.id(), line).is_some() {
+            return;
+        }
+        out.push(Violation {
+            rule: Rule::Panic,
+            file: file.rel.clone(),
+            line,
+            message,
+        });
+    };
+    for i in 0..toks.len() {
+        match &toks[i].tok {
+            Tok::Ident(name)
+                if PANIC_METHODS.contains(&name.as_str())
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && i > 0
+                    && toks[i - 1].is_punct('.') =>
+            {
+                flag(
+                    toks[i].line,
+                    format!("`.{name}(…)` on a designated read-path module"),
+                );
+            }
+            Tok::Ident(name)
+                if PANIC_MACROS.contains(&name.as_str())
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                flag(
+                    toks[i].line,
+                    format!("`{name}!` on a designated read-path module"),
+                );
+            }
+            Tok::Punct('[') if cfg.check_indexing && is_index_expr(toks, i) => {
+                flag(
+                    toks[i].line,
+                    "slice/array indexing — prefer `.get(…)` or justify why the index is in \
+                     bounds"
+                        .to_owned(),
+                );
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Whether the `[` at `i` starts an index/slice expression: the previous
+/// token must be an expression tail (identifier, `)`, or `]`) rather than a
+/// type position, attribute (`#[`), macro (`vec![`) or pattern context.
+fn is_index_expr(toks: &[crate::lexer::Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else {
+        return false;
+    };
+    match &prev.tok {
+        Tok::Ident(word) => !KEYWORDS.contains(&word.as_str()),
+        Tok::Punct(')') | Tok::Punct(']') => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AuditConfig;
+
+    fn cfg() -> AuditConfig {
+        AuditConfig::parse(
+            "[paths]\ninclude = [\"src\"]\n\
+             [rules.panic-freedom]\nmodules = [\"src/engine.rs\"]\ncheck-indexing = true\n",
+        )
+        .unwrap()
+    }
+
+    fn run(src: &str) -> Vec<Violation> {
+        check(&cfg(), &SourceFile::from_source("crates/x/src/engine.rs", src))
+    }
+
+    #[test]
+    fn module_designation_is_a_path_suffix_match() {
+        let c = cfg();
+        assert!(applies(&c, "crates/engine/src/engine.rs"));
+        assert!(!applies(&c, "crates/engine/src/cluster.rs"));
+    }
+
+    #[test]
+    fn panicking_constructs_are_flagged() {
+        let src = "\
+fn f(v: Vec<u8>) -> u8 {
+    let a = v.first().unwrap();
+    let b = v.last().expect(\"non-empty\");
+    if *a > *b { panic!(\"bad\"); }
+    match *a { 0 => unreachable!(), _ => v[0] }
+}
+";
+        let v = run(src);
+        assert_eq!(v.len(), 5, "{v:?}");
+        assert!(v[0].message.contains("unwrap"));
+        assert!(v[1].message.contains("expect"));
+        assert!(v[2].message.contains("panic!"));
+        assert!(v[3].message.contains("unreachable!"));
+        assert!(v[4].message.contains("indexing"));
+    }
+
+    #[test]
+    fn annotated_and_test_sites_are_allowed() {
+        let src = "\
+fn f(v: Vec<u8>) -> u8 {
+    // audit: panic ok — the caller verified v is non-empty one line up
+    let a = v.first().unwrap();
+    *a
+}
+#[cfg(test)]
+mod tests {
+    fn t(v: Vec<u8>) { v.last().unwrap(); }
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn non_panicking_lookalikes_are_not_flagged() {
+        let src = "\
+fn f(v: Vec<u8>, m: &Map) -> u8 {
+    let a = v.first().copied().unwrap_or(0);
+    let b = v.iter().map(|x| x + 1).collect::<Vec<u8>>();
+    let c: &[u8] = &v[..];
+    let d = vec![1u8, 2];
+    let _ = (b, c, d, m);
+    a
+}
+";
+        // `unwrap_or` is a distinct identifier; `vec![` follows `!`; `&v[..]`
+        // slicing *is* flagged-worthy only after an expression — here `v`
+        // precedes `[`, so it is an index expression and the only finding.
+        let v = run(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("indexing"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared-read guard: the retrieval/metrics APIs named in `audit.toml` must
+//! keep a `&self` receiver. The PR that made the read path shared-read was a
+//! deliberate, load-bearing design decision (readers scale without an
+//! exclusive borrow); this rule stops a refactor from quietly regressing a
+//! listed method to `&mut self`. A method that disappears entirely is also
+//! flagged — the config must be renamed in the same change, so the guard
+//! follows the API.
+
+use crate::config::AuditConfig;
+use crate::rules::model::{scan_fns, Receiver};
+use crate::rules::{Rule, Violation};
+use crate::source::SourceFile;
+
+/// Runs the rule over the whole file set (a method may live in any file).
+pub fn check(cfg: &AuditConfig, files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for wanted in &cfg.shared_read {
+        let qname = format!("{}::{}", wanted.type_name, wanted.method);
+        let mut found = false;
+        let mut ok = false;
+        let mut bad_site: Option<(&SourceFile, u32)> = None;
+        for file in files {
+            for span in scan_fns(&file.tokens) {
+                if span.qname != qname || file.is_test_line(span.sig_line) {
+                    continue;
+                }
+                found = true;
+                if span.receiver == Receiver::SelfRef {
+                    ok = true;
+                } else {
+                    bad_site = Some((file, span.sig_line));
+                }
+            }
+        }
+        if !found {
+            out.push(Violation {
+                rule: Rule::SharedRead,
+                file: "audit.toml".to_owned(),
+                line: 0,
+                message: format!(
+                    "`{qname}` is listed under [rules.shared-read] but no such method exists — \
+                     update the config with the renamed API"
+                ),
+            });
+            continue;
+        }
+        if ok {
+            continue;
+        }
+        if let Some((file, line)) = bad_site {
+            if file.annotation_for(Rule::SharedRead.id(), line).is_some() {
+                continue;
+            }
+            out.push(Violation {
+                rule: Rule::SharedRead,
+                file: file.rel.clone(),
+                line,
+                message: format!(
+                    "`{qname}` must take `&self` — the read path is shared by design and must \
+                     not regress to an exclusive borrow"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AuditConfig;
+
+    fn cfg(methods: &str) -> AuditConfig {
+        AuditConfig::parse(&format!(
+            "[paths]\ninclude = [\"src\"]\n[rules.shared-read]\nmethods = [{methods}]\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn shared_read_methods_pass_and_regressions_fail() {
+        let src = "
+impl Engine {
+    pub fn get_version(&self, l: usize) -> usize { l }
+    pub fn repair_node(&mut self, n: usize) -> usize { n }
+}
+";
+        let files = vec![SourceFile::from_source("src/engine.rs", src)];
+        let ok = check(&cfg("\"Engine::get_version\""), &files);
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = check(&cfg("\"Engine::repair_node\""), &files);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].message.contains("&self"));
+    }
+
+    #[test]
+    fn missing_methods_surface_config_drift() {
+        let files = vec![SourceFile::from_source("src/engine.rs", "impl Engine {}")];
+        let v = check(&cfg("\"Engine::get_version\""), &files);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("no such method"));
+    }
+}

@@ -1,0 +1,88 @@
+//! End-to-end fixture tests: each rule family demonstrated on real files
+//! under `tests/fixtures/`, driven through the public [`sec_audit::run`]
+//! entry point exactly as the binary drives it.
+
+use std::path::Path;
+
+use sec_audit::config::AuditConfig;
+use sec_audit::rules::{Rule, Violation};
+use sec_audit::source::{discover, SourceFile};
+
+const FIXTURE_CONFIG: &str = r#"
+[paths]
+include = ["fixtures"]
+
+[rules.lock-hierarchy]
+order = ["archive", "objects"]
+
+[rules.panic-freedom]
+modules = ["fixtures/panics.rs"]
+check-indexing = true
+
+[rules.shared-read]
+methods = ["Engine::get_version", "Engine::regressed"]
+"#;
+
+fn run_fixtures() -> Vec<Violation> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests");
+    let config = AuditConfig::parse(FIXTURE_CONFIG).expect("fixture config parses");
+    let rels = discover(&root, &config.include).expect("fixture dir scans");
+    assert!(rels.len() >= 6, "fixture set went missing: {rels:?}");
+    let files: Vec<SourceFile> = rels
+        .iter()
+        .map(|rel| SourceFile::load(&root, rel).expect("fixture loads"))
+        .collect();
+    sec_audit::run(&config, &files).violations
+}
+
+fn of_rule(violations: &[Violation], rule: Rule) -> Vec<&Violation> {
+    violations.iter().filter(|v| v.rule == rule).collect()
+}
+
+#[test]
+fn lock_inversion_is_flagged_clean_and_annotated_pass() {
+    let violations = run_fixtures();
+    let lock = of_rule(&violations, Rule::LockOrder);
+    assert_eq!(lock.len(), 1, "{lock:?}");
+    assert_eq!(lock[0].file, "fixtures/lock_inversion.rs");
+    assert!(lock[0].message.contains("archive"));
+    assert!(lock[0].message.contains("objects"));
+    // Neither the in-order file nor the justified one contributes.
+    assert!(!violations
+        .iter()
+        .any(|v| v.file.contains("lock_clean") || v.file.contains("lock_annotated")));
+}
+
+#[test]
+fn unannotated_ordering_is_flagged_justified_and_test_sites_pass() {
+    let violations = run_fixtures();
+    let atomic = of_rule(&violations, Rule::Atomic);
+    assert_eq!(atomic.len(), 1, "{atomic:?}");
+    assert_eq!(atomic[0].file, "fixtures/atomics.rs");
+    assert!(atomic[0].message.contains("Ordering::Relaxed"));
+}
+
+#[test]
+fn panic_sites_are_flagged_fallible_and_justified_pass() {
+    let violations = run_fixtures();
+    let panic = of_rule(&violations, Rule::Panic);
+    assert_eq!(panic.len(), 2, "{panic:?}");
+    assert!(panic.iter().all(|v| v.file == "fixtures/panics.rs"));
+    assert!(panic.iter().any(|v| v.message.contains("unwrap")));
+    assert!(panic.iter().any(|v| v.message.contains("indexing")));
+}
+
+#[test]
+fn shared_read_regression_is_flagged() {
+    let violations = run_fixtures();
+    let shared = of_rule(&violations, Rule::SharedRead);
+    assert_eq!(shared.len(), 1, "{shared:?}");
+    assert_eq!(shared[0].file, "fixtures/shared_read.rs");
+    assert!(shared[0].message.contains("Engine::regressed"));
+}
+
+#[test]
+fn fixture_run_has_no_unexpected_violations() {
+    let violations = run_fixtures();
+    assert_eq!(violations.len(), 5, "{violations:?}");
+}

@@ -1,0 +1,35 @@
+//! Fixture: three atomic-ordering sites — one unannotated (must be flagged),
+//! one justified, one in test code (must be skipped).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Counter {
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn miss(&self) {
+        // audit: atomic ok — monotonic statistic, no ordering dependency
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let c = Counter {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        };
+        c.hit();
+        assert_eq!(c.hits.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: the same inversion as `lock_inversion.rs`, but carrying a
+//! justification annotation — the auditor must accept it.
+
+pub struct Shard {
+    pub objects: std::sync::RwLock<Vec<u8>>,
+    pub archive: std::sync::RwLock<Vec<u8>>,
+}
+
+impl Shard {
+    pub fn justified(&self) -> usize {
+        let objects = self.objects.write().expect("object map poisoned");
+        // audit: lock-order ok — fixture: pretend single-threaded startup path
+        let archive = self.archive.read().expect("archive poisoned");
+        objects.len() + archive.len()
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: same locks as `lock_inversion.rs`, acquired in the documented
+//! order (archive before object map) — the auditor must stay silent.
+
+pub struct Shard {
+    pub objects: std::sync::RwLock<Vec<u8>>,
+    pub archive: std::sync::RwLock<Vec<u8>>,
+}
+
+impl Shard {
+    pub fn ordered(&self) -> usize {
+        let archive = self.archive.read().expect("archive poisoned");
+        let objects = self.objects.write().expect("object map poisoned");
+        archive.len() + objects.len()
+    }
+
+    pub fn scoped(&self) -> usize {
+        // Release the inner lock before coming back for the outer one: the
+        // held set is empty again at the second acquisition.
+        let inner = {
+            let objects = self.objects.read().expect("object map poisoned");
+            objects.len()
+        };
+        let archive = self.archive.read().expect("archive poisoned");
+        inner + archive.len()
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: acquires the innermost object-map lock, then the outermost
+//! archive lock — a textbook hierarchy inversion the auditor must flag.
+
+pub struct Shard {
+    pub objects: std::sync::RwLock<Vec<u8>>,
+    pub archive: std::sync::RwLock<Vec<u8>>,
+}
+
+impl Shard {
+    pub fn inverted(&self) -> usize {
+        let objects = self.objects.write().expect("object map poisoned");
+        let archive = self.archive.read().expect("archive poisoned");
+        objects.len() + archive.len()
+    }
+}

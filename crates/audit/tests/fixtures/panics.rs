@@ -1,0 +1,20 @@
+//! Fixture for the panic-freedom rule: unannotated `unwrap`/indexing must be
+//! flagged, fallible-style code and justified sites must pass.
+
+pub fn violating(values: &[u32], map: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    let first = values[0];
+    first + map.get(&first).copied().unwrap()
+}
+
+pub fn clean(values: &[u32], map: &std::collections::BTreeMap<u32, u32>) -> Option<u32> {
+    let first = values.first()?;
+    Some(first + map.get(first)?)
+}
+
+pub fn justified(values: &[u32]) -> u32 {
+    if values.is_empty() {
+        return 0;
+    }
+    // audit: panic ok — fixture: emptiness checked two lines up
+    values[0]
+}

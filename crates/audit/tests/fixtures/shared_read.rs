@@ -1,0 +1,16 @@
+//! Fixture for the shared-read guard: `get_version` keeps `&self` (clean),
+//! `regressed` takes `&mut self` (flagged when listed in the config).
+
+pub struct Engine {
+    versions: Vec<Vec<u8>>,
+}
+
+impl Engine {
+    pub fn get_version(&self, l: usize) -> Option<&[u8]> {
+        self.versions.get(l.checked_sub(1)?).map(Vec::as_slice)
+    }
+
+    pub fn regressed(&mut self, l: usize) -> Option<Vec<u8>> {
+        self.versions.get_mut(l.checked_sub(1)?).map(std::mem::take)
+    }
+}
