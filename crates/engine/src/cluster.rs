@@ -23,7 +23,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use crate::ordered::{LockRank, OrderedRwLock};
 
 use sec_store::{FailurePattern, IoMetrics, PlacementStrategy, StoreError};
 use sec_versioning::object::VersionId;
@@ -185,7 +187,7 @@ pub struct ClusterMetrics {
 #[derive(Debug)]
 struct ClusterShard {
     liveness: Option<Arc<NodeLiveness>>,
-    objects: RwLock<BTreeMap<ObjectId, Arc<SecEngine>>>,
+    objects: OrderedRwLock<BTreeMap<ObjectId, Arc<SecEngine>>>,
 }
 
 /// A sharded multi-archive router: many versioned objects served by `S`
@@ -286,7 +288,7 @@ impl SecCluster {
                         PlacementStrategy::Colocated => Some(Arc::new(NodeLiveness::new(n))),
                         PlacementStrategy::Dispersed => None,
                     },
-                    objects: RwLock::new(BTreeMap::new()),
+                    objects: OrderedRwLock::new(LockRank::ObjectMap, BTreeMap::new()),
                 })
                 .collect(),
         })
@@ -325,7 +327,7 @@ impl SecCluster {
     pub fn object_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.objects.read().expect("object map poisoned").len())
+            .map(|s| s.objects.read().len())
             .sum()
     }
 
@@ -334,7 +336,6 @@ impl SecCluster {
         self.shards[self.shard_of(id)]
             .objects
             .read()
-            .expect("object map poisoned")
             .contains_key(&id)
     }
 
@@ -391,7 +392,6 @@ impl SecCluster {
         self.shards[self.shard_of(id)]
             .objects
             .read()
-            .expect("object map poisoned")
             .get(&id)
             .cloned()
             .ok_or(ClusterError::UnknownObject { object: id })
@@ -420,7 +420,6 @@ impl SecCluster {
         let existing = shard
             .objects
             .read()
-            .expect("object map poisoned")
             .get(&id)
             .cloned();
         if let Some(engine) = existing {
@@ -445,7 +444,7 @@ impl SecCluster {
         // The engine is still private here, so the answer cannot go stale.
         let landed = !engine.is_empty();
         let winner = {
-            let mut objects = shard.objects.write().expect("object map poisoned");
+            let mut objects = shard.objects.write();
             match objects.get(&id) {
                 Some(winner) => Some(Arc::clone(winner)),
                 None => {
@@ -688,7 +687,6 @@ impl SecCluster {
         let engines: Vec<Arc<SecEngine>> = s
             .objects
             .read()
-            .expect("object map poisoned")
             .values()
             .cloned()
             .collect();
@@ -734,7 +732,6 @@ impl SecCluster {
             let engines: Vec<Arc<SecEngine>> = shard
                 .objects
                 .read()
-                .expect("object map poisoned")
                 .values()
                 .cloned()
                 .collect();

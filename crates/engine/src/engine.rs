@@ -3,7 +3,9 @@
 //! strategies.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard};
+use std::sync::Arc;
+
+use crate::ordered::{LockRank, OrderedReadGuard, OrderedRwLock};
 
 /// Liveness flags of `n` storage nodes, outside every lock.
 ///
@@ -102,7 +104,7 @@ pub struct EngineMetrics {
 /// blocks while an append grows the directory behind it.
 #[derive(Debug, Clone)]
 struct NodeSlab {
-    nodes: Arc<Vec<RwLock<StorageNode<Vec<u8>>>>>,
+    nodes: Arc<Vec<OrderedRwLock<StorageNode<Vec<u8>>>>>,
     alive: Arc<NodeLiveness>,
 }
 
@@ -115,7 +117,7 @@ impl NodeSlab {
             nodes: Arc::new(
                 (first_id..first_id + n)
                     .map(StorageNode::new)
-                    .map(RwLock::new)
+                    .map(|node| OrderedRwLock::new(LockRank::Node, node))
                     .collect(),
             ),
             alive,
@@ -128,9 +130,13 @@ impl NodeSlab {
 /// # Locking model
 ///
 /// The engine holds three kinds of shared state, ordered so no lock is ever
-/// acquired while holding a later-ordered one in reverse:
+/// acquired while holding a later-ordered one in reverse. Every lock is an
+/// [`OrderedRwLock`] carrying its [`LockRank`], so debug builds assert the
+/// hierarchy at runtime and `sec-audit` checks it statically; the documented
+/// order (with the cluster object map innermost) lives in `audit.toml` and
+/// `docs/INVARIANTS.md`.
 ///
-/// 1. **Archive** (`RwLock<ByteVersionedArchive>`) — entry metadata
+/// 1. **Archive** (`OrderedRwLock<ByteVersionedArchive>`) — entry metadata
 ///    (payloads, sparsity levels, shard lengths) and the plaintext tail used
 ///    for delta computation. Readers take it shared just long enough to
 ///    snapshot the entry metadata, then release it for the append-only
@@ -139,14 +145,14 @@ impl NodeSlab {
 ///    reads of concurrent retrievals. Reversed SEC rewrites its trailing
 ///    full-copy slot in place on append, so its readers hold the lock for
 ///    the whole walk.
-/// 2. **Slab directory** (`RwLock<Vec<NodeSlab>>`) — the placement-driven
+/// 2. **Slab directory** (`OrderedRwLock<Vec<NodeSlab>>`) — the placement-driven
 ///    node map. Under colocated placement it holds one slab of `n` nodes;
 ///    under dispersed placement one slab of `n` fresh nodes *per stored
 ///    entry*, appended on `append_version`. The directory lock is held only
 ///    long enough to clone a slab's `Arc` handles (readers) or push new
 ///    slabs (appends) — never across a block read — so directory growth
 ///    does not block in-flight retrievals.
-/// 3. **Storage nodes** (`RwLock<StorageNode<Vec<u8>>>`, inside each slab) —
+/// 3. **Storage nodes** (`OrderedRwLock<StorageNode<Vec<u8>>>`, inside each slab) —
 ///    one lock per node, so a `2γ`-read sparse retrieval locks only the
 ///    `2γ` nodes its plan names, and writers (append, repair) lock one node
 ///    at a time.
@@ -170,10 +176,10 @@ impl NodeSlab {
 /// the crash model, where data survives on disk).
 #[derive(Debug)]
 pub struct SecEngine {
-    archive: RwLock<ByteVersionedArchive>,
+    archive: OrderedRwLock<ByteVersionedArchive>,
     codec: ByteCodec,
-    placement: RwLock<Placement>,
-    slabs: RwLock<Vec<NodeSlab>>,
+    placement: OrderedRwLock<Placement>,
+    slabs: OrderedRwLock<Vec<NodeSlab>>,
     metrics: AtomicIoMetrics,
     cache: VersionCache<Vec<u8>>,
 }
@@ -310,16 +316,16 @@ impl SecEngine {
                     entry: entry_idx,
                     position,
                 };
-                let mut node = slab.nodes[position].write().expect("node lock poisoned");
+                let mut node = slab.nodes[position].write();
                 node.put(key, entry.shards.shard(position).to_vec());
                 metrics.add_symbol_writes(1);
             }
         }
         Self {
-            archive: RwLock::new(archive),
+            archive: OrderedRwLock::new(LockRank::Archive, archive),
             codec,
-            placement: RwLock::new(placement),
-            slabs: RwLock::new(slabs),
+            placement: OrderedRwLock::new(LockRank::Placement, placement),
+            slabs: OrderedRwLock::new(LockRank::Directory, slabs),
             metrics,
             cache: VersionCache::new(cache_capacity),
         }
@@ -334,7 +340,7 @@ impl SecEngine {
     /// covered entry count (and with it [`Placement::node_count`]) grows as
     /// versions are appended.
     pub fn placement(&self) -> Placement {
-        *self.placement.read().expect("placement lock poisoned")
+        *self.placement.read()
     }
 
     /// Total number of storage nodes the placement currently addresses:
@@ -377,7 +383,7 @@ impl SecEngine {
     /// Clones the `Arc` handles of slab `idx`, holding the directory lock
     /// only for the fetch.
     fn slab(&self, idx: usize) -> NodeSlab {
-        self.slabs.read().expect("slab directory poisoned")[idx].clone()
+        self.slabs.read()[idx].clone()
     }
 
     /// Resolves a node id straight to its slab handles and in-slab position
@@ -446,7 +452,7 @@ impl SecEngine {
     /// state). Nodes beyond the pattern's length keep their liveness. Use
     /// [`SecEngine::apply_pattern_additive`] to layer failures instead.
     pub fn apply_pattern(&self, pattern: &FailurePattern) {
-        let slabs = self.slabs.read().expect("slab directory poisoned");
+        let slabs = self.slabs.read();
         let mut base = 0usize;
         for slab in slabs.iter() {
             for position in 0..slab.alive.len() {
@@ -466,7 +472,7 @@ impl SecEngine {
     /// [`SecEngine::apply_pattern`], for tests and experiments that layer
     /// patterns on top of already-injected failures.
     pub fn apply_pattern_additive(&self, pattern: &FailurePattern) {
-        let slabs = self.slabs.read().expect("slab directory poisoned");
+        let slabs = self.slabs.read();
         let mut base = 0usize;
         for slab in slabs.iter() {
             for position in 0..slab.alive.len() {
@@ -486,11 +492,11 @@ impl SecEngine {
     /// that already existed, so appending slabs never blocks their block
     /// reads.
     fn grow_to_entries(&self, entries: usize) {
-        let mut placement = self.placement.write().expect("placement lock poisoned");
+        let mut placement = self.placement.write();
         placement.grow_to(entries);
         if placement.strategy() == PlacementStrategy::Dispersed {
             let n = placement.codeword_len();
-            let mut slabs = self.slabs.write().expect("slab directory poisoned");
+            let mut slabs = self.slabs.write();
             while slabs.len() < placement.entries() {
                 let first_id = slabs.len() * n;
                 slabs.push(NodeSlab::fresh(n, first_id, Arc::new(NodeLiveness::new(n))));
@@ -512,7 +518,7 @@ impl SecEngine {
     /// Returns [`StoreError::Versioning`] for a length mismatch or encoding
     /// failure.
     pub fn append_version(&self, object: &[u8]) -> Result<VersionId, StoreError> {
-        let mut archive = self.archive.write().expect("archive lock poisoned");
+        let mut archive = self.archive.write();
         let stored_before = archive.stored_entry_count();
         let id = archive.append_version(object)?;
         // Reversed SEC rewrites the trailing full copy's slot (it becomes
@@ -534,7 +540,7 @@ impl SecEngine {
                     entry: entry_idx,
                     position,
                 };
-                let mut node = slab.nodes[position].write().expect("node lock poisoned");
+                let mut node = slab.nodes[position].write();
                 node.put(key, entry.shards.shard(position).to_vec());
                 self.metrics.add_symbol_writes(1);
             }
@@ -651,12 +657,12 @@ impl SecEngine {
     #[allow(clippy::type_complexity)]
     fn snapshot_entries<'a>(
         &self,
-        archive: RwLockReadGuard<'a, ByteVersionedArchive>,
+        archive: OrderedReadGuard<'a, ByteVersionedArchive>,
     ) -> (
         EncodingStrategy,
         usize,
         Vec<(StoredPayload, usize)>,
-        Option<RwLockReadGuard<'a, ByteVersionedArchive>>,
+        Option<OrderedReadGuard<'a, ByteVersionedArchive>>,
     ) {
         let strategy = archive.config().strategy();
         let object_len = archive.object_len().unwrap_or(0);
@@ -720,7 +726,7 @@ impl SecEngine {
         slab_idx: usize,
         position: usize,
     ) -> Result<usize, StoreError> {
-        let archive = self.archive.write().expect("archive lock poisoned");
+        let archive = self.archive.write();
         let k = self.codec.code().k();
         let n = self.codec.code().n();
         let entries = archive.stored_entries();
@@ -763,7 +769,7 @@ impl SecEngine {
         // Commit: every block rebuilt, so replace the node's contents.
         let rebuilt = staged.len();
         {
-            let mut node = slab.nodes[position].write().expect("node lock poisoned");
+            let mut node = slab.nodes[position].write();
             node.wipe();
             for (key, block) in staged {
                 node.put(key, block);
@@ -807,13 +813,13 @@ impl SecEngine {
         // and can deadlock against a concurrent writer.
         let versions = self.len();
         let cache = self.cache.stats();
-        let slabs = self.slabs.read().expect("slab directory poisoned");
+        let slabs = self.slabs.read();
         let mut node_reads = Vec::new();
         let mut live_nodes = 0usize;
         for slab in slabs.iter() {
             live_nodes += slab.alive.live_count();
             for node in slab.nodes.iter() {
-                node_reads.push(node.read().expect("node lock poisoned").reads());
+                node_reads.push(node.read().reads());
             }
         }
         let nodes = node_reads.len();
@@ -827,8 +833,8 @@ impl SecEngine {
         }
     }
 
-    fn read_archive(&self) -> RwLockReadGuard<'_, ByteVersionedArchive> {
-        self.archive.read().expect("archive lock poisoned")
+    fn read_archive(&self) -> OrderedReadGuard<'_, ByteVersionedArchive> {
+        self.archive.read()
     }
 
     /// Reads and decodes one stored entry from the live nodes of its slab
@@ -883,14 +889,14 @@ impl SecEngine {
 /// acquisition order keeps the lock graph acyclic alongside the
 /// one-at-a-time writers), returning guards in the caller's order.
 fn lock_nodes<'a>(
-    nodes: &'a [RwLock<StorageNode<Vec<u8>>>],
+    nodes: &'a [OrderedRwLock<StorageNode<Vec<u8>>>],
     positions: &[usize],
-) -> Vec<RwLockReadGuard<'a, StorageNode<Vec<u8>>>> {
+) -> Vec<OrderedReadGuard<'a, StorageNode<Vec<u8>>>> {
     let mut sorted: Vec<usize> = positions.to_vec();
     sorted.sort_unstable();
-    let mut guards: Vec<(usize, RwLockReadGuard<'a, StorageNode<Vec<u8>>>)> = sorted
+    let mut guards: Vec<(usize, OrderedReadGuard<'a, StorageNode<Vec<u8>>>)> = sorted
         .into_iter()
-        .map(|p| (p, nodes[p].read().expect("node lock poisoned")))
+        .map(|p| (p, nodes[p].read()))
         .collect();
     // Hand the guards back in plan order.
     positions

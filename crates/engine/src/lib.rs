@@ -94,6 +94,7 @@
 
 mod cluster;
 mod engine;
+pub mod ordered;
 
 pub use cluster::{ClusterError, ClusterMetrics, ObjectId, SecCluster, ShardMetrics};
 pub use engine::{EngineMetrics, EnginePrefix, EngineRetrieval, SecEngine};
