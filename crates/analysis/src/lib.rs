@@ -17,6 +17,7 @@
 //! * [`tables`] — the qualitative scheme comparison of Table I.
 
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod availability;

@@ -1,0 +1,47 @@
+//! Live-workspace self-test: the real `audit.toml` applied to the real
+//! source tree must come back clean. This is the same invariant CI enforces
+//! via `cargo run -p sec-audit -- check`, kept here so `cargo test` alone
+//! catches a regression (a new unannotated site, a lock inversion, a
+//! forbidden `unsafe`) without the extra binary run.
+
+use std::path::Path;
+
+use sec_audit::config::AuditConfig;
+use sec_audit::source::{discover, SourceFile};
+
+#[test]
+fn workspace_is_audit_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let config_text =
+        std::fs::read_to_string(root.join("audit.toml")).expect("workspace audit.toml exists");
+    let config = AuditConfig::parse(&config_text).expect("workspace audit.toml parses");
+    let rels = discover(&root, &config.include).expect("workspace tree scans");
+    assert!(
+        rels.len() >= 50,
+        "suspiciously few files scanned ({}): include globs out of date?",
+        rels.len()
+    );
+    let files: Vec<SourceFile> = rels
+        .iter()
+        .map(|rel| SourceFile::load(&root, rel).expect("source file loads"))
+        .collect();
+    let outcome = sec_audit::run(&config, &files);
+    assert!(
+        outcome.violations.is_empty(),
+        "workspace must stay audit-clean; run `cargo run -p sec-audit -- check` for details:\n{}",
+        outcome
+            .violations
+            .iter()
+            .map(|v| format!("  {}:{}: [{}] {}", v.file, v.line, v.rule.id(), v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The inventory side of the run stays populated even when clean.
+    assert!(
+        outcome.atomics.iter().all(|s| s.reason.is_some()),
+        "clean run implies every atomic site carries a justification"
+    );
+}

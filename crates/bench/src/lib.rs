@@ -5,6 +5,7 @@
 //! `--csv <path>` is passed, also write the raw series as CSV for plotting.
 
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 use std::fs::File;

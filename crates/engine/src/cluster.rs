@@ -325,18 +325,13 @@ impl SecCluster {
 
     /// Total number of objects routed so far.
     pub fn object_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.objects.read().len())
-            .sum()
+        self.shards.iter().map(|s| s.objects.read().len()).sum()
     }
 
     /// Whether any version was appended for `id`.
     pub fn contains_object(&self, id: ObjectId) -> bool {
-        self.shards[self.shard_of(id)]
-            .objects
-            .read()
-            .contains_key(&id)
+        // audit: panic ok — shard_of maps every id into 0..shards.len() by modulo
+        self.shards[self.shard_of(id)].objects.read().contains_key(&id)
     }
 
     /// Number of versions appended for `id`, or `None` for an unknown
@@ -389,6 +384,7 @@ impl SecCluster {
 
     /// The engine serving `id`, or [`ClusterError::UnknownObject`].
     fn engine_of(&self, id: ObjectId) -> Result<Arc<SecEngine>, ClusterError> {
+        // audit: panic ok — shard_of maps every id into 0..shards.len() by modulo
         self.shards[self.shard_of(id)]
             .objects
             .read()
@@ -416,12 +412,9 @@ impl SecCluster {
         id: ObjectId,
         append: impl Fn(&SecEngine) -> Result<R, StoreError>,
     ) -> Result<R, ClusterError> {
+        // audit: panic ok — shard_of maps every id into 0..shards.len() by modulo
         let shard = &self.shards[self.shard_of(id)];
-        let existing = shard
-            .objects
-            .read()
-            .get(&id)
-            .cloned();
+        let existing = shard.objects.read().get(&id).cloned();
         if let Some(engine) = existing {
             return Ok(append(&engine)?);
         }
@@ -684,12 +677,7 @@ impl SecCluster {
         self.check_node(liveness, node)?;
         // Snapshot the engines, then release the map lock: rebuilds decode
         // k blocks per entry per object and must not block object admission.
-        let engines: Vec<Arc<SecEngine>> = s
-            .objects
-            .read()
-            .values()
-            .cloned()
-            .collect();
+        let engines: Vec<Arc<SecEngine>> = s.objects.read().values().cloned().collect();
         let mut rebuilt = 0usize;
         for engine in engines {
             rebuilt += engine.rebuild_node(node)?;
@@ -729,12 +717,7 @@ impl SecCluster {
             versions: 0,
         };
         for shard in &self.shards {
-            let engines: Vec<Arc<SecEngine>> = shard
-                .objects
-                .read()
-                .values()
-                .cloned()
-                .collect();
+            let engines: Vec<Arc<SecEngine>> = shard.objects.read().values().cloned().collect();
             let mut sm = ShardMetrics {
                 io: IoMetrics::new(),
                 node_reads: vec![0; n],
@@ -750,6 +733,7 @@ impl SecCluster {
                 // Per-object node spaces fold onto the n codeword positions
                 // (the identity map for a colocated engine's n nodes).
                 for (idx, reads) in m.node_reads.iter().enumerate() {
+                    // audit: panic ok — `idx % n` is always < n = node_reads.len()
                     sm.node_reads[idx % n] += reads;
                 }
                 sm.versions += m.versions;

@@ -31,11 +31,15 @@ impl NodeLiveness {
 
     /// Whether node `node` is live. Callers must have range-checked `node`.
     pub(crate) fn is_alive(&self, node: usize) -> bool {
+        // audit: atomic ok — Acquire pairs with the Release store in set
+        // audit: panic ok — documented contract: callers range-check `node`
         self.alive[node].load(Ordering::Acquire)
     }
 
     /// Sets node `node`'s liveness. Callers must have range-checked `node`.
     pub(crate) fn set(&self, node: usize, alive: bool) {
+        // audit: atomic ok — Release pairs with the Acquire load in is_alive
+        // audit: panic ok — documented contract: callers range-check `node`
         self.alive[node].store(alive, Ordering::Release);
     }
 
@@ -308,7 +312,9 @@ impl SecEngine {
         };
         for (entry_idx, entry) in entries.iter().enumerate() {
             let slab = match strategy {
+                // audit: panic ok — colocated placement always builds exactly one slab
                 PlacementStrategy::Colocated => &slabs[0],
+                // audit: panic ok — dispersed placement builds one slab per entry
                 PlacementStrategy::Dispersed => &slabs[entry_idx],
             };
             for position in 0..entry.shards.shard_count() {
@@ -316,6 +322,7 @@ impl SecEngine {
                     entry: entry_idx,
                     position,
                 };
+                // audit: panic ok — `position < shard_count = n`, and every slab holds n nodes
                 let mut node = slab.nodes[position].write();
                 node.put(key, entry.shards.shard(position).to_vec());
                 metrics.add_symbol_writes(1);
@@ -383,6 +390,7 @@ impl SecEngine {
     /// Clones the `Arc` handles of slab `idx`, holding the directory lock
     /// only for the fetch.
     fn slab(&self, idx: usize) -> NodeSlab {
+        // audit: panic ok — private helper; callers pass a directory index they just resolved
         self.slabs.read()[idx].clone()
     }
 
@@ -540,6 +548,7 @@ impl SecEngine {
                     entry: entry_idx,
                     position,
                 };
+                // audit: panic ok — `position < shard_count = n`, and every slab holds n nodes
                 let mut node = slab.nodes[position].write();
                 node.put(key, entry.shards.shard(position).to_vec());
                 self.metrics.add_symbol_writes(1);
@@ -605,8 +614,10 @@ impl SecEngine {
         let out = walk_version(
             strategy,
             entries.len(),
+            // audit: panic ok — `idx` comes from walk_version, which stays within 0..entries.len()
             |idx| entries[idx].0,
             l,
+            // audit: panic ok — `idx` comes from walk_version, which stays within 0..entries.len()
             |idx| self.read_entry(idx, entries[idx].0, entries[idx].1),
         )?;
         let data = self.cache.insert(l, trim_object(&out.shards, object_len));
@@ -632,9 +643,11 @@ impl SecEngine {
         let out = walk_prefix(
             strategy,
             entries.len(),
+            // audit: panic ok — `idx` comes from walk_prefix, which stays within 0..entries.len()
             |idx| entries[idx].0,
             l,
             object_len,
+            // audit: panic ok — `idx` comes from walk_prefix, which stays within 0..entries.len()
             |idx| self.read_entry(idx, entries[idx].0, entries[idx].1),
         )?;
         Ok(EnginePrefix {
@@ -743,8 +756,10 @@ impl SecEngine {
                 return Err(StoreError::Unrecoverable { entry: entry_idx });
             }
             let codeword = {
+                // audit: panic ok — `live.len() >= k` was checked above
                 let guards = lock_nodes(&slab.nodes, &live[..k]);
                 let mut shares: Vec<(usize, &[u8])> = Vec::with_capacity(k);
+                // audit: panic ok — `live.len() >= k` was checked above
                 for (source, guard) in live[..k].iter().copied().zip(guards.iter()) {
                     let key = SymbolKey {
                         entry: entry_idx,
@@ -755,6 +770,7 @@ impl SecEngine {
                         return Err(StoreError::Unrecoverable { entry: entry_idx });
                     }
                     self.metrics.add_symbol_reads(1);
+                    // audit: panic ok — touch succeeded on this guard, so the block is stored
                     shares.push((source, guard.peek_stored(key).expect("touched above").as_slice()));
                 }
                 let object = self.codec.decode_blocks(&shares)?;
@@ -769,6 +785,7 @@ impl SecEngine {
         // Commit: every block rebuilt, so replace the node's contents.
         let rebuilt = staged.len();
         {
+            // audit: panic ok — `position` was range-checked by locate_slab
             let mut node = slab.nodes[position].write();
             node.wipe();
             for (key, block) in staged {
@@ -877,6 +894,7 @@ impl SecEngine {
             self.metrics.add_symbol_reads(1);
             shares.push((
                 position,
+                // audit: panic ok — touch succeeded on this guard, so the block is stored
                 guard.peek_stored(key).expect("touched above").as_slice(),
             ));
         }
@@ -896,6 +914,7 @@ fn lock_nodes<'a>(
     sorted.sort_unstable();
     let mut guards: Vec<(usize, OrderedReadGuard<'a, StorageNode<Vec<u8>>>)> = sorted
         .into_iter()
+        // audit: panic ok — planned positions come from the live set, which indexes this slab
         .map(|p| (p, nodes[p].read()))
         .collect();
     // Hand the guards back in plan order.
@@ -905,6 +924,7 @@ fn lock_nodes<'a>(
             let idx = guards
                 .iter()
                 .position(|(gp, _)| *gp == p)
+                // audit: panic ok — `sorted` is a permutation of `positions`, so every lookup hits
                 .expect("every planned position was locked");
             guards.swap_remove(idx).1
         })

@@ -90,6 +90,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod cluster;

@@ -148,10 +148,7 @@ impl<T> OrderedRwLock<T> {
             // this as fatal (this is the one place that decision lives)
             Err(_) => panic!("{} lock poisoned", self.rank.name()),
         };
-        OrderedReadGuard {
-            guard,
-            _token: token,
-        }
+        OrderedReadGuard { guard, _token: token }
     }
 
     /// Acquires the exclusive lock, debug-asserting the hierarchy first.
@@ -162,10 +159,7 @@ impl<T> OrderedRwLock<T> {
             // audit: panic ok — same fatal-poison policy as `read` above
             Err(_) => panic!("{} lock poisoned", self.rank.name()),
         };
-        OrderedWriteGuard {
-            guard,
-            _token: token,
-        }
+        OrderedWriteGuard { guard, _token: token }
     }
 }
 

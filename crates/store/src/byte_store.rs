@@ -78,7 +78,9 @@ impl ByteDistributedStore {
                 let node = store
                     .placement
                     .try_node_for(key)
+                    // audit: panic ok — write path: keys are built from the same archive the placement was provisioned for
                     .expect("placement covers every archive entry");
+                // audit: panic ok — placement maps every key into 0..n and the store holds n nodes
                 store.nodes[node].put(key, entry.shards.shard(position).to_vec());
                 store.metrics.add_symbol_writes(1);
             }
@@ -122,22 +124,25 @@ impl ByteDistributedStore {
         self.nodes.get(id)
     }
 
-    /// Marks a node failed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    pub fn fail_node(&self, node: usize) {
-        self.nodes[node].fail();
+    /// Marks a node failed, or reports [`StoreError::InvalidNode`] when
+    /// `node` is out of range.
+    pub fn fail_node(&self, node: usize) -> Result<(), StoreError> {
+        self.checked_node(node)?.fail();
+        Ok(())
     }
 
-    /// Revives a node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    pub fn revive_node(&self, node: usize) {
-        self.nodes[node].revive();
+    /// Revives a node, or reports [`StoreError::InvalidNode`] when `node` is
+    /// out of range.
+    pub fn revive_node(&self, node: usize) -> Result<(), StoreError> {
+        self.checked_node(node)?.revive();
+        Ok(())
+    }
+
+    fn checked_node(&self, node: usize) -> Result<&StorageNode<Vec<u8>>, StoreError> {
+        self.nodes.get(node).ok_or(StoreError::InvalidNode {
+            node,
+            n: self.nodes.len(),
+        })
     }
 
     /// Applies a failure pattern over the whole cluster.
@@ -185,6 +190,7 @@ impl ByteDistributedStore {
     pub fn put_block(&mut self, entry: usize, position: usize, block: Vec<u8>) {
         let key = SymbolKey { entry, position };
         let node = self.placement.node_for(key);
+        // audit: panic ok — node_for documents the panic; key validity is the caller contract
         self.nodes[node].put(key, block);
     }
 
@@ -196,6 +202,7 @@ impl ByteDistributedStore {
             .filter(|&position| {
                 self.placement
                     .try_node_for(SymbolKey { entry, position })
+                    // audit: panic ok — placement maps every key into 0..n and the store holds n nodes
                     .is_ok_and(|node| self.nodes[node].is_alive())
             })
             .collect()
@@ -235,6 +242,7 @@ impl ByteDistributedStore {
                 position,
             };
             let node = self.placement.try_node_for(key)?;
+            // audit: panic ok — node id came from the placement, which maps into 0..n
             if self.nodes[node].touch(key) {
                 self.metrics.add_symbol_reads(1);
             } else {
@@ -250,7 +258,9 @@ impl ByteDistributedStore {
                     entry: entry_idx,
                     position,
                 };
+                // audit: panic ok — same plan.nodes iterated two loops up; placement lookups already succeeded
                 let node = self.placement.try_node_for(key).expect("planned above");
+                // audit: panic ok — placement node id is in 0..n; touch succeeded above, so the block is stored
                 let block = self.nodes[node].peek_stored(key).expect("touched above");
                 (position, block.as_slice())
             })
@@ -292,8 +302,10 @@ impl ByteDistributedStore {
         let out = walk_version(
             archive.config().strategy(),
             entries.len(),
+            // audit: panic ok — `idx` comes from walk_version, which stays within 0..entries.len()
             |idx| entries[idx].payload,
             l,
+            // audit: panic ok — `idx` comes from walk_version, which stays within 0..entries.len()
             |idx| self.read_entry(idx, entries[idx].payload, entries[idx].shards.shard_len()),
         )?;
         Ok(ByteStoredRetrieval {
@@ -315,6 +327,12 @@ impl ByteDistributedStore {
         archive: &ByteVersionedArchive,
         node_id: usize,
     ) -> Result<usize, StoreError> {
+        if node_id >= self.nodes.len() {
+            return Err(StoreError::InvalidNode {
+                node: node_id,
+                n: self.nodes.len(),
+            });
+        }
         let entries = archive.stored_entries();
         let (n, k) = (self.codec.code().n(), self.codec.code().k());
         let mut to_rebuild = Vec::new();
@@ -329,7 +347,9 @@ impl ByteDistributedStore {
                 }
             }
         }
+        // audit: panic ok — `node_id < n` was checked at function entry
         self.nodes[node_id].revive();
+        // audit: panic ok — `node_id < n` was checked at function entry
         self.nodes[node_id].wipe();
         let mut rebuilt = 0usize;
         for key in to_rebuild {
@@ -347,6 +367,7 @@ impl ByteDistributedStore {
                     position,
                 };
                 let node = self.placement.try_node_for(skey)?;
+                // audit: panic ok — node id came from the placement, which maps into 0..n
                 if !self.nodes[node].touch(skey) {
                     return Err(StoreError::Unrecoverable { entry: key.entry });
                 }
@@ -363,7 +384,9 @@ impl ByteDistributedStore {
                             entry: key.entry,
                             position,
                         };
+                        // audit: panic ok — same live set iterated above; placement lookups already succeeded
                         let node = self.placement.try_node_for(skey).expect("checked above");
+                        // audit: panic ok — placement node id is in 0..n; touch succeeded above, so the block is stored
                         let block = self.nodes[node].peek_stored(skey).expect("touched above");
                         (position, block.as_slice())
                     })
@@ -371,6 +394,7 @@ impl ByteDistributedStore {
                 let object = self.codec.decode_blocks(&shares)?;
                 self.codec.encode_blocks(&object)?
             };
+            // audit: panic ok — `node_id < n` was checked at function entry
             self.nodes[node_id].put(key, codeword.shard(key.position).to_vec());
             self.metrics.add_symbol_writes(1);
             rebuilt += 1;
@@ -427,7 +451,7 @@ mod tests {
     fn additive_patterns_layer_on_existing_failures() {
         let (archive, _) = archive(EncodingStrategy::BasicSec);
         let store = ByteDistributedStore::colocated(&archive);
-        store.fail_node(4);
+        store.fail_node(4).unwrap();
         store.apply_pattern_additive(&FailurePattern::with_failures(6, &[1]));
         assert!(!store.node(4).unwrap().is_alive(), "additive must not revive");
         assert!(!store.node(1).unwrap().is_alive());
@@ -465,9 +489,9 @@ mod tests {
     fn survives_n_minus_k_failures_and_sparse_reads_stay_cheap() {
         let (archive, vs) = archive(EncodingStrategy::BasicSec);
         let store = ByteDistributedStore::colocated(&archive);
-        store.fail_node(0);
-        store.fail_node(3);
-        store.fail_node(5);
+        store.fail_node(0).unwrap();
+        store.fail_node(3).unwrap();
+        store.fail_node(5).unwrap();
         assert!(store.archive_recoverable(&archive));
         for (l, expect) in vs.iter().enumerate() {
             assert_eq!(&store.retrieve_version(&archive, l + 1).unwrap().data, expect);
@@ -478,7 +502,7 @@ mod tests {
         let r = store.retrieve_version(&archive, 2).unwrap();
         assert_eq!(r.io_reads, 3 + 2);
         // A fourth failure makes full objects unrecoverable.
-        store.fail_node(1);
+        store.fail_node(1).unwrap();
         assert!(!store.archive_recoverable(&archive));
         assert!(matches!(
             store.retrieve_version(&archive, 1),
@@ -490,13 +514,13 @@ mod tests {
     fn repair_rebuilds_lost_blocks() {
         let (archive, vs) = archive(EncodingStrategy::BasicSec);
         let mut store = ByteDistributedStore::colocated(&archive);
-        store.fail_node(2);
+        store.fail_node(2).unwrap();
         let rebuilt = store.repair_node(&archive, 2).unwrap();
         assert_eq!(rebuilt, 3);
         assert_eq!(store.metrics().repairs, 1);
-        store.fail_node(0);
-        store.fail_node(1);
-        store.fail_node(3);
+        store.fail_node(0).unwrap();
+        store.fail_node(1).unwrap();
+        store.fail_node(3).unwrap();
         assert!(store.archive_recoverable(&archive));
         assert_eq!(store.retrieve_version(&archive, 3).unwrap().data, vs[2]);
     }

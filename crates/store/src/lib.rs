@@ -36,8 +36,8 @@
 //! archive.append_all(&[v1.clone(), v2.clone()])?;
 //!
 //! let mut store = DistributedStore::colocated(&archive);
-//! store.fail_node(0);
-//! store.fail_node(5);
+//! store.fail_node(0).unwrap();
+//! store.fail_node(5).unwrap();
 //! // Both versions survive two failures of the (6,3) MDS code.
 //! let retrieved = store.retrieve_version(&archive, 2)?;
 //! assert_eq!(retrieved.data, v2);
@@ -46,6 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod store;

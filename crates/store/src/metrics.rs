@@ -89,37 +89,42 @@ impl AtomicIoMetrics {
 
     /// Counts `n` symbol reads.
     pub fn add_symbol_reads(&self, n: u64) {
+        // audit: atomic ok — independent monotonic counter; only totals are observed
         self.symbol_reads.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Counts `n` symbol writes.
     pub fn add_symbol_writes(&self, n: u64) {
+        // audit: atomic ok — independent monotonic counter; only totals are observed
         self.symbol_writes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Counts one read that hit a dead node or a missing symbol.
     pub fn add_failed_read(&self) {
+        // audit: atomic ok — independent monotonic counter; only totals are observed
         self.failed_reads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one retrieval operation.
     pub fn add_retrieval(&self) {
+        // audit: atomic ok — independent monotonic counter; only totals are observed
         self.retrievals.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one repair operation.
     pub fn add_repair(&self) {
+        // audit: atomic ok — independent monotonic counter; only totals are observed
         self.repairs.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Freezes the current counter values into a snapshot.
     pub fn snapshot(&self) -> IoMetrics {
         IoMetrics {
-            symbol_reads: self.symbol_reads.load(Ordering::Relaxed),
-            symbol_writes: self.symbol_writes.load(Ordering::Relaxed),
-            failed_reads: self.failed_reads.load(Ordering::Relaxed),
-            retrievals: self.retrievals.load(Ordering::Relaxed),
-            repairs: self.repairs.load(Ordering::Relaxed),
+            symbol_reads: self.symbol_reads.load(Ordering::Relaxed), // audit: atomic ok — counter total; no cross-counter order claimed
+            symbol_writes: self.symbol_writes.load(Ordering::Relaxed), // audit: atomic ok — counter total; no cross-counter order claimed
+            failed_reads: self.failed_reads.load(Ordering::Relaxed), // audit: atomic ok — counter total; no cross-counter order claimed
+            retrievals: self.retrievals.load(Ordering::Relaxed), // audit: atomic ok — counter total; no cross-counter order claimed
+            repairs: self.repairs.load(Ordering::Relaxed), // audit: atomic ok — counter total; no cross-counter order claimed
         }
     }
 
@@ -141,11 +146,11 @@ impl AtomicIoMetrics {
     /// epoch, never in both and never in neither.
     pub fn take(&self) -> IoMetrics {
         IoMetrics {
-            symbol_reads: self.symbol_reads.swap(0, Ordering::Relaxed),
-            symbol_writes: self.symbol_writes.swap(0, Ordering::Relaxed),
-            failed_reads: self.failed_reads.swap(0, Ordering::Relaxed),
-            retrievals: self.retrievals.swap(0, Ordering::Relaxed),
-            repairs: self.repairs.swap(0, Ordering::Relaxed),
+            symbol_reads: self.symbol_reads.swap(0, Ordering::Relaxed), // audit: atomic ok — per-counter atomic swap; no cross-counter order claimed
+            symbol_writes: self.symbol_writes.swap(0, Ordering::Relaxed), // audit: atomic ok — per-counter atomic swap; no cross-counter order claimed
+            failed_reads: self.failed_reads.swap(0, Ordering::Relaxed), // audit: atomic ok — per-counter atomic swap; no cross-counter order claimed
+            retrievals: self.retrievals.swap(0, Ordering::Relaxed), // audit: atomic ok — per-counter atomic swap; no cross-counter order claimed
+            repairs: self.repairs.swap(0, Ordering::Relaxed), // audit: atomic ok — per-counter atomic swap; no cross-counter order claimed
         }
     }
 }

@@ -53,17 +53,20 @@ impl<V: Clone> StorageNode<V> {
 
     /// Whether the node is currently alive.
     pub fn is_alive(&self) -> bool {
+        // audit: atomic ok — Acquire pairs with the Release stores in fail/revive
         self.alive.load(Ordering::Acquire)
     }
 
     /// Marks the node failed. Its contents become unreadable until revived.
     pub fn fail(&self) {
+        // audit: atomic ok — Release pairs with the Acquire load in is_alive
         self.alive.store(false, Ordering::Release);
     }
 
     /// Revives the node, keeping whatever it stored before failing
     /// (a crash-recovery model; use [`StorageNode::wipe`] for disk loss).
     pub fn revive(&self) {
+        // audit: atomic ok — Release pairs with the Acquire load in is_alive
         self.alive.store(true, Ordering::Release);
     }
 
@@ -85,6 +88,7 @@ impl<V: Clone> StorageNode<V> {
         }
         let value = self.symbols.get(&key).cloned();
         if value.is_some() {
+            // audit: atomic ok — read counter is a statistic; no ordering dependency
             self.reads.fetch_add(1, Ordering::Relaxed);
         }
         value
@@ -126,6 +130,7 @@ impl<V: Clone> StorageNode<V> {
         }
         let present = self.symbols.contains_key(&key);
         if present {
+            // audit: atomic ok — read counter is a statistic; no ordering dependency
             self.reads.fetch_add(1, Ordering::Relaxed);
         }
         present
@@ -138,6 +143,7 @@ impl<V: Clone> StorageNode<V> {
 
     /// Number of read operations served so far.
     pub fn reads(&self) -> u64 {
+        // audit: atomic ok — statistic read; cross-thread exactness not claimed
         self.reads.load(Ordering::Relaxed)
     }
 }

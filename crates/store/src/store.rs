@@ -175,7 +175,9 @@ impl<F: GaloisField> DistributedStore<F> {
                 let node = self
                     .placement
                     .try_node_for(key)
+                    // audit: panic ok — write path: keys are built from the same archive the placement was provisioned for
                     .expect("placement covers every archive entry");
+                // audit: panic ok — placement maps every key into 0..n and the store holds n nodes
                 self.nodes[node].put(key, symbol);
                 self.metrics.add_symbol_writes(1);
             }
@@ -207,22 +209,25 @@ impl<F: GaloisField> DistributedStore<F> {
         self.nodes.get(id)
     }
 
-    /// Marks a node failed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    pub fn fail_node(&self, node: usize) {
-        self.nodes[node].fail();
+    /// Marks a node failed, or reports [`StoreError::InvalidNode`] when
+    /// `node` is out of range.
+    pub fn fail_node(&self, node: usize) -> Result<(), StoreError> {
+        self.checked_node(node)?.fail();
+        Ok(())
     }
 
-    /// Revives a node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    pub fn revive_node(&self, node: usize) {
-        self.nodes[node].revive();
+    /// Revives a node, or reports [`StoreError::InvalidNode`] when `node` is
+    /// out of range.
+    pub fn revive_node(&self, node: usize) -> Result<(), StoreError> {
+        self.checked_node(node)?.revive();
+        Ok(())
+    }
+
+    fn checked_node(&self, node: usize) -> Result<&StorageNode<F>, StoreError> {
+        self.nodes.get(node).ok_or(StoreError::InvalidNode {
+            node,
+            n: self.nodes.len(),
+        })
     }
 
     /// Applies a failure pattern over the whole cluster.
@@ -269,6 +274,7 @@ impl<F: GaloisField> DistributedStore<F> {
             .filter(|&position| {
                 self.placement
                     .try_node_for(SymbolKey { entry, position })
+                    // audit: panic ok — placement maps every key into 0..n and the store holds n nodes
                     .is_ok_and(|node| self.nodes[node].is_alive())
             })
             .collect()
@@ -319,6 +325,7 @@ impl<F: GaloisField> DistributedStore<F> {
                 position,
             };
             let node = self.placement.try_node_for(key)?;
+            // audit: panic ok — node id came from the placement, which maps into 0..n
             match self.nodes[node].read(key) {
                 Some(symbol) => {
                     self.metrics.add_symbol_reads(1);
@@ -334,6 +341,7 @@ impl<F: GaloisField> DistributedStore<F> {
             DecodeMethod::SystematicDirect | DecodeMethod::Inversion => code.decode_full(&shares)?,
             DecodeMethod::SparseRecovery => match target {
                 ReadTarget::Sparse { gamma } => code.decode_sparse(&shares, gamma)?,
+                // audit: panic ok — plan_read returns SparseRecovery only for ReadTarget::Sparse
                 ReadTarget::Full => unreachable!("sparse plans only arise for sparse targets"),
             },
         };
@@ -371,6 +379,7 @@ impl<F: GaloisField> DistributedStore<F> {
 
         match archive.config().strategy() {
             EncodingStrategy::NonDifferential => {
+                // audit: panic ok — `l >= 1` and `l <= entries.len()` were checked above
                 let (reads, data) = self.read_entry(archive, l - 1, entries[l - 1].0)?;
                 Ok(StoredRetrieval {
                     data,
@@ -378,10 +387,13 @@ impl<F: GaloisField> DistributedStore<F> {
                 })
             }
             EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
+                // audit: panic ok — `l <= entries.len()` was checked above
                 let anchor = entries[..l]
                     .iter()
                     .rposition(|(p, _)| matches!(p, StoredPayload::FullVersion { .. }))
+                    // audit: panic ok — archive invariant: entry 0 is always a full version, so rposition finds one
                     .expect("first entry is always a full version");
+                // audit: panic ok — `anchor < l <= entries.len()` by construction
                 let (mut io_reads, mut data) = self.read_entry(archive, anchor, entries[anchor].0)?;
                 for (idx, (payload, _)) in entries.iter().enumerate().take(l).skip(anchor + 1) {
                     let (reads, delta) = self.read_entry(archive, idx, *payload)?;
@@ -396,9 +408,11 @@ impl<F: GaloisField> DistributedStore<F> {
                 // The full latest copy is the final entry in the stored list.
                 let latest_idx = entries.len() - 1;
                 let (mut io_reads, mut data) =
+                    // audit: panic ok — entry_list is non-empty once the archive has versions (checked above)
                     self.read_entry(archive, latest_idx, entries[latest_idx].0)?;
                 // Delta entries are 0..latest_idx, delta at index j is z_{j+2}.
                 for idx in (l.saturating_sub(1)..latest_idx).rev() {
+                    // audit: panic ok — `idx < latest_idx < entries.len()` by the loop bounds
                     let (reads, delta) = self.read_entry(archive, idx, entries[idx].0)?;
                     io_reads += reads;
                     data = sec_versioning::Delta::from_vec(delta)
@@ -423,6 +437,12 @@ impl<F: GaloisField> DistributedStore<F> {
         archive: &VersionedArchive<F>,
         node_id: usize,
     ) -> Result<usize, StoreError> {
+        if node_id >= self.nodes.len() {
+            return Err(StoreError::InvalidNode {
+                node: node_id,
+                n: self.nodes.len(),
+            });
+        }
         let entries = Self::entry_list(archive);
         let code = archive.code();
         let mut rebuilt = 0usize;
@@ -439,7 +459,9 @@ impl<F: GaloisField> DistributedStore<F> {
                 }
             }
         }
+        // audit: panic ok — `node_id < n` was checked at function entry
         self.nodes[node_id].revive();
+        // audit: panic ok — `node_id < n` was checked at function entry
         self.nodes[node_id].wipe();
         for key in to_rebuild {
             let live: Vec<usize> = self
@@ -457,6 +479,7 @@ impl<F: GaloisField> DistributedStore<F> {
                     position,
                 };
                 let node = self.placement.try_node_for(skey)?;
+                // audit: panic ok — node id came from the placement, which maps into 0..n
                 let symbol = self.nodes[node]
                     .read(skey)
                     .ok_or(StoreError::Unrecoverable { entry: key.entry })?;
@@ -465,6 +488,7 @@ impl<F: GaloisField> DistributedStore<F> {
             }
             let object = code.decode_full(&shares)?;
             let codeword = code.encode(&object)?;
+            // audit: panic ok — `key.position < n = codeword.len()` by the loop over 0..code.n()
             self.nodes[node_id].put(key, codeword[key.position]);
             self.metrics.add_symbol_writes(1);
             rebuilt += 1;
@@ -548,15 +572,15 @@ mod tests {
     fn survives_n_minus_k_failures_colocated() {
         let (archive, vs) = archive(EncodingStrategy::BasicSec);
         let store = DistributedStore::colocated(&archive);
-        store.fail_node(0);
-        store.fail_node(3);
-        store.fail_node(5);
+        store.fail_node(0).unwrap();
+        store.fail_node(3).unwrap();
+        store.fail_node(5).unwrap();
         assert!(store.archive_recoverable(&archive));
         for (l, expect) in vs.iter().enumerate() {
             assert_eq!(&store.retrieve_version(&archive, l + 1).unwrap().data, expect);
         }
         // A fourth failure makes full objects unrecoverable.
-        store.fail_node(1);
+        store.fail_node(1).unwrap();
         assert!(!store.archive_recoverable(&archive));
         assert!(matches!(
             store.retrieve_version(&archive, 1),
@@ -573,7 +597,7 @@ mod tests {
         let (archive, _) = archive(EncodingStrategy::BasicSec);
         let store = DistributedStore::colocated(&archive);
         for node in [0, 1, 3, 5] {
-            store.fail_node(node);
+            store.fail_node(node).unwrap();
         }
         assert!(!store.entry_recoverable(&archive, 0));
         let live = store.live_positions(1);
@@ -610,15 +634,15 @@ mod tests {
     fn repair_rebuilds_lost_symbols() {
         let (archive, vs) = archive(EncodingStrategy::BasicSec);
         let mut store = DistributedStore::colocated(&archive);
-        store.fail_node(2);
+        store.fail_node(2).unwrap();
         let rebuilt = store.repair_node(&archive, 2).unwrap();
         // Three entries, one symbol each on node 2.
         assert_eq!(rebuilt, 3);
         assert_eq!(store.metrics().repairs, 1);
         // The node serves reads again and the archive remains intact.
-        store.fail_node(0);
-        store.fail_node(1);
-        store.fail_node(3);
+        store.fail_node(0).unwrap();
+        store.fail_node(1).unwrap();
+        store.fail_node(3).unwrap();
         assert!(store.archive_recoverable(&archive));
         assert_eq!(store.retrieve_version(&archive, 3).unwrap().data, vs[2]);
     }
@@ -628,7 +652,7 @@ mod tests {
         let (archive, _) = archive(EncodingStrategy::BasicSec);
         let mut store = DistributedStore::colocated(&archive);
         for node in [0, 1, 2, 3] {
-            store.fail_node(node);
+            store.fail_node(node).unwrap();
         }
         assert!(matches!(
             store.repair_node(&archive, 0),
@@ -671,7 +695,7 @@ mod tests {
     fn additive_patterns_layer_while_overwrite_replaces() {
         let (archive, _) = archive(EncodingStrategy::BasicSec);
         let store = DistributedStore::colocated(&archive);
-        store.fail_node(0);
+        store.fail_node(0).unwrap();
         // Additive: node 0 stays failed even though the pattern marks it alive.
         store.apply_pattern_additive(&FailurePattern::with_failures(6, &[2]));
         assert!(!store.node(0).unwrap().is_alive());

@@ -50,10 +50,12 @@ impl<F: GaloisField> LatestVersionCache<F> {
     pub fn get(&self, id: VersionId) -> Option<&[F]> {
         match &self.entry {
             Some((cached_id, data)) if *cached_id == id => {
+                // audit: atomic ok — hit/miss statistic; no ordering dependency
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(data.as_slice())
             }
             _ => {
+                // audit: atomic ok — hit/miss statistic; no ordering dependency
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -77,11 +79,13 @@ impl<F: GaloisField> LatestVersionCache<F> {
 
     /// Number of lookups that found the requested version.
     pub fn hits(&self) -> u64 {
+        // audit: atomic ok — statistic read; cross-thread exactness not claimed
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of lookups that did not find the requested version.
     pub fn misses(&self) -> u64 {
+        // audit: atomic ok — statistic read; cross-thread exactness not claimed
         self.misses.load(Ordering::Relaxed)
     }
 }
@@ -96,8 +100,8 @@ impl<F: Clone> Clone for LatestVersionCache<F> {
     fn clone(&self) -> Self {
         Self {
             entry: self.entry.clone(),
-            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
-            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)), // audit: atomic ok — relaxed copy of statistics
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)), // audit: atomic ok — relaxed copy of statistics
         }
     }
 }
@@ -200,13 +204,15 @@ impl<V> VersionCache<V> {
         let slots = self.slots.read().expect("cache lock poisoned");
         let found = slots.iter().find(|slot| slot.version == version).map(|slot| {
             // LRU touch through the slot's atomic: no write lock needed.
+            // audit: atomic ok — LRU clock tick; approximate recency is acceptable
             let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            // audit: atomic ok — LRU stamp publish; staleness only skews eviction choice
             slot.last_used.store(stamp, Ordering::Relaxed);
             Arc::clone(&slot.value)
         });
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed), // audit: atomic ok — hit/miss statistic
+            None => self.misses.fetch_add(1, Ordering::Relaxed), // audit: atomic ok — hit/miss statistic
         };
         found
     }
@@ -224,11 +230,13 @@ impl<V> VersionCache<V> {
         if let Some(slot) = slots.iter().find(|slot| slot.version == version) {
             return Arc::clone(&slot.value);
         }
+        // audit: atomic ok — LRU clock tick; approximate recency is acceptable
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         if slots.len() >= self.capacity {
             let oldest = slots
                 .iter()
                 .enumerate()
+                // audit: atomic ok — stale stamp only skews which slot is evicted
                 .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
                 .map(|(idx, _)| idx)
                 .expect("capacity > 0 and cache full");
@@ -250,8 +258,8 @@ impl<V> VersionCache<V> {
     /// Point-in-time statistics.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed), // audit: atomic ok — statistic read
+            misses: self.misses.load(Ordering::Relaxed), // audit: atomic ok — statistic read
             len: self.len(),
             capacity: self.capacity,
         }

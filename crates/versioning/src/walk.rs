@@ -71,6 +71,7 @@ where
             let anchor = (0..l)
                 .rev()
                 .find(|&idx| matches!(payload_at(idx), StoredPayload::FullVersion { .. }))
+                // audit: panic ok — archive invariant: entry 0 always stores a full version
                 .expect("the first entry always stores a full version");
             let (mut io_reads, mut acc) = read_entry(anchor)?;
             let mut entries_read = 1;
@@ -138,6 +139,7 @@ pub fn decode_planned(
         DecodeMethod::SystematicDirect | DecodeMethod::Inversion => codec.decode_blocks(shares),
         DecodeMethod::SparseRecovery => match target {
             ReadTarget::Sparse { gamma } => codec.recover_sparse_blocks(shares, gamma),
+            // audit: panic ok — plan_read returns SparseRecovery only for ReadTarget::Sparse
             ReadTarget::Full => unreachable!("sparse plans only arise for sparse targets"),
         },
     }
@@ -148,6 +150,7 @@ pub fn decode_planned(
 /// shares.
 pub fn trim_object(shards: &ByteShards, object_len: usize) -> Vec<u8> {
     let len = object_len.min(shards.total_len());
+    // audit: panic ok — `len` is clamped to the shard total two lines up
     shards.as_bytes()[..len].to_vec()
 }
 
@@ -207,10 +210,12 @@ where
                 match payload_at(idx) {
                     StoredPayload::FullVersion { .. } => acc = Some(decoded),
                     StoredPayload::Delta { .. } => {
+                        // audit: panic ok — archive invariant: a delta is always preceded by its base full version
                         let base = acc.as_mut().expect("delta entries follow their base version");
                         base.xor_with(&decoded)?;
                     }
                 }
+                // audit: panic ok — `acc` was set on this or an earlier iteration (entry 0 is full)
                 versions.push(trim(acc.as_ref().expect("set above")));
             }
             Ok(PrefixWalkOutcome {

@@ -25,6 +25,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod pmf;

@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     archive.append_all(&trace.versions)?;
     let mut store = DistributedStore::colocated(&archive);
     for node in [0, 7, 13, 21, 30] {
-        store.fail_node(node);
+        store.fail_node(node).unwrap();
     }
     println!(
         "\nafter 5 node failures the archive is {}recoverable",

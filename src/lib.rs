@@ -43,6 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub use sec_analysis as analysis;

@@ -40,7 +40,7 @@ fn trace_to_storage_round_trip_under_failures() {
             // Kill n - k = 8 nodes of the first entry's node set: the archive
             // must still be fully readable (MDS tolerance).
             for node in 0..8 {
-                store.fail_node(node);
+                store.fail_node(node).unwrap();
             }
             assert!(store.archive_recoverable(&archive), "{strategy} {placement}");
             for (l, expect) in trace.versions.iter().enumerate() {
@@ -166,8 +166,8 @@ fn degraded_reads_match_average_io_analysis() {
     // Fail two of the three parity nodes: the delta can no longer be fetched
     // with 2 reads from the parity block, yet retrieval still succeeds.
     let store = DistributedStore::colocated(&archive);
-    store.fail_node(4);
-    store.fail_node(5);
+    store.fail_node(4).unwrap();
+    store.fail_node(5).unwrap();
     let r = store.retrieve_version(&archive, 2).expect("still recoverable");
     assert_eq!(r.data, x2);
     assert!(r.io_reads >= 5, "reads = {}", r.io_reads);

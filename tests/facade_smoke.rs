@@ -45,7 +45,7 @@ fn facade_types_interoperate_end_to_end() {
 
     // store: colocated placement, node failures, failure-aware retrieval.
     let store: DistributedStore<Gf1024> = DistributedStore::new(&archive, PlacementStrategy::Colocated);
-    store.fail_node(0);
+    store.fail_node(0).unwrap();
     let retrieved: StoredRetrieval<Gf1024> = store.retrieve_version(&archive, 2).expect("retrieve");
     assert_eq!(retrieved.data, v2);
     let metrics: IoMetrics = store.metrics();
