@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use crate::ordered::{LockRank, OrderedRwLock};
 
+use sec_store::fault;
 use sec_store::{FailurePattern, IoMetrics, PlacementStrategy, StoreError};
 use sec_versioning::object::VersionId;
 use sec_versioning::{ArchiveConfig, ByteVersionedArchive, CacheStats};
@@ -528,7 +529,7 @@ impl SecCluster {
     pub fn fail_node(&self, shard: usize, node: usize) -> Result<(), ClusterError> {
         let (_, liveness) = self.shard_group(shard)?;
         self.check_node(liveness, node)?;
-        liveness.set(node, false);
+        liveness.fail(node);
         Ok(())
     }
 
@@ -541,7 +542,7 @@ impl SecCluster {
     pub fn revive_node(&self, shard: usize, node: usize) -> Result<(), ClusterError> {
         let (_, liveness) = self.shard_group(shard)?;
         self.check_node(liveness, node)?;
-        liveness.set(node, true);
+        liveness.revive(node);
         Ok(())
     }
 
@@ -625,9 +626,9 @@ impl SecCluster {
         let (_, liveness) = self.shard_group(shard)?;
         for idx in 0..liveness.len() {
             if pattern.is_failed(idx) {
-                liveness.set(idx, false);
+                liveness.fail(idx);
             } else if idx < pattern.len() {
-                liveness.set(idx, true);
+                liveness.revive(idx);
             }
         }
         Ok(())
@@ -648,7 +649,7 @@ impl SecCluster {
         let (_, liveness) = self.shard_group(shard)?;
         for idx in 0..liveness.len() {
             if pattern.is_failed(idx) {
-                liveness.set(idx, false);
+                liveness.fail(idx);
             }
         }
         Ok(())
@@ -665,24 +666,37 @@ impl SecCluster {
     /// written), so no object is ever left *less* recoverable than before
     /// the call.
     ///
+    /// The concluding revive is epoch-checked: the repair snapshots the
+    /// node's failure epoch before rebuilding and only commits if no new
+    /// failure landed while the rebuilds ran — otherwise the rebuilt blocks
+    /// may miss writes that arrived after the new failure, and reviving
+    /// would serve a node the rebuild never saw. Objects admitted *during*
+    /// the repair are safe either way: a first append writes complete
+    /// blocks, so the new object needs nothing from this rebuild.
+    ///
     /// # Errors
     ///
     /// Returns [`ClusterError::InvalidShard`] / [`StoreError::InvalidNode`]
     /// for a bad address, [`ClusterError::PlacementMismatch`] under
-    /// dispersed placement (use [`SecCluster::repair_object_node`]), or
+    /// dispersed placement (use [`SecCluster::repair_object_node`]),
     /// [`StoreError::Unrecoverable`] when some object's entry has fewer than
-    /// `k` other live blocks.
+    /// `k` other live blocks, or [`StoreError::RepairRaced`] when the node
+    /// failed again mid-repair (re-run the repair).
     pub fn repair_node(&self, shard: usize, node: usize) -> Result<usize, ClusterError> {
         let (s, liveness) = self.shard_group(shard)?;
         self.check_node(liveness, node)?;
+        let epoch = liveness.epoch(node);
         // Snapshot the engines, then release the map lock: rebuilds decode
         // k blocks per entry per object and must not block object admission.
         let engines: Vec<Arc<SecEngine>> = s.objects.read().values().cloned().collect();
         let mut rebuilt = 0usize;
         for engine in engines {
             rebuilt += engine.rebuild_node(node)?;
+            fault::reached("cluster::repair::window");
         }
-        liveness.set(node, true);
+        if !liveness.try_commit_repair(node, epoch) {
+            return Err(ClusterError::Engine(StoreError::RepairRaced { node }));
+        }
         Ok(rebuilt)
     }
 

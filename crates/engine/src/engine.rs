@@ -2,45 +2,98 @@
 //! its distributed storage nodes, generic over the paper's §IV placement
 //! strategies.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::ordered::{LockRank, OrderedReadGuard, OrderedRwLock};
 
-/// Liveness flags of `n` storage nodes, outside every lock.
+/// Liveness of `n` storage nodes, outside every lock.
 ///
 /// Kept in its own (crate-internal) type so a [`SecCluster`](crate::SecCluster)
 /// shard can share one liveness array across the per-object engines that live
 /// on the same physical nodes: failing a shard's node is then a single atomic
-/// store observed by every object's read planner at once.
+/// update observed by every object's read planner at once.
+///
+/// Each node's word packs `epoch << 1 | alive`: the failure *epoch* counts
+/// how many times the node has failed. A repair snapshots the epoch before
+/// rebuilding (see [`SecEngine::repair_node`]) and commits its concluding
+/// revive with [`NodeLiveness::try_commit_repair`], which refuses if the node
+/// failed again while the rebuild ran — the raced repair's blocks may miss
+/// writes that landed after the new failure, so reviving would serve a node
+/// the rebuild never saw.
 #[derive(Debug)]
 pub(crate) struct NodeLiveness {
-    alive: Vec<AtomicBool>,
+    state: Vec<AtomicU64>,
 }
+
+/// Low bit of a liveness word: the node is currently alive.
+const ALIVE_BIT: u64 = 1;
 
 impl NodeLiveness {
     pub(crate) fn new(n: usize) -> Self {
         Self {
-            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            state: (0..n).map(|_| AtomicU64::new(ALIVE_BIT)).collect(),
         }
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.alive.len()
+        self.state.len()
     }
 
-    /// Whether node `node` is live. Callers must have range-checked `node`.
+    /// Whether node `node` is live (out-of-range reads as dead).
     pub(crate) fn is_alive(&self, node: usize) -> bool {
-        // audit: atomic ok — Acquire pairs with the Release store in set
-        // audit: panic ok — documented contract: callers range-check `node`
-        self.alive[node].load(Ordering::Acquire)
+        debug_assert!(node < self.state.len(), "liveness query out of range");
+        let Some(state) = self.state.get(node) else {
+            return false;
+        };
+        // audit: atomic ok — Acquire pairs with the AcqRel updates in fail/revive/try_commit_repair
+        state.load(Ordering::Acquire) & ALIVE_BIT != 0
     }
 
-    /// Sets node `node`'s liveness. Callers must have range-checked `node`.
-    pub(crate) fn set(&self, node: usize, alive: bool) {
-        // audit: atomic ok — Release pairs with the Acquire load in is_alive
-        // audit: panic ok — documented contract: callers range-check `node`
-        self.alive[node].store(alive, Ordering::Release);
+    /// Marks node `node` failed and bumps its failure epoch (even if it was
+    /// already dead: each `fail` is a distinct failure event, and an
+    /// in-flight repair must observe it).
+    pub(crate) fn fail(&self, node: usize) {
+        debug_assert!(node < self.state.len(), "liveness update out of range");
+        if let Some(state) = self.state.get(node) {
+            let bump = |v: u64| Some(((v >> 1) + 1) << 1);
+            // audit: atomic ok — AcqRel: the epoch bump must be visible to a
+            // racing repair's try_commit_repair, which reads with Acquire
+            let _ = state.fetch_update(Ordering::AcqRel, Ordering::Acquire, bump);
+        }
+    }
+
+    /// Marks node `node` live without touching its epoch (a crash-recovery
+    /// revive: the node returns with whatever blocks it already held).
+    pub(crate) fn revive(&self, node: usize) {
+        debug_assert!(node < self.state.len(), "liveness update out of range");
+        if let Some(state) = self.state.get(node) {
+            // audit: atomic ok — AcqRel pairs with the Acquire loads in is_alive/epoch
+            let _ = state.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| Some(v | ALIVE_BIT));
+        }
+    }
+
+    /// The node's current failure epoch (out-of-range reads as 0).
+    pub(crate) fn epoch(&self, node: usize) -> u64 {
+        debug_assert!(node < self.state.len(), "epoch query out of range");
+        // audit: atomic ok — Acquire pairs with the Release updates in fail
+        self.state.get(node).map_or(0, |s| s.load(Ordering::Acquire) >> 1)
+    }
+
+    /// Commits a repair's concluding revive if and only if the node's epoch
+    /// is still `observed_epoch` (no failure landed while the repair's
+    /// rebuild ran). Returns whether the revive was committed.
+    pub(crate) fn try_commit_repair(&self, node: usize, observed_epoch: u64) -> bool {
+        debug_assert!(node < self.state.len(), "repair commit out of range");
+        let Some(state) = self.state.get(node) else {
+            return false;
+        };
+        // audit: atomic ok — AcqRel CAS: the commit must observe any epoch
+        // bump from a racing fail, which updates with AcqRel
+        let commit = state.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+            (v >> 1 == observed_epoch).then_some(v | ALIVE_BIT)
+        });
+        commit.is_ok()
     }
 
     pub(crate) fn live_count(&self) -> usize {
@@ -50,6 +103,7 @@ impl NodeLiveness {
 
 use sec_erasure::read_plan::plan_read;
 use sec_erasure::{ByteCodec, ByteShards};
+use sec_store::fault;
 use sec_store::node::{StorageNode, SymbolKey};
 use sec_store::{AtomicIoMetrics, FailurePattern, IoMetrics, Placement, PlacementStrategy, StoreError};
 use sec_versioning::object::VersionId;
@@ -433,7 +487,7 @@ impl SecEngine {
     /// panic inside the serving process.
     pub fn fail_node(&self, node: usize) -> Result<(), StoreError> {
         let (slab, position) = self.locate_slab(node)?;
-        slab.alive.set(position, false);
+        slab.alive.fail(position);
         Ok(())
     }
 
@@ -445,7 +499,7 @@ impl SecEngine {
     /// Returns [`StoreError::InvalidNode`] if `node` is out of range.
     pub fn revive_node(&self, node: usize) -> Result<(), StoreError> {
         let (slab, position) = self.locate_slab(node)?;
-        slab.alive.set(position, true);
+        slab.alive.revive(position);
         Ok(())
     }
 
@@ -466,9 +520,9 @@ impl SecEngine {
             for position in 0..slab.alive.len() {
                 let idx = base + position;
                 if pattern.is_failed(idx) {
-                    slab.alive.set(position, false);
+                    slab.alive.fail(position);
                 } else if idx < pattern.len() {
-                    slab.alive.set(position, true);
+                    slab.alive.revive(position);
                 }
             }
             base += slab.alive.len();
@@ -485,7 +539,7 @@ impl SecEngine {
         for slab in slabs.iter() {
             for position in 0..slab.alive.len() {
                 if pattern.is_failed(base + position) {
-                    slab.alive.set(position, false);
+                    slab.alive.fail(position);
                 }
             }
             base += slab.alive.len();
@@ -541,6 +595,7 @@ impl SecEngine {
         // Admit the new entries into the placement (and their slabs into the
         // directory) before any block lands.
         self.grow_to_entries(entries.len());
+        fault::reached("engine::append::slab_grown");
         for (entry_idx, entry) in entries.iter().enumerate().skip(start) {
             let slab = self.slab_for_entry(entry_idx);
             for position in 0..entry.shards.shard_count() {
@@ -708,13 +763,19 @@ impl SecEngine {
     /// # Errors
     ///
     /// Returns [`StoreError::Unrecoverable`] if some entry has fewer than
-    /// `k` other live blocks, or [`StoreError::InvalidNode`] if `node_id` is
-    /// out of range.
+    /// `k` other live blocks, [`StoreError::RepairRaced`] if the node failed
+    /// again while the rebuild ran (the rebuilt blocks may miss writes that
+    /// landed after the new failure — re-run the repair), or
+    /// [`StoreError::InvalidNode`] if `node_id` is out of range.
     pub fn repair_node(&self, node_id: usize) -> Result<usize, StoreError> {
         let (slab_idx, position) = self.locate(node_id)?;
         let slab = self.slab(slab_idx);
+        let epoch = slab.alive.epoch(position);
         let rebuilt = self.rebuild_at(&slab, slab_idx, position)?;
-        slab.alive.set(position, true);
+        fault::reached("engine::repair::window");
+        if !slab.alive.try_commit_repair(position, epoch) {
+            return Err(StoreError::RepairRaced { node: node_id });
+        }
         Ok(rebuilt)
     }
 
@@ -781,6 +842,12 @@ impl SecEngine {
                 position,
             };
             staged.push((key, codeword.shard(position).to_vec()));
+            fault::reached("engine::rebuild::staged");
+        }
+        if fault::buggify("engine::rebuild::abort") {
+            // An injected mid-repair death: nothing was committed, the node
+            // keeps its previous contents and stays failed.
+            return Err(StoreError::Unrecoverable { entry: slab_idx });
         }
         // Commit: every block rebuilt, so replace the node's contents.
         let rebuilt = staged.len();

@@ -54,6 +54,19 @@ impl LockRank {
             LockRank::ObjectMap => "object map",
         }
     }
+
+    /// The fault-point site (see `sec_store::fault`) visited on every
+    /// acquisition of a lock at this rank, so the deterministic simulator
+    /// can trace lock order and exercise the hierarchy from a seed.
+    pub fn site(self) -> sec_store::fault::Site {
+        match self {
+            LockRank::Archive => "engine::lock::archive",
+            LockRank::Placement => "engine::lock::placement",
+            LockRank::Directory => "engine::lock::directory",
+            LockRank::Node => "engine::lock::node",
+            LockRank::ObjectMap => "engine::lock::objects",
+        }
+    }
 }
 
 #[cfg(debug_assertions)]
@@ -140,6 +153,7 @@ impl<T> OrderedRwLock<T> {
 
     /// Acquires the shared lock, debug-asserting the hierarchy first.
     pub fn read(&self) -> OrderedReadGuard<'_, T> {
+        sec_store::fault::reached(self.rank.site());
         let token = held::Token::acquire(self.rank);
         let guard = match self.inner.read() {
             Ok(guard) => guard,
@@ -153,6 +167,7 @@ impl<T> OrderedRwLock<T> {
 
     /// Acquires the exclusive lock, debug-asserting the hierarchy first.
     pub fn write(&self) -> OrderedWriteGuard<'_, T> {
+        sec_store::fault::reached(self.rank.site());
         let token = held::Token::acquire(self.rank);
         let guard = match self.inner.write() {
             Ok(guard) => guard,

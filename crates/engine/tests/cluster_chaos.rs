@@ -15,6 +15,7 @@ use std::thread;
 
 use sec_engine::{ClusterError, ObjectId, SecCluster};
 use sec_erasure::GeneratorForm;
+use sec_sim::SimRng;
 use sec_store::StoreError;
 use sec_versioning::{ArchiveConfig, ByteVersionedArchive, EncodingStrategy};
 
@@ -27,15 +28,22 @@ fn config() -> ArchiveConfig {
     ArchiveConfig::new(N, K, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec).unwrap()
 }
 
-/// Eight versions of a 90-byte object with a mixed sparsity profile.
-fn versions(seed: u8) -> Vec<Vec<u8>> {
-    let v1: Vec<u8> = (0..90).map(|i| (i * 31 + 7) as u8 ^ seed).collect();
+/// Eight versions of a 90-byte object with a mixed sparsity profile (two
+/// sparse edits, an identical version, a two-block edit, a dense rewrite,
+/// another sparse edit, two blocks). A pure function of the suite `seed`
+/// and a per-object `salt`, so a failure's printed `SEC_SIM_SEED` replays
+/// every object's exact byte history.
+fn versions(seed: u64, salt: u8) -> Vec<Vec<u8>> {
+    let mut rng = SimRng::new(seed ^ u64::from(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let v1: Vec<u8> = (0..90).map(|i| (i * 31 + 7) as u8 ^ salt).collect();
     let mut out = vec![v1];
-    let edits: [&[usize]; 7] = [&[5], &[40], &[], &[10, 70], &[0, 35, 80], &[62], &[2, 33]];
-    for positions in edits {
+    for gamma in [1usize, 1, 0, 2, 3, 1, 2] {
         let mut next = out.last().unwrap().clone();
-        for &p in positions {
-            next[p] ^= 0x5A;
+        let mut blocks = [0usize, 1, 2];
+        rng.shuffle(&mut blocks);
+        for &block in &blocks[..gamma] {
+            let position = block * 30 + rng.gen_range(30);
+            next[position] ^= 1 + rng.gen_range(255) as u8;
         }
         out.push(next);
     }
@@ -55,6 +63,7 @@ fn id_on_shard(cluster: &SecCluster, shard: usize, mut salt: u64) -> ObjectId {
 
 #[test]
 fn readers_on_quiet_shards_stay_exact_while_other_shards_burn() {
+    let seed = sec_sim::seed::resolve("cluster-chaos");
     let cluster = Arc::new(SecCluster::new(config(), SHARDS).unwrap());
 
     // Two reader objects on shards 0 and 1, two chaos objects on shards 2
@@ -63,10 +72,10 @@ fn readers_on_quiet_shards_stay_exact_while_other_shards_burn() {
     let burning: Vec<ObjectId> = (2..4).map(|s| id_on_shard(&cluster, s, s as u64)).collect();
 
     for (i, &id) in quiet.iter().enumerate() {
-        cluster.append_all(id, &versions(i as u8)).unwrap();
+        cluster.append_all(id, &versions(seed, i as u8)).unwrap();
     }
     for (i, &id) in burning.iter().enumerate() {
-        cluster.append_all(id, &versions(0x80 + i as u8)).unwrap();
+        cluster.append_all(id, &versions(seed, 0x80 + i as u8)).unwrap();
     }
 
     // Single-threaded references for the quiet objects: bytes AND exact
@@ -77,7 +86,7 @@ fn readers_on_quiet_shards_stay_exact_while_other_shards_burn() {
         .enumerate()
         .map(|(i, &id)| {
             let mut reference = ByteVersionedArchive::new(config()).unwrap();
-            reference.append_all(&versions(i as u8)).unwrap();
+            reference.append_all(&versions(seed, i as u8)).unwrap();
             let per_version = (1..=reference.len())
                 .map(|l| {
                     let r = reference.retrieve_version(l).unwrap();
@@ -164,7 +173,7 @@ fn readers_on_quiet_shards_stay_exact_while_other_shards_burn() {
         assert_eq!(shard.live_nodes, N, "chaos must leave every node repaired");
     }
     for (i, &id) in quiet.iter().enumerate() {
-        for (l, want) in versions(i as u8).iter().enumerate() {
+        for (l, want) in versions(seed, i as u8).iter().enumerate() {
             assert_eq!(*cluster.get_version(id, l + 1).unwrap().data, *want);
         }
     }
@@ -182,13 +191,14 @@ fn readers_on_quiet_shards_stay_exact_while_other_shards_burn() {
 fn concurrent_appenders_on_distinct_objects_do_not_interleave_sequences() {
     // Many threads append to their own objects through the shared router;
     // per-object sequences must come out exactly as if appended alone.
+    let seed = sec_sim::seed::resolve("cluster-chaos-appenders");
     let cluster = Arc::new(SecCluster::new(config(), SHARDS).unwrap());
     let writers: Vec<_> = (0..8u64)
         .map(|t| {
             let cluster = Arc::clone(&cluster);
             thread::spawn(move || {
                 let id = ObjectId(t);
-                let vs = versions(t as u8);
+                let vs = versions(seed, t as u8);
                 for v in &vs {
                     cluster.append_version(id, v).unwrap();
                 }
@@ -201,7 +211,7 @@ fn concurrent_appenders_on_distinct_objects_do_not_interleave_sequences() {
     assert_eq!(cluster.object_count(), 8);
     for t in 0..8u64 {
         let id = ObjectId(t);
-        let vs = versions(t as u8);
+        let vs = versions(seed, t as u8);
         let got = cluster.get_prefix(id, vs.len()).unwrap();
         assert_eq!(
             got.versions, vs,

@@ -12,12 +12,17 @@
 //! Reads are deterministic given the live set, so even the aggregate
 //! counters must come out exact: N threads each replaying the reference
 //! workload must account exactly N × the reference's block reads.
+//!
+//! The byte workload is drawn from a suite seed (`sec_sim::seed::resolve`),
+//! so every run prints a `SEC_SIM_SEED=…` line — captured by cargo and shown
+//! only on failure — that replays the exact version profile bit-identically.
 
 use std::sync::Arc;
 use std::thread;
 
 use sec_engine::SecEngine;
 use sec_erasure::GeneratorForm;
+use sec_sim::SimRng;
 use sec_store::failure::enumerate_patterns;
 use sec_store::ByteDistributedStore;
 use sec_versioning::{ArchiveConfig, ByteVersionedArchive, EncodingStrategy};
@@ -31,24 +36,23 @@ fn config(strategy: EncodingStrategy) -> ArchiveConfig {
 }
 
 /// Eight versions of a 90-byte object (30-byte blocks) with a mixed
-/// sparsity profile: sparse single-block edits, a two-block edit, an
-/// identical version (γ = 0) and a dense rewrite.
-fn versions() -> Vec<Vec<u8>> {
+/// sparsity profile: the γ sequence is fixed — sparse single-block edits, a
+/// two-block edit, an identical version (γ = 0) and a dense rewrite — while
+/// the edited positions and masks are a pure function of `seed`, so the
+/// printed `SEC_SIM_SEED` replays the exact bytes of a failing run.
+fn versions(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SimRng::new(seed);
     let v1: Vec<u8> = (0..90).map(|i| (i * 31 + 7) as u8).collect();
     let mut out = vec![v1];
-    let edits: [&[usize]; 7] = [
-        &[5],         // γ = 1 (block 0)
-        &[40],        // γ = 1 (block 1)
-        &[],          // γ = 0
-        &[10, 70],    // γ = 2
-        &[0, 35, 80], // γ = 3 (dense)
-        &[62],        // γ = 1 (block 2)
-        &[2, 33],     // γ = 2
-    ];
-    for positions in edits {
+    // γ = distinct 30-byte blocks touched per update.
+    for gamma in [1usize, 1, 0, 2, 3, 1, 2] {
         let mut next = out.last().unwrap().clone();
-        for &p in positions {
-            next[p] ^= 0x5A;
+        let mut blocks = [0usize, 1, 2];
+        rng.shuffle(&mut blocks);
+        for &block in &blocks[..gamma] {
+            let position = block * 30 + rng.gen_range(30);
+            // A non-zero mask, so the block genuinely changes and γ holds.
+            next[position] ^= 1 + rng.gen_range(255) as u8;
         }
         out.push(next);
     }
@@ -95,13 +99,14 @@ fn hammer(engine: &Arc<SecEngine>, expected: &Arc<Vec<Expected>>, rounds: usize)
 
 #[test]
 fn eight_readers_match_the_archive_reference_bit_for_bit() {
+    let seed = sec_sim::seed::resolve("engine-concurrency");
     for strategy in [
         EncodingStrategy::BasicSec,
         EncodingStrategy::OptimizedSec,
         EncodingStrategy::ReversedSec,
         EncodingStrategy::NonDifferential,
     ] {
-        let vs = versions();
+        let vs = versions(seed);
         let mut reference = ByteVersionedArchive::new(config(strategy)).unwrap();
         reference.append_all(&vs).unwrap();
         let expected: Arc<Vec<Expected>> = Arc::new(
@@ -149,7 +154,7 @@ fn eight_readers_match_the_archive_reference_bit_for_bit() {
 
 #[test]
 fn eight_readers_under_every_survivable_failure_pattern() {
-    let vs = versions();
+    let vs = versions(sec_sim::seed::resolve("engine-concurrency-patterns"));
     let strategy = EncodingStrategy::BasicSec;
 
     // Failure-aware single-threaded reference: a colocated byte store.
@@ -206,7 +211,7 @@ fn readers_race_failures_appends_and_repairs_without_corruption() {
     // Results must always be *some* complete version image — never a torn
     // read — and every successful retrieval of version l must equal the
     // reference bytes for l.
-    let vs = versions();
+    let vs = versions(sec_sim::seed::resolve("engine-concurrency-races"));
     let strategy = EncodingStrategy::BasicSec;
     let engine = SecEngine::new(config(strategy)).unwrap();
     engine.append_all(&vs[..4]).unwrap();

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use sec_engine::SecEngine;
 use sec_erasure::GeneratorForm;
+use sec_sim::SimRng;
 use sec_store::{PlacementStrategy, StoreError};
 use sec_versioning::{ArchiveConfig, ByteVersionedArchive, EncodingStrategy};
 
@@ -19,12 +20,17 @@ fn config(strategy: EncodingStrategy) -> ArchiveConfig {
     ArchiveConfig::new(N, K, GeneratorForm::NonSystematic, strategy).unwrap()
 }
 
-/// Six versions of a 60-byte object with single-block (γ = 1) edits.
-fn versions() -> Vec<Vec<u8>> {
+/// Six versions of a 60-byte object with single-byte (γ = 1) edits — one
+/// edited byte touches exactly one block, and the non-zero mask guarantees
+/// each version differs from its parent, so every version still owns one
+/// entry. Positions and masks are a pure function of `seed`, so a failure's
+/// printed `SEC_SIM_SEED` replays the exact workload.
+fn versions(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SimRng::new(seed);
     let mut versions = vec![(0..60).map(|i| (i * 13 + 7) as u8).collect::<Vec<u8>>()];
-    for v in 1..6 {
-        let mut next = versions[v - 1].clone();
-        next[(v * 23) % 60] ^= 0x3C + v as u8;
+    for _ in 1..6 {
+        let mut next = versions.last().unwrap().clone();
+        next[rng.gen_range(60)] ^= 1 + rng.gen_range(255) as u8;
         versions.push(next);
     }
     versions
@@ -35,13 +41,14 @@ fn versions() -> Vec<Vec<u8>> {
 /// read cost — and fail exactly the versions that need entry `j`.
 #[test]
 fn failing_one_entry_degrades_only_the_versions_that_need_it() {
+    let seed = sec_sim::seed::resolve("placement-chaos");
     for strategy in [
         EncodingStrategy::BasicSec,
         EncodingStrategy::OptimizedSec,
         EncodingStrategy::ReversedSec,
         EncodingStrategy::NonDifferential,
     ] {
-        let vs = versions();
+        let vs = versions(seed);
         let mut reference = ByteVersionedArchive::new(config(strategy)).unwrap();
         reference.append_all(&vs).unwrap();
         let engine =
@@ -99,7 +106,7 @@ fn failing_one_entry_degrades_only_the_versions_that_need_it() {
 /// invisible to them.
 #[test]
 fn concurrent_readers_are_isolated_from_entry_churn_and_growth() {
-    let vs = versions();
+    let vs = versions(sec_sim::seed::resolve("placement-chaos-churn"));
     let mut reference = ByteVersionedArchive::new(config(EncodingStrategy::BasicSec)).unwrap();
     reference.append_all(&vs).unwrap();
     // Per-version expectations from the all-alive single-threaded reference.

@@ -1,0 +1,203 @@
+//! `sim-sweep` — run the simulation properties over many seeds and report
+//! the ones that fail.
+//!
+//! Built for the nightly CI sweep: exit code 0 when every seed passes,
+//! 1 when any fails (the failing seeds are printed and optionally written
+//! to a file for upload as an artifact).
+//!
+//! ```text
+//! sim-sweep [--seeds N] [--root SEED] [--out PATH]
+//! ```
+//!
+//! * `--seeds N` — number of seeds per property (default 200).
+//! * `--root SEED` — derive the per-run seeds from this root instead of
+//!   fresh entropy (decimal or 0x-hex), making the whole sweep replayable.
+//! * `--out PATH` — append one `<property> SEC_SIM_SEED=0x…` line per
+//!   failure to `PATH`.
+
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sec_sim::harness::{ClusterSim, ClusterSimOptions, EngineSim, SimOptions};
+use sec_sim::rng::SimRng;
+use sec_sim::{seed, SEED_ENV};
+use sec_versioning::EncodingStrategy;
+
+/// One named property the sweep drives: build a sim from a seed, run a
+/// seed-derived schedule, panic on divergence.
+struct Property {
+    name: &'static str,
+    run: fn(u64),
+}
+
+const SCHEDULE_STEPS: usize = 60;
+
+fn engine_walk(seed: u64, options: SimOptions) {
+    let mut rng = SimRng::new(seed);
+    let mut sim = EngineSim::new(options, rng.fork());
+    for _ in 0..SCHEDULE_STEPS {
+        let op = sim.random_op(&mut rng);
+        sim.step(&op);
+    }
+    sim.step(&sec_sim::Op::CheckMetrics);
+}
+
+fn cluster_walk(seed: u64, options: ClusterSimOptions) {
+    let mut rng = SimRng::new(seed);
+    let mut sim = ClusterSim::new(options, rng.fork());
+    for _ in 0..SCHEDULE_STEPS {
+        let op = sim.random_op(&mut rng);
+        sim.step(&op);
+    }
+    sim.step(&sec_sim::ClusterOp::CheckMetrics);
+}
+
+const PROPERTIES: &[Property] = &[
+    Property {
+        name: "engine-colocated-strict",
+        run: |seed| engine_walk(seed, SimOptions::strict(5, 3, 64)),
+    },
+    Property {
+        name: "engine-dispersed-strict",
+        run: |seed| {
+            let mut options = SimOptions::strict(5, 3, 48);
+            options.placement = sec_engine::PlacementStrategy::Dispersed;
+            engine_walk(seed, options);
+        },
+    },
+    Property {
+        name: "engine-optimized-cached",
+        run: |seed| {
+            let mut options = SimOptions::strict(6, 3, 64);
+            options.encoding = EncodingStrategy::OptimizedSec;
+            options.cache_capacity = 4;
+            engine_walk(seed, options);
+        },
+    },
+    Property {
+        name: "engine-read-faults",
+        run: |seed| {
+            let mut options = SimOptions::strict(5, 3, 64);
+            options.read_fault_percent = 10;
+            options.rebuild_abort_percent = 10;
+            engine_walk(seed, options);
+        },
+    },
+    Property {
+        name: "cluster-colocated-strict",
+        run: |seed| cluster_walk(seed, ClusterSimOptions::strict(5, 3, 2, 3, 48)),
+    },
+    Property {
+        name: "cluster-read-faults",
+        run: |seed| {
+            let mut options = ClusterSimOptions::strict(5, 3, 2, 3, 48);
+            options.read_fault_percent = 10;
+            cluster_walk(seed, options);
+        },
+    },
+];
+
+struct Args {
+    seeds: usize,
+    root: Option<u64>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 200,
+        root: None,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                args.seeds = v.parse().map_err(|_| format!("bad --seeds value {v:?}"))?;
+            }
+            "--root" => {
+                let v = it.next().ok_or("--root needs a value")?;
+                args.root = Some(seed::parse(&v).ok_or_else(|| format!("bad --root value {v:?}"))?);
+            }
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: sim-sweep [--seeds N] [--root SEED] [--out PATH]".to_string());
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let root = args.root.unwrap_or_else(seed::entropy);
+    println!(
+        "sim-sweep: {} seeds per property from root {root:#018x}",
+        args.seeds
+    );
+
+    // Failing runs may leave a panic trace; keep the default hook so the
+    // assertion text (which names the diverged invariant) stays visible.
+    let mut failures: Vec<(String, u64)> = Vec::new();
+    for property in PROPERTIES {
+        let mut rng = SimRng::new(root ^ splitmix_label(property.name));
+        let mut failed_here = 0usize;
+        for _ in 0..args.seeds {
+            let seed = rng.next_u64();
+            if catch_unwind(AssertUnwindSafe(|| (property.run)(seed))).is_err() {
+                eprintln!(
+                    "sim-sweep: {} FAILED — replay with {SEED_ENV}={seed:#018x}",
+                    property.name
+                );
+                failures.push((property.name.to_string(), seed));
+                failed_here += 1;
+                if failed_here >= 5 {
+                    eprintln!("sim-sweep: {}: 5 failures, moving on", property.name);
+                    break;
+                }
+            }
+        }
+        println!(
+            "sim-sweep: {:<28} {}",
+            property.name,
+            if failed_here == 0 { "ok" } else { "FAILED" }
+        );
+    }
+
+    if let Some(path) = &args.out {
+        let mut lines = String::new();
+        for (name, seed) in &failures {
+            lines.push_str(&format!("{name} {SEED_ENV}={seed:#018x}\n"));
+        }
+        if let Err(e) = std::fs::File::create(path).and_then(|mut f| f.write_all(lines.as_bytes())) {
+            eprintln!("sim-sweep: could not write {path}: {e}");
+        }
+    }
+
+    if failures.is_empty() {
+        println!("sim-sweep: all properties passed");
+    } else {
+        println!("sim-sweep: {} failing seed(s)", failures.len());
+        std::process::exit(1);
+    }
+}
+
+/// Stable per-property seed-stream separation (FNV-1a over the name).
+fn splitmix_label(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

@@ -1,0 +1,229 @@
+//! The simulator's [`FaultHook`]: seeded buggify decisions, site tracing,
+//! and queued window actions.
+//!
+//! Production code (store, engine, cluster) calls `sec_store::fault` at
+//! named sites; this hook is what a simulation installs to answer. It does
+//! three jobs:
+//!
+//! * **buggify** — fire the fault at a site with a seeded per-site
+//!   probability, so fault schedules replay from the run's seed;
+//! * **trace** — count every site visit, so tests can assert the paths
+//!   they meant to exercise (e.g. each `OrderedRwLock` rank) really ran;
+//! * **windows** — hold a queue of actions and run one per visit of an
+//!   *armed* site, which is how the scheduler interleaves operations inside
+//!   lock-free windows like `cluster::repair::window`.
+//!
+//! Window actions run with all fault points masked (see
+//! `sec_store::fault`): an action that drives engine operations cannot
+//! recurse into this hook or trip nested faults.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::rng::SimRng;
+use sec_store::fault::{self, FaultHook, Site};
+
+/// A queued window action: an arbitrary closure, typically driving engine
+/// operations and recording their outcomes somewhere shared.
+type WindowAction = Box<dyn FnOnce()>;
+
+/// The simulation's fault hook. Construct, configure probabilities, wrap in
+/// an [`Rc`], and [`install`](SimHook::install).
+pub struct SimHook {
+    rng: RefCell<SimRng>,
+    /// Per-site fire probability in percent; absent sites never fire.
+    probabilities: RefCell<BTreeMap<Site, u32>>,
+    /// Visit count per site ([`FaultHook::buggify`] and
+    /// [`FaultHook::reached`] both count).
+    visits: RefCell<BTreeMap<Site, u64>>,
+    /// Total faults fired so far.
+    fired: Cell<u64>,
+    /// Site whose visits consume queued window actions.
+    armed: Cell<Option<Site>>,
+    window: RefCell<Vec<WindowAction>>,
+}
+
+impl std::fmt::Debug for SimHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimHook")
+            .field("probabilities", &self.probabilities.borrow())
+            .field("fired", &self.fired.get())
+            .field("armed", &self.armed.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimHook {
+    /// A hook with no fault probabilities and nothing armed: it only traces.
+    pub fn new(rng: SimRng) -> Self {
+        Self {
+            rng: RefCell::new(rng),
+            probabilities: RefCell::new(BTreeMap::new()),
+            visits: RefCell::new(BTreeMap::new()),
+            fired: Cell::new(0),
+            armed: Cell::new(None),
+            window: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Installs this hook on the current thread (see `sec_store::fault`);
+    /// the returned guard uninstalls it on drop.
+    pub fn install(self: &Rc<Self>) -> fault::HookGuard {
+        fault::install(self.clone() as Rc<dyn FaultHook>)
+    }
+
+    /// Sets the probability (percent) that [`FaultHook::buggify`] fires at
+    /// `site`. Zero removes the site.
+    pub fn set_probability(&self, site: Site, percent: u32) {
+        let mut probs = self.probabilities.borrow_mut();
+        if percent == 0 {
+            probs.remove(site);
+        } else {
+            probs.insert(site, percent.min(100));
+        }
+    }
+
+    /// How many times any fault has fired.
+    pub fn faults_fired(&self) -> u64 {
+        self.fired.get()
+    }
+
+    /// How many times `site` has been visited (traced).
+    pub fn visits(&self, site: Site) -> u64 {
+        self.visits.borrow().get(site).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of every traced site and its visit count.
+    pub fn trace(&self) -> Vec<(Site, u64)> {
+        self.visits.borrow().iter().map(|(s, c)| (*s, *c)).collect()
+    }
+
+    /// Arms `site`: each subsequent visit of it pops and runs one queued
+    /// window action. Queue actions with [`SimHook::queue_window_action`].
+    pub fn arm_window(&self, site: Site) {
+        self.armed.set(Some(site));
+    }
+
+    /// Disarms the window site and returns the actions that never ran (their
+    /// windows were not visited often enough). The caller decides whether to
+    /// run them after the fact or drop them.
+    pub fn disarm_window(&self) -> Vec<WindowAction> {
+        self.armed.set(None);
+        std::mem::take(&mut *self.window.borrow_mut())
+    }
+
+    /// Queues an action for the armed window site. Actions run in queue
+    /// order, one per site visit.
+    pub fn queue_window_action(&self, action: impl FnOnce() + 'static) {
+        self.window.borrow_mut().push(Box::new(action));
+    }
+
+    fn record_visit(&self, site: Site) {
+        *self.visits.borrow_mut().entry(site).or_insert(0) += 1;
+    }
+}
+
+impl FaultHook for SimHook {
+    fn buggify(&self, site: Site) -> bool {
+        self.record_visit(site);
+        let percent = self.probabilities.borrow().get(site).copied().unwrap_or(0);
+        if percent > 0 && self.rng.borrow_mut().chance_percent(percent) {
+            self.fired.set(self.fired.get() + 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn reached(&self, site: Site) {
+        self.record_visit(site);
+        if self.armed.get() == Some(site) {
+            // Pop before running so the action's own site visits (which are
+            // masked anyway) can never observe a half-borrowed queue.
+            let action = {
+                let mut window = self.window.borrow_mut();
+                if window.is_empty() {
+                    None
+                } else {
+                    Some(window.remove(0))
+                }
+            };
+            if let Some(action) = action {
+                action();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_are_seeded_and_deterministic() {
+        let run = |seed: u64| {
+            let hook = Rc::new(SimHook::new(SimRng::new(seed)));
+            let _guard = hook.install();
+            hook.set_probability("t::x", 50);
+            (0..64).map(|_| fault::buggify("t::x")).collect::<Vec<bool>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+        let fired = run(11).iter().filter(|&&b| b).count();
+        assert!(fired > 0 && fired < 64, "50% should fire sometimes, not always");
+    }
+
+    #[test]
+    fn visits_are_traced_for_buggify_and_reached() {
+        let hook = Rc::new(SimHook::new(SimRng::new(0)));
+        let _guard = hook.install();
+        fault::reached("t::a");
+        fault::reached("t::a");
+        let _ = fault::buggify("t::b");
+        assert_eq!(hook.visits("t::a"), 2);
+        assert_eq!(hook.visits("t::b"), 1);
+        assert_eq!(hook.visits("t::never"), 0);
+    }
+
+    #[test]
+    fn armed_window_runs_one_action_per_visit() {
+        let hook = Rc::new(SimHook::new(SimRng::new(0)));
+        let _guard = hook.install();
+        let ran: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let ran = ran.clone();
+            hook.queue_window_action(move || ran.borrow_mut().push(i));
+        }
+        hook.arm_window("t::win");
+        fault::reached("t::other"); // not armed: runs nothing
+        assert!(ran.borrow().is_empty());
+        fault::reached("t::win");
+        fault::reached("t::win");
+        assert_eq!(*ran.borrow(), vec![0, 1]);
+        let leftovers = hook.disarm_window();
+        assert_eq!(leftovers.len(), 1);
+        fault::reached("t::win"); // disarmed: runs nothing
+        assert_eq!(*ran.borrow(), vec![0, 1]);
+    }
+
+    #[test]
+    fn window_actions_cannot_reenter_the_hook() {
+        let hook = Rc::new(SimHook::new(SimRng::new(0)));
+        let _guard = hook.install();
+        hook.set_probability("t::nested", 100);
+        let nested_fired = Rc::new(Cell::new(false));
+        {
+            let nested_fired = nested_fired.clone();
+            hook.queue_window_action(move || {
+                // Masked during hook callbacks: must not fire or recurse.
+                nested_fired.set(fault::buggify("t::nested"));
+                fault::reached("t::win");
+            });
+        }
+        hook.arm_window("t::win");
+        fault::reached("t::win");
+        assert!(!nested_fired.get());
+        assert_eq!(hook.visits("t::nested"), 0);
+    }
+}

@@ -353,6 +353,11 @@ impl ByteDistributedStore {
         self.nodes[node_id].wipe();
         let mut rebuilt = 0usize;
         for key in to_rebuild {
+            // Simulated mid-repair crash, as in `DistributedStore::repair_node`:
+            // a later retry must be able to finish the rebuild.
+            if crate::fault::buggify("store::repair::abort") {
+                return Err(StoreError::Unrecoverable { entry: key.entry });
+            }
             let live: Vec<usize> = self
                 .live_positions(key.entry)
                 .into_iter()

@@ -53,6 +53,7 @@ mod store;
 
 pub mod byte_store;
 pub mod failure;
+pub mod fault;
 pub mod metrics;
 pub mod node;
 pub mod placement;

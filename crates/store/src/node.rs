@@ -3,6 +3,8 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use crate::fault;
+
 /// Key of one stored coded symbol: which archive entry it belongs to and its
 /// position within that entry's codeword.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -83,7 +85,9 @@ impl<V: Clone> StorageNode<V> {
     /// Reads one coded value, counting the I/O, or `None` when the node is
     /// dead or does not hold the value.
     pub fn read(&self, key: SymbolKey) -> Option<V> {
-        if !self.is_alive() {
+        // Simulated transient read failure: the node is up but this one
+        // request is lost, exactly like a live node missing a deadline.
+        if !self.is_alive() || fault::buggify("store::node::read") {
             return None;
         }
         let value = self.symbols.get(&key).cloned();
@@ -125,7 +129,9 @@ impl<V: Clone> StorageNode<V> {
     /// Counts one read against the node if it is alive and holds the value,
     /// without cloning the value out; returns whether the read succeeded.
     pub fn touch(&self, key: SymbolKey) -> bool {
-        if !self.is_alive() {
+        // Same simulated transient failure as `read`: admission fails, so
+        // callers fall back exactly as they would for a dead node.
+        if !self.is_alive() || fault::buggify("store::node::read") {
             return false;
         }
         let present = self.symbols.contains_key(&key);

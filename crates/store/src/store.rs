@@ -41,6 +41,14 @@ pub enum StoreError {
         /// Number of nodes the addressed cluster actually has.
         n: usize,
     },
+    /// A repair finished rebuilding a node, but the node failed *again*
+    /// while the rebuild was in flight, so the repair refused to mark it
+    /// live: the rebuilt contents predate the newest failure. The node
+    /// stays failed; the caller should re-run the repair.
+    RepairRaced {
+        /// The node whose repair lost the race with a fresh failure.
+        node: usize,
+    },
     /// A symbol key outside the placement's geometry was addressed (entry or
     /// codeword position too large).
     InvalidSymbol {
@@ -75,6 +83,13 @@ impl fmt::Display for StoreError {
             ),
             StoreError::InvalidNode { node, n } => {
                 write!(f, "node id {node} is out of range for a {n}-node cluster")
+            }
+            StoreError::RepairRaced { node } => {
+                write!(
+                    f,
+                    "node {node} failed again while its repair was in flight; the rebuild was \
+                     discarded and the node left failed — re-run the repair"
+                )
             }
             StoreError::InvalidSymbol {
                 entry,
@@ -464,6 +479,12 @@ impl<F: GaloisField> DistributedStore<F> {
         // audit: panic ok — `node_id < n` was checked at function entry
         self.nodes[node_id].wipe();
         for key in to_rebuild {
+            // Simulated mid-repair crash: the repair job dies between
+            // symbols, leaving the node partially rebuilt. Retrying the
+            // repair must finish the job (see sec-sim's torn-repair suite).
+            if crate::fault::buggify("store::repair::abort") {
+                return Err(StoreError::Unrecoverable { entry: key.entry });
+            }
             let live: Vec<usize> = self
                 .live_positions(key.entry)
                 .into_iter()
