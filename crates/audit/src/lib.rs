@@ -5,7 +5,7 @@
 //! panic-free read paths that hold node locks. This crate is the
 //! static-analysis layer that keeps those invariants true by construction.
 //! It scans every configured source root with a small hand-rolled Rust lexer
-//! (no `syn` — the workspace has no parser crates) and enforces four rule
+//! (no `syn` — the workspace has no parser crates) and enforces five rule
 //! families, configured by the in-repo `audit.toml`:
 //!
 //! 1. **lock-hierarchy** — `.read()`/`.write()` acquisitions of the known
@@ -16,7 +16,10 @@
 //! 3. **panic** — designated read-path modules may not `unwrap`/`expect`/
 //!    `panic!`/`unreachable!` or index slices without a justification;
 //! 4. **shared-read** — listed retrieval/metrics APIs must keep `&self`
-//!    receivers.
+//!    receivers;
+//! 5. **unsafe** — every `unsafe` block/fn in the `unsafe_code` carve-out
+//!    crates (the SIMD field kernels) must carry a justification, and the
+//!    full unsafe inventory is renderable alongside the atomics table.
 //!
 //! Violations are suppressible only by justification comments of the form
 //! `// audit: <rule> ok — <reason>` on, or in the comment block directly
@@ -38,6 +41,7 @@ use std::path::{Path, PathBuf};
 
 use config::{AuditConfig, ConfigError};
 use rules::atomics::AtomicSite;
+use rules::unsafe_blocks::UnsafeSite;
 use rules::{Rule, Violation};
 use source::SourceFile;
 
@@ -51,6 +55,8 @@ pub struct AuditOutcome {
     pub violations: Vec<Violation>,
     /// Full atomic-ordering inventory (annotated sites included).
     pub atomics: Vec<AtomicSite>,
+    /// Full `unsafe` inventory of the carve-out crates (annotated included).
+    pub unsafe_sites: Vec<UnsafeSite>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -120,6 +126,7 @@ pub fn load(root: &Path) -> Result<(AuditConfig, Vec<SourceFile>), AuditError> {
 pub fn run(config: &AuditConfig, files: &[SourceFile]) -> AuditOutcome {
     let mut violations = Vec::new();
     let mut atomics = Vec::new();
+    let mut unsafe_sites = Vec::new();
     for file in files {
         violations.extend(rules::check_annotations(file));
         violations.extend(rules::lock_order::check(config, file));
@@ -129,6 +136,11 @@ pub fn run(config: &AuditConfig, files: &[SourceFile]) -> AuditOutcome {
         let (sites, atomic_violations) = rules::atomics::check(file);
         atomics.extend(sites);
         violations.extend(atomic_violations);
+        if rules::unsafe_blocks::applies(config, &file.rel) {
+            let (sites, unsafe_violations) = rules::unsafe_blocks::check(file);
+            unsafe_sites.extend(sites);
+            violations.extend(unsafe_violations);
+        }
     }
     violations.extend(rules::shared_read::check(config, files));
     violations.extend(rules::lints::check(config, files));
@@ -137,9 +149,11 @@ pub fn run(config: &AuditConfig, files: &[SourceFile]) -> AuditOutcome {
     });
     violations.dedup();
     atomics.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    unsafe_sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     AuditOutcome {
         violations,
         atomics,
+        unsafe_sites,
         files_scanned: files.len(),
     }
 }

@@ -15,9 +15,10 @@ pub fn render_text(outcome: &AuditOutcome) -> String {
     }
     if outcome.is_clean() {
         out.push_str(&format!(
-            "audit: clean — {} files scanned, {} atomic-ordering sites all justified\n",
+            "audit: clean — {} files scanned, {} atomic-ordering and {} unsafe sites all justified\n",
             outcome.files_scanned,
-            outcome.atomics.len()
+            outcome.atomics.len(),
+            outcome.unsafe_sites.len()
         ));
     } else {
         let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
@@ -42,10 +43,12 @@ pub fn render_markdown(config: &AuditConfig, outcome: &AuditOutcome) -> String {
     let mut md = String::new();
     md.push_str("# Workspace invariant report\n\n");
     md.push_str(&format!(
-        "Scanned **{}** files: **{}** violation(s), **{}** atomic-ordering site(s).\n\n",
+        "Scanned **{}** files: **{}** violation(s), **{}** atomic-ordering site(s), \
+         **{}** `unsafe` site(s).\n\n",
         outcome.files_scanned,
         outcome.violations.len(),
-        outcome.atomics.len()
+        outcome.atomics.len(),
+        outcome.unsafe_sites.len()
     ));
 
     md.push_str("## Lock hierarchy\n\n");
@@ -81,6 +84,26 @@ pub fn render_markdown(config: &AuditConfig, outcome: &AuditOutcome) -> String {
                 site.file,
                 site.line,
                 site.ordering,
+                match &site.reason {
+                    Some(r) => escape_cell(r),
+                    None => "**UNANNOTATED**".to_owned(),
+                }
+            ));
+        }
+        md.push('\n');
+    }
+
+    md.push_str("## Unsafe-code inventory\n\n");
+    if outcome.unsafe_sites.is_empty() {
+        md.push_str("No `unsafe` in the carve-out crates.\n\n");
+    } else {
+        md.push_str("| Site | Kind | Justification |\n|---|---|---|\n");
+        for site in &outcome.unsafe_sites {
+            md.push_str(&format!(
+                "| `{}:{}` | `{}` | {} |\n",
+                site.file,
+                site.line,
+                site.kind,
                 match &site.reason {
                     Some(r) => escape_cell(r),
                     None => "**UNANNOTATED**".to_owned(),
@@ -138,12 +161,13 @@ fn escape_cell(text: &str) -> String {
 }
 
 /// Rules in a stable order for summaries.
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 7] = [
     Rule::LockOrder,
     Rule::Atomic,
     Rule::Panic,
     Rule::SharedRead,
     Rule::UnsafeCode,
+    Rule::UnsafeBlock,
     Rule::Annotation,
 ];
 
@@ -151,6 +175,7 @@ pub const ALL_RULES: [Rule; 6] = [
 mod tests {
     use super::*;
     use crate::rules::atomics::AtomicSite;
+    use crate::rules::unsafe_blocks::UnsafeSite;
     use crate::rules::Violation;
 
     fn outcome() -> AuditOutcome {
@@ -166,6 +191,12 @@ mod tests {
                 line: 3,
                 ordering: "Relaxed".into(),
                 reason: None,
+            }],
+            unsafe_sites: vec![UnsafeSite {
+                file: "k.rs".into(),
+                line: 9,
+                kind: "fn",
+                reason: Some("callers pass 16-byte-multiple lengths".into()),
             }],
             files_scanned: 2,
         }
@@ -186,6 +217,7 @@ mod tests {
         let clean = AuditOutcome {
             violations: vec![],
             atomics: vec![],
+            unsafe_sites: vec![],
             files_scanned: 5,
         };
         assert!(render_text(&clean).contains("clean"));
@@ -199,6 +231,8 @@ mod tests {
         assert!(md.contains("| 0 | `archive` |"));
         assert!(md.contains("## Atomic-ordering inventory"));
         assert!(md.contains("**UNANNOTATED**"));
+        assert!(md.contains("## Unsafe-code inventory"));
+        assert!(md.contains("| `k.rs:9` | `fn` | callers pass 16-byte-multiple lengths |"));
         assert!(md.contains("## Open violations"));
     }
 }

@@ -1,4 +1,4 @@
-//! The four rule families plus cross-cutting diagnostics.
+//! The five rule families plus cross-cutting diagnostics.
 //!
 //! Every rule consumes [`SourceFile`](crate::source::SourceFile)s and emits
 //! [`Violation`]s. Rules skip `#[cfg(test)]` regions, and each violation can
@@ -11,6 +11,7 @@ pub mod lock_order;
 pub mod model;
 pub mod panics;
 pub mod shared_read;
+pub mod unsafe_blocks;
 
 use crate::source::SourceFile;
 
@@ -27,6 +28,9 @@ pub enum Rule {
     SharedRead,
     /// Crate roots must carry the configured `unsafe_code` lint attribute.
     UnsafeCode,
+    /// Every `unsafe` block/fn/impl in the carve-out crates must carry a
+    /// justification.
+    UnsafeBlock,
     /// The annotation itself is malformed or names an unknown rule.
     Annotation,
 }
@@ -40,12 +44,19 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::SharedRead => "shared-read",
             Rule::UnsafeCode => "unsafe-code",
+            Rule::UnsafeBlock => "unsafe",
             Rule::Annotation => "annotation",
         }
     }
 
     /// Rule ids annotations may legitimately name.
-    pub const ANNOTATABLE: [Rule; 4] = [Rule::LockOrder, Rule::Atomic, Rule::Panic, Rule::SharedRead];
+    pub const ANNOTATABLE: [Rule; 5] = [
+        Rule::LockOrder,
+        Rule::Atomic,
+        Rule::Panic,
+        Rule::SharedRead,
+        Rule::UnsafeBlock,
+    ];
 }
 
 /// One confirmed finding.

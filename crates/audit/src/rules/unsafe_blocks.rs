@@ -1,0 +1,137 @@
+//! Unsafe-block audit for the carve-out crates: every `unsafe` occurrence
+//! (block, fn, impl, trait) outside tests must carry an
+//! `// audit: unsafe ok — <reason>` justification stating why the invariants
+//! hold. The rule applies only inside the `[rules.unsafe-code]` carve-outs —
+//! everywhere else `#![forbid(unsafe_code)]` (enforced by
+//! [`lints`](crate::rules::lints)) makes the question moot. Like the atomics
+//! rule it also produces the full inventory that `--report` renders, so the
+//! workspace's entire unsafe surface is reviewable in one table.
+
+use crate::config::AuditConfig;
+use crate::rules::{Rule, Violation};
+use crate::source::SourceFile;
+
+/// One `unsafe` site in a carve-out crate, annotated or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What the keyword introduces: `block`, `fn`, `impl`, or `trait`.
+    pub kind: &'static str,
+    /// Justification text, when annotated.
+    pub reason: Option<String>,
+}
+
+/// Whether `rel` lies inside one of the configured unsafe carve-out roots.
+pub fn applies(config: &AuditConfig, rel: &str) -> bool {
+    config.unsafe_carve_outs.iter().any(|root| {
+        let root = root.trim_end_matches('/');
+        rel == root || rel.strip_prefix(root).is_some_and(|rest| rest.starts_with('/'))
+    })
+}
+
+/// Scans one carve-out file: returns the inventory of non-test `unsafe`
+/// sites and a violation for each unannotated one.
+pub fn check(file: &SourceFile) -> (Vec<UnsafeSite>, Vec<Violation>) {
+    let mut sites = Vec::new();
+    let mut violations = Vec::new();
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("unsafe") {
+            continue;
+        }
+        let line = toks[i].line;
+        if file.is_test_line(line) {
+            continue;
+        }
+        let kind = match toks.get(i + 1) {
+            Some(t) if t.is_punct('{') => "block",
+            Some(t) if t.is_ident("fn") => "fn",
+            Some(t) if t.is_ident("impl") => "impl",
+            Some(t) if t.is_ident("trait") => "trait",
+            // `unsafe extern`, future syntax, …: still an unsafe promise.
+            _ => "block",
+        };
+        let reason = file
+            .annotation_for(Rule::UnsafeBlock.id(), line)
+            .map(|a| a.reason.clone());
+        if reason.is_none() {
+            violations.push(Violation {
+                rule: Rule::UnsafeBlock,
+                file: file.rel.clone(),
+                line,
+                message: format!(
+                    "`unsafe` {kind} without a justification — add \
+                     `// audit: unsafe ok — <why the invariants hold>`"
+                ),
+            });
+        }
+        sites.push(UnsafeSite {
+            file: file.rel.clone(),
+            line,
+            kind,
+            reason,
+        });
+    }
+    (sites, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AuditConfig {
+        AuditConfig::parse(
+            "[paths]\ninclude = [\"crates/gf/src\"]\n\
+             [rules.unsafe-code]\ncarve-outs = [\"crates/gf/src\"]\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn applies_only_inside_carve_out_roots() {
+        let cfg = cfg();
+        assert!(applies(&cfg, "crates/gf/src/kernel.rs"));
+        assert!(applies(&cfg, "crates/gf/src"));
+        assert!(!applies(&cfg, "crates/gf/srcery/x.rs"));
+        assert!(!applies(&cfg, "crates/engine/src/engine.rs"));
+    }
+
+    #[test]
+    fn unannotated_sites_are_flagged_and_inventoried() {
+        let src = "\
+fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+// audit: unsafe ok — caller guarantees the pointer is valid
+unsafe fn g(p: *const u8) -> u8 {
+    *p
+}
+#[cfg(test)]
+mod tests {
+    fn t(p: *const u8) -> u8 { unsafe { *p } }
+}
+";
+        let f = SourceFile::from_source("t.rs", src);
+        let (sites, violations) = check(&f);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        assert_eq!(sites[0].kind, "block");
+        assert!(sites[0].reason.is_none());
+        assert_eq!(sites[1].kind, "fn");
+        assert!(sites[1].reason.as_deref().unwrap().contains("pointer"));
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].line, 2);
+        assert!(violations[0].message.contains("`unsafe` block"));
+    }
+
+    #[test]
+    fn unsafe_code_lint_attribute_is_not_a_site() {
+        let src = "#![deny(unsafe_code)]\n#[allow(unsafe_code)]\nmod m {}\n";
+        let f = SourceFile::from_source("t.rs", src);
+        let (sites, violations) = check(&f);
+        assert!(sites.is_empty(), "{sites:?}");
+        assert!(violations.is_empty());
+    }
+}

@@ -21,13 +21,16 @@ check-indexing = true
 
 [rules.shared-read]
 methods = ["Engine::get_version", "Engine::regressed"]
+
+[rules.unsafe-code]
+carve-outs = ["fixtures"]
 "#;
 
 fn run_fixtures() -> Vec<Violation> {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests");
     let config = AuditConfig::parse(FIXTURE_CONFIG).expect("fixture config parses");
     let rels = discover(&root, &config.include).expect("fixture dir scans");
-    assert!(rels.len() >= 6, "fixture set went missing: {rels:?}");
+    assert!(rels.len() >= 7, "fixture set went missing: {rels:?}");
     let files: Vec<SourceFile> = rels
         .iter()
         .map(|rel| SourceFile::load(&root, rel).expect("fixture loads"))
@@ -82,7 +85,16 @@ fn shared_read_regression_is_flagged() {
 }
 
 #[test]
+fn bare_unsafe_is_flagged_justified_and_test_sites_pass() {
+    let violations = run_fixtures();
+    let unsafe_v = of_rule(&violations, Rule::UnsafeBlock);
+    assert_eq!(unsafe_v.len(), 1, "{unsafe_v:?}");
+    assert_eq!(unsafe_v[0].file, "fixtures/unsafe_blocks.rs");
+    assert!(unsafe_v[0].message.contains("`unsafe` block"));
+}
+
+#[test]
 fn fixture_run_has_no_unexpected_violations() {
     let violations = run_fixtures();
-    assert_eq!(violations.len(), 5, "{violations:?}");
+    assert_eq!(violations.len(), 6, "{violations:?}");
 }

@@ -1,0 +1,19 @@
+// Fixture for the `unsafe` rule: a bare block (violation), a justified fn
+// (clean), and a test-module site (exempt). Data for the fixture harness —
+// never compiled into the crate.
+
+pub fn bare(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// audit: unsafe ok — callers hand us a pointer into a live, pinned buffer
+pub unsafe fn justified(p: *const u8) -> u8 {
+    *p
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_tests(p: *const u8) -> u8 {
+        unsafe { *p }
+    }
+}

@@ -44,4 +44,20 @@ fn workspace_is_audit_clean() {
         outcome.atomics.iter().all(|s| s.reason.is_some()),
         "clean run implies every atomic site carries a justification"
     );
+    assert!(
+        !outcome.unsafe_sites.is_empty(),
+        "the SIMD kernels should put `unsafe` sites in the inventory"
+    );
+    assert!(
+        outcome.unsafe_sites.iter().all(|s| s.reason.is_some()),
+        "clean run implies every unsafe site carries a justification"
+    );
+    assert!(
+        outcome
+            .unsafe_sites
+            .iter()
+            .all(|s| s.file.starts_with("crates/gf/src")),
+        "unsafe must stay confined to the gf carve-out: {:?}",
+        outcome.unsafe_sites
+    );
 }

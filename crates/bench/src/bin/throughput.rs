@@ -34,6 +34,13 @@
 //! loses one position of each entry independently — read counts match, so
 //! the comparison isolates the layout's lock/liveness topology.
 //!
+//! A seventh series measures *kernel dispatch*: the byte pipeline forced
+//! onto each `GF(2^8)` SIMD kernel the host supports (`scalar`, `ssse3`,
+//! `avx2`, `neon`) via [`sec_gf::force_kernel`], across shard sizes from
+//! 4 KiB to 4 MiB. Rows carry the kernel name, the JSON reports the
+//! auto-detected kernel as `active_kernel`, and the headline print shows
+//! each SIMD kernel's speedup over scalar for the (6, 3) encode.
+//!
 //! Run with `cargo run --release -p sec-bench --bin throughput`. Pass
 //! `--smoke` for a quick CI-sized run (4 KiB shards only) and `--out <path>`
 //! to change the JSON destination.
@@ -44,13 +51,25 @@ use std::time::{Duration, Instant};
 
 use sec_engine::{ObjectId, PlacementStrategy, SecCluster, SecEngine};
 use sec_erasure::{shards, ByteCodec, ByteShards, GeneratorForm, SecCode, Share};
-use sec_gf::{GaloisField, Gf256};
+use sec_gf::{GaloisField, Gf256, Kernel};
 use sec_versioning::{ArchiveConfig, EncodingStrategy};
 
 /// One measured data point.
 struct Sample {
     op: &'static str,
     path: &'static str,
+    n: usize,
+    k: usize,
+    shard_bytes: usize,
+    ns_per_op: f64,
+    mb_per_s: f64,
+}
+
+/// One kernel-dispatch data point: the byte pipeline forced onto a specific
+/// `GF(2^8)` kernel.
+struct KernelSample {
+    kernel: &'static str,
+    op: &'static str,
     n: usize,
     k: usize,
     shard_bytes: usize,
@@ -355,6 +374,9 @@ fn parse_args() -> Args {
 #[allow(clippy::too_many_lines, clippy::needless_range_loop)]
 fn main() -> std::io::Result<()> {
     let args = parse_args();
+    // Capture before any force_kernel below: this is what production dispatch
+    // (auto-detection plus any SEC_GF_KERNEL pin) actually selected.
+    let auto_kernel = sec_gf::active_kernel();
     let sizes: &[usize] = if args.smoke {
         &[4096]
     } else {
@@ -582,6 +604,94 @@ fn main() -> std::io::Result<()> {
         }
     }
 
+    // ---- kernel dispatch: the byte pipeline on each supported kernel -------
+    let kernel_sizes: &[usize] = if args.smoke {
+        &[4096]
+    } else {
+        &[4096, 65536, 1 << 20, 1 << 22]
+    };
+    let mut kernel_samples: Vec<KernelSample> = Vec::new();
+    for kernel in Kernel::available() {
+        sec_gf::force_kernel(kernel).expect("available kernels can be forced");
+        for &k in ks {
+            let n = 2 * k;
+            let code: SecCode<Gf256> =
+                SecCode::cauchy(n, k, GeneratorForm::NonSystematic).expect("(2k,k) fits in GF(256)");
+            let codec = ByteCodec::new(code);
+            for &shard_bytes in kernel_sizes {
+                let object_bytes = k * shard_bytes;
+                let mut object = vec![0u8; object_bytes];
+                fill(&mut object, (k * 500_009 + shard_bytes) as u64);
+                let data = ByteShards::from_flat(&object, k);
+                let mut out = ByteShards::zeroed(n, shard_bytes);
+                let ns = measure(
+                    || codec.encode_blocks_into(&data, &mut out).expect("encode"),
+                    min_total,
+                    1000,
+                );
+                kernel_samples.push(KernelSample {
+                    kernel: kernel.name(),
+                    op: "encode",
+                    n,
+                    k,
+                    shard_bytes,
+                    ns_per_op: ns,
+                    mb_per_s: mb_per_s(object_bytes, ns),
+                });
+
+                let coded = codec.encode_blocks(&data).expect("encode");
+                let decode_rows: Vec<usize> = (k / 2..k / 2 + k).collect();
+                let shares: Vec<(usize, &[u8])> =
+                    decode_rows.iter().map(|&i| (i, coded.shard(i))).collect();
+                let ns = measure(
+                    || {
+                        std::hint::black_box(codec.decode_blocks(&shares).expect("decode"));
+                    },
+                    min_total,
+                    1000,
+                );
+                kernel_samples.push(KernelSample {
+                    kernel: kernel.name(),
+                    op: "decode",
+                    n,
+                    k,
+                    shard_bytes,
+                    ns_per_op: ns,
+                    mb_per_s: mb_per_s(object_bytes, ns),
+                });
+
+                let gamma = 1usize;
+                let mut delta = ByteShards::zeroed(k, shard_bytes);
+                fill(delta.shard_mut(k / 2), 43);
+                let coded_delta = codec.encode_blocks(&delta).expect("encode delta");
+                let sparse_shares: Vec<(usize, &[u8])> =
+                    (0..2 * gamma).map(|i| (i, coded_delta.shard(i))).collect();
+                let ns = measure(
+                    || {
+                        std::hint::black_box(
+                            codec
+                                .recover_sparse_blocks(&sparse_shares, gamma)
+                                .expect("recover"),
+                        );
+                    },
+                    min_total,
+                    1000,
+                );
+                kernel_samples.push(KernelSample {
+                    kernel: kernel.name(),
+                    op: "sparse_recover",
+                    n,
+                    k,
+                    shard_bytes,
+                    ns_per_op: ns,
+                    mb_per_s: mb_per_s(object_bytes, ns),
+                });
+            }
+        }
+    }
+    // The scaling series below must run on production dispatch again.
+    sec_gf::reset_kernel();
+
     // ---- concurrent read scaling through the serving engine ---------------
     let scaling_shard_bytes = if args.smoke { 4096 } else { 65536 };
     let scaling_versions = 8;
@@ -634,6 +744,18 @@ fn main() -> std::io::Result<()> {
         println!(
             "{:<16} {:<14} {:>4} {:>4} {:>12} {:>14.0} {:>12.1}",
             s.op, s.path, s.n, s.k, s.shard_bytes, s.ns_per_op, s.mb_per_s
+        );
+    }
+
+    println!("\nactive kernel (auto-detected): {auto_kernel}");
+    println!(
+        "{:<8} {:<16} {:>4} {:>4} {:>12} {:>14} {:>12}",
+        "kernel", "op", "n", "k", "shard_bytes", "ns/op", "MB/s"
+    );
+    for s in &kernel_samples {
+        println!(
+            "{:<8} {:<16} {:>4} {:>4} {:>12} {:>14.0} {:>12.1}",
+            s.kernel, s.op, s.n, s.k, s.shard_bytes, s.ns_per_op, s.mb_per_s
         );
     }
 
@@ -696,11 +818,38 @@ fn main() -> std::io::Result<()> {
         _ => None,
     };
 
+    // Kernel headline: each SIMD kernel's (6,3) encode speedup over scalar at
+    // the largest kernel-series shard size.
+    let kernel_headline = *kernel_sizes.last().expect("at least one size");
+    let kernel_encode = |name: &str| {
+        kernel_samples.iter().find(|s| {
+            s.kernel == name && s.op == "encode" && s.k == 3 && s.shard_bytes == kernel_headline
+        })
+    };
+    if let Some(scalar) = kernel_encode("scalar") {
+        for kernel in Kernel::available() {
+            if kernel.name() == "scalar" {
+                continue;
+            }
+            if let Some(simd) = kernel_encode(kernel.name()) {
+                println!(
+                    "(6,3) encode @ {} B shards: {} {:.1} MB/s vs scalar {:.1} MB/s → {:.1}×",
+                    kernel_headline,
+                    kernel.name(),
+                    simd.mb_per_s,
+                    scalar.mb_per_s,
+                    scalar.ns_per_op / simd.ns_per_op
+                );
+            }
+        }
+    }
+
     // JSON emission (hand-rolled; the workspace has no serde).
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"schema\": \"sec-bench-throughput/v4\",").unwrap();
+    writeln!(json, "  \"schema\": \"sec-bench-throughput/v5\",").unwrap();
     writeln!(json, "  \"smoke\": {},", args.smoke).unwrap();
+    writeln!(json, "  \"active_kernel\": \"{auto_kernel}\",").unwrap();
     writeln!(json, "  \"headline_shard_bytes\": {headline_size},").unwrap();
     match speedup {
         Some(s) => writeln!(json, "  \"encode_6_3_speedup_byte_vs_per_symbol\": {s:.3},").unwrap(),
@@ -715,6 +864,25 @@ fn main() -> std::io::Result<()> {
              \"object_bytes\": {}, \"ns_per_op\": {:.1}, \"mb_per_s\": {:.3}}}{comma}",
             s.op,
             s.path,
+            s.n,
+            s.k,
+            s.shard_bytes,
+            s.k * s.shard_bytes,
+            s.ns_per_op,
+            s.mb_per_s
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"kernel_dispatch\": [").unwrap();
+    for (idx, s) in kernel_samples.iter().enumerate() {
+        let comma = if idx + 1 == kernel_samples.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"op\": \"{}\", \"n\": {}, \"k\": {}, \"shard_bytes\": {}, \
+             \"object_bytes\": {}, \"ns_per_op\": {:.1}, \"mb_per_s\": {:.3}}}{comma}",
+            s.kernel,
+            s.op,
             s.n,
             s.k,
             s.shard_bytes,

@@ -54,6 +54,10 @@ use sec_linalg::{ops, Matrix};
 use crate::code::SecCode;
 use crate::error::CodeError;
 
+/// One output row of a blocked application: each source shard paired with
+/// the split tables of its coefficient (zero coefficients filtered out).
+type RowSources<'a> = Vec<(&'a MulTable, &'a [u8])>;
+
 /// A set of equally sized byte shards stored in one contiguous buffer.
 ///
 /// Shard `i` occupies bytes `i·shard_len .. (i+1)·shard_len` of the backing
@@ -321,16 +325,20 @@ impl ByteCodec {
             });
         }
         let g = self.code.generator();
-        for row in 0..n {
-            // One fused pass per output row: zero coefficients are dropped and
-            // the surviving sources accumulate into a register-resident chunk.
-            let sources: Vec<(&MulTable, &[u8])> = (0..k)
-                .filter(|&col| !g.get(row, col).is_zero())
-                .map(|col| (self.tables.get(g.get(row, col)), data.shard(col)))
-                .collect();
-            let dst = &mut out.data[row * data.shard_len..(row + 1) * data.shard_len];
-            mul_multi(&sources, dst);
-        }
+        // One fused source list per output row (zero coefficients dropped),
+        // then a strip-blocked application: every row consumes a strip of the
+        // sources before the pipeline moves on, so a multi-MiB encode streams
+        // each source strip through cache once instead of making `n` full
+        // passes over all `k` shards.
+        let rows: Vec<Vec<(&MulTable, &[u8])>> = (0..n)
+            .map(|row| {
+                (0..k)
+                    .filter(|&col| !g.get(row, col).is_zero())
+                    .map(|col| (self.tables.get(g.get(row, col)), data.shard(col)))
+                    .collect()
+            })
+            .collect();
+        apply_rows_blocked(&rows, data.shard_len(), &mut out.data);
         Ok(())
     }
 
@@ -354,17 +362,18 @@ impl ByteCodec {
         let inv = ops::invert(&sub).map_err(|_| CodeError::UndecodableShareSet)?;
 
         let mut out = ByteShards::zeroed(k, shard_len);
-        for row in 0..k {
-            let sources: Vec<(&MulTable, &[u8])> = shares
-                .iter()
-                .take(k)
-                .enumerate()
-                .filter(|&(col, _)| !inv.get(row, col).is_zero())
-                .map(|(col, &(_, shard))| (self.tables.get(inv.get(row, col)), shard))
-                .collect();
-            let dst = &mut out.data[row * shard_len..(row + 1) * shard_len];
-            mul_multi(&sources, dst);
-        }
+        let rows: Vec<Vec<(&MulTable, &[u8])>> = (0..k)
+            .map(|row| {
+                shares
+                    .iter()
+                    .take(k)
+                    .enumerate()
+                    .filter(|&(col, _)| !inv.get(row, col).is_zero())
+                    .map(|(col, &(_, shard))| (self.tables.get(inv.get(row, col)), shard))
+                    .collect()
+            })
+            .collect();
+        apply_rows_blocked(&rows, shard_len, &mut out.data);
         Ok(out)
     }
 
@@ -492,33 +501,56 @@ impl ByteCodec {
             }
         }
 
-        // Consistency first: every eliminated (zero) row of T·restricted must
-        // map the observation to the zero shard.
-        for trow in t.iter().take(r).skip(w) {
-            let sources: Vec<(&MulTable, &[u8])> = trow
-                .iter()
+        // Strip-blocked application of T. Consistency rows (w..r of T) must
+        // map the observation to the zero shard; checking them strip-first
+        // rejects an inconsistent support after at most one strip of work
+        // instead of a full-shard pass, and the solution rows (0..w) reuse
+        // the same cache-resident share strips.
+        let collect_row = |trow: &[Gf256]| -> RowSources<'_> {
+            trow.iter()
                 .zip(shares)
                 .filter(|(coeff, _)| !coeff.is_zero())
                 .map(|(&coeff, &(_, shard))| (self.tables.get(coeff), shard))
-                .collect();
-            let residual = scratch.row(shard_len);
-            mul_multi(&sources, residual);
-            if residual.iter().any(|&b| b != 0) {
-                return None;
-            }
-        }
+                .collect()
+        };
+        let residual_rows: Vec<RowSources<'_>> =
+            t.iter().take(r).skip(w).map(|trow| collect_row(trow)).collect();
+        let out_rows: Vec<(usize, RowSources<'_>)> = support
+            .iter()
+            .enumerate()
+            .map(|(j, &col)| (col, collect_row(&t[j])))
+            .collect();
 
         let k = self.code.k();
         let mut out = ByteShards::zeroed(k, shard_len);
-        for (j, &col) in support.iter().enumerate() {
-            let sources: Vec<(&MulTable, &[u8])> = t[j]
-                .iter()
-                .zip(shares)
-                .filter(|(coeff, _)| !coeff.is_zero())
-                .map(|(&coeff, &(_, shard))| (self.tables.get(coeff), shard))
-                .collect();
-            let dst = &mut out.data[col * shard_len..(col + 1) * shard_len];
-            mul_multi(&sources, dst);
+        let max_sources = residual_rows
+            .iter()
+            .map(Vec::len)
+            .chain(out_rows.iter().map(|(_, sources)| sources.len()))
+            .max()
+            .unwrap_or(0);
+        let strip = strip_len(max_sources);
+        let residual = scratch.row(strip.min(shard_len));
+        let mut strip_sources: Vec<(&MulTable, &[u8])> = Vec::with_capacity(max_sources);
+        let mut start = 0;
+        while start < shard_len {
+            let end = (start + strip).min(shard_len);
+            for sources in &residual_rows {
+                strip_sources.clear();
+                strip_sources.extend(sources.iter().map(|&(table, s)| (table, &s[start..end])));
+                let res = &mut residual[..end - start];
+                mul_multi(&strip_sources, res);
+                if res.iter().any(|&b| b != 0) {
+                    return None;
+                }
+            }
+            for (col, sources) in &out_rows {
+                strip_sources.clear();
+                strip_sources.extend(sources.iter().map(|&(table, s)| (table, &s[start..end])));
+                let dst = &mut out.data[col * shard_len + start..col * shard_len + end];
+                mul_multi(&strip_sources, dst);
+            }
+            start = end;
         }
         Some(out)
     }
@@ -552,6 +584,36 @@ impl ByteCodec {
             }
         }
         Ok(shard_len)
+    }
+}
+
+/// Strip size (bytes per shard) for the blocked row applications: sized so
+/// the combined source strips (~`sources` of them) fit in L2 (~128 KiB
+/// budget), clamped to `[4 KiB, 32 KiB]` and rounded down to a whole number
+/// of 64-byte cache lines.
+fn strip_len(sources: usize) -> usize {
+    (128 * 1024 / sources.max(1)).clamp(4096, 32 * 1024) & !63
+}
+
+/// Applies every fused source list in `rows` into the corresponding
+/// `shard_len`-sized row of `out` (shard-major), strip-blocked: all rows
+/// consume one strip of the sources before the pipeline advances, so each
+/// source strip is pulled through cache once per *strip*, not once per row.
+fn apply_rows_blocked(rows: &[Vec<(&MulTable, &[u8])>], shard_len: usize, out: &mut [u8]) {
+    debug_assert_eq!(out.len(), rows.len() * shard_len);
+    let max_sources = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let strip = strip_len(max_sources);
+    let mut strip_sources: Vec<(&MulTable, &[u8])> = Vec::with_capacity(max_sources);
+    let mut start = 0;
+    while start < shard_len {
+        let end = (start + strip).min(shard_len);
+        for (row, sources) in rows.iter().enumerate() {
+            strip_sources.clear();
+            strip_sources.extend(sources.iter().map(|&(table, s)| (table, &s[start..end])));
+            let dst = &mut out[row * shard_len + start..row * shard_len + end];
+            mul_multi(&strip_sources, dst);
+        }
+        start = end;
     }
 }
 
@@ -743,6 +805,31 @@ mod tests {
         assert!(codec.shared_tables().cached_coefficients() > 0);
         let shares: Vec<(usize, &[u8])> = (0..3).map(|i| (i, coded.shard(i))).collect();
         assert_eq!(codec.decode_blocks(&shares).unwrap(), data);
+    }
+
+    #[test]
+    fn cached_coefficients_counts_distinct_nontrivial_generator_entries() {
+        let codec = codec(6, 3, GeneratorForm::NonSystematic);
+        assert_eq!(
+            codec.shared_tables().cached_coefficients(),
+            0,
+            "cache starts empty"
+        );
+        let data = ByteShards::from_flat(&object(96), 3);
+        codec.encode_blocks(&data).unwrap();
+        // Tables are built lazily, one per *distinct* coefficient the encode
+        // actually multiplies by: the c = 0 / c = 1 fast paths never touch
+        // the cache, so the count after an encode is exactly the number of
+        // distinct generator entries outside {0, 1}.
+        let g = codec.code().generator();
+        let expect: std::collections::BTreeSet<u64> = (0..codec.code().n())
+            .flat_map(|row| (0..codec.code().k()).map(move |col| g.get(row, col).to_u64()))
+            .filter(|&v| v > 1)
+            .collect();
+        assert_eq!(codec.shared_tables().cached_coefficients(), expect.len());
+        // Re-encoding reuses every cached table: the count must not grow.
+        codec.encode_blocks(&data).unwrap();
+        assert_eq!(codec.shared_tables().cached_coefficients(), expect.len());
     }
 
     #[test]

@@ -6,10 +6,16 @@
 //! per symbol. When the field is [`Gf256`] a shard is just bytes, and a
 //! coefficient `c` can be applied through a precomputed 256-entry product
 //! table (built from the classic high/low-nibble *split tables*, 2 × 16
-//! entries per coefficient). The kernels here walk slices in 64-byte chunks
-//! with a fixed-trip-count inner loop so the compiler can unroll and
-//! autovectorize the XOR accumulation, and [`CoeffTables`] caches the tables
-//! per coefficient so repeated generator-matrix rows reuse them.
+//! entries per coefficient), and [`CoeffTables`] caches the tables per
+//! coefficient so repeated generator-matrix rows reuse them.
+//!
+//! Every slice entry point here dispatches through the runtime-selected
+//! [`kernel`](crate::kernel): SSSE3/AVX2 `PSHUFB` or NEON `TBL` nibble
+//! lookups where the CPU supports them, otherwise portable scalar loops over
+//! the flattened table in [`CHUNK`]-byte blocks. Calling code never notices
+//! which kernel ran — all of them are locked bit-identical by differential
+//! tests — and `SEC_GF_KERNEL=scalar` (or
+//! [`force_kernel`](crate::kernel::force_kernel)) pins the scalar path.
 //!
 //! The scalar [`bulk`](crate::bulk) path remains the reference
 //! implementation: the property tests in this crate and the differential
@@ -48,7 +54,9 @@ pub const CHUNK: usize = 64;
 /// `hi[x] = c·(x·16)` for `x ∈ 0..16` — so that
 /// `c·b = lo[b & 0xF] ⊕ hi[b >> 4]` for any byte `b`. A flattened 256-entry
 /// product table is derived from the pair for the scalar inner loops; the
-/// split tables themselves are exposed for future 16-lane shuffle kernels.
+/// split tables themselves are exactly what the SIMD kernels load into
+/// vector registers for `PSHUFB`/`TBL` nibble lookups (see
+/// [`kernel`](crate::kernel)).
 #[derive(Debug, Clone)]
 pub struct MulTable {
     lo: [u8; 16],
@@ -120,6 +128,13 @@ impl CoeffTables {
     }
 
     /// Number of coefficients whose tables have been built so far.
+    ///
+    /// Tables are built **lazily, one per distinct coefficient**, the first
+    /// time [`CoeffTables::get`] sees that coefficient — never eagerly. The
+    /// `c = 0` and `c = 1` fast paths in [`CoeffTables::mul_add_slice`] /
+    /// [`CoeffTables::mul_slice`] skip the cache entirely, so after an
+    /// encode this counts exactly the distinct generator coefficients
+    /// outside `{0, 1}`, not every coefficient the matrix mentions.
     pub fn cached_coefficients(&self) -> usize {
         self.slots.iter().filter(|slot| slot.get().is_some()).count()
     }
@@ -242,8 +257,9 @@ pub fn mul_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
 /// the multi-row accumulation kernel behind coefficient-1 rows and byte-level
 /// delta application.
 ///
-/// Each 64-byte chunk of `dst` is updated by all sources before moving on, so
-/// the destination chunk stays hot in registers / L1 across rows.
+/// The destination is tiled into L1-sized strips and every source is applied
+/// to a strip before moving on, so the destination strip stays hot across
+/// rows; within a strip the active [`kernel`](crate::kernel) runs.
 ///
 /// # Panics
 ///
@@ -252,33 +268,17 @@ pub fn xor_accumulate(dst: &mut [u8], srcs: &[&[u8]]) {
     for src in srcs {
         assert_slice_lengths("xor_accumulate", dst.len(), src.len());
     }
-    let len = dst.len();
-    let mut start = 0;
-    while start + CHUNK <= len {
-        let d = &mut dst[start..start + CHUNK];
-        for src in srcs {
-            let s = &src[start..start + CHUNK];
-            for i in 0..CHUNK {
-                d[i] ^= s[i];
-            }
-        }
-        start += CHUNK;
-    }
-    for src in srcs {
-        for i in start..len {
-            dst[i] ^= src[i];
-        }
-    }
+    crate::kernel::xor_accumulate_with(crate::kernel::active_ops(), dst, srcs);
 }
 
 /// Fused multi-source product row: `dst[i] = Σ_j tables_j.mul(srcs_j[i])`
 /// (sum in `GF(2^8)`, i.e. XOR), overwriting `dst`.
 ///
 /// This is the inner loop of block encode/decode: one output row is a linear
-/// combination of `k` source shards. Fusing the sources accumulates each
-/// 64-byte chunk in a stack buffer that stays in registers/L1 across all
-/// sources, so the destination is written exactly once per chunk instead of
-/// once per source.
+/// combination of `k` source shards. The destination is tiled into L1-sized
+/// strips; within a strip the first source is written with a plain multiply
+/// and every further source fused in with multiply-accumulate, so the strip
+/// stays hot across all `k` sources and is streamed out exactly once.
 ///
 /// Zero coefficients should be filtered out by the caller; the identity
 /// coefficient works through its (identity) table.
@@ -290,57 +290,20 @@ pub fn mul_multi(sources: &[(&MulTable, &[u8])], dst: &mut [u8]) {
     for (_, src) in sources {
         assert_slice_lengths("mul_multi", dst.len(), src.len());
     }
-    let len = dst.len();
-    let mut start = 0;
-    while start + CHUNK <= len {
-        let mut acc = [0u8; CHUNK];
-        for (table, src) in sources {
-            let s = &src[start..start + CHUNK];
-            for i in 0..CHUNK {
-                acc[i] ^= table.mul(s[i]);
-            }
-        }
-        dst[start..start + CHUNK].copy_from_slice(&acc);
-        start += CHUNK;
-    }
-    for i in start..len {
-        let mut acc = 0u8;
-        for (table, src) in sources {
-            acc ^= table.mul(src[i]);
-        }
-        dst[i] = acc;
-    }
+    crate::kernel::mul_multi_with(crate::kernel::active_ops(), sources, dst);
 }
 
-/// Table-driven `dst[i] ^= table.mul(src[i])` over 64-byte chunks.
+/// Kernel-dispatched `dst[i] ^= table.mul(src[i])`; lengths already checked.
 fn mul_add_with(table: &MulTable, src: &[u8], dst: &mut [u8]) {
-    let mut d = dst.chunks_exact_mut(CHUNK);
-    let mut s = src.chunks_exact(CHUNK);
-    for (dc, sc) in (&mut d).zip(&mut s) {
-        for i in 0..CHUNK {
-            dc[i] ^= table.mul(sc[i]);
-        }
-    }
-    for (db, &sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *db ^= table.mul(sb);
-    }
+    (crate::kernel::active_ops().mul_add)(table, src, dst);
 }
 
-/// Table-driven `dst[i] = table.mul(src[i])` over 64-byte chunks.
+/// Kernel-dispatched `dst[i] = table.mul(src[i])`; lengths already checked.
 fn mul_with(table: &MulTable, src: &[u8], dst: &mut [u8]) {
-    let mut d = dst.chunks_exact_mut(CHUNK);
-    let mut s = src.chunks_exact(CHUNK);
-    for (dc, sc) in (&mut d).zip(&mut s) {
-        for i in 0..CHUNK {
-            dc[i] = table.mul(sc[i]);
-        }
-    }
-    for (db, &sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *db = table.mul(sb);
-    }
+    (crate::kernel::active_ops().mul)(table, src, dst);
 }
 
-fn assert_slice_lengths(op: &str, dst: usize, src: usize) {
+pub(crate) fn assert_slice_lengths(op: &str, dst: usize, src: usize) {
     assert_eq!(
         dst, src,
         "{op} requires equally sized byte shards (dst {dst} vs src {src})"

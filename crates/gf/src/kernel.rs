@@ -1,0 +1,1128 @@
+//! Runtime-dispatched SIMD kernels for the byte-shard `GF(2^8)` fast path.
+//!
+//! The [`bulk8`](crate::bulk8) split tables — `lo[x] = c·x`, `hi[x] = c·(x·16)`
+//! — are exactly the layout the PSHUFB/TBL nibble-lookup technique wants: load
+//! both 16-entry tables into vector registers once per coefficient, then each
+//! 16/32-byte block of a shard costs two shuffles, a shift, two masks and a
+//! XOR. This module provides those kernels for x86_64 (SSSE3 and AVX2) and
+//! aarch64 (NEON), selected **at runtime** behind a dispatch table so a single
+//! binary runs optimally everywhere and falls back to the portable scalar
+//! loops on hosts without the features.
+//!
+//! # Dispatch contract
+//!
+//! * [`active_kernel`] names the kernel every `bulk8` entry point currently
+//!   routes through. It is resolved once, on first use: the `SEC_GF_KERNEL`
+//!   environment variable (`scalar|ssse3|avx2|neon|auto`) wins if set to a
+//!   supported kernel, otherwise the best detected instruction set is chosen
+//!   (AVX2 over SSSE3 over NEON over scalar).
+//! * [`force_kernel`] / [`reset_kernel`] override the selection at runtime
+//!   (tests, benchmarks); forcing an unsupported kernel is an error, so the
+//!   dispatch table never holds a function pointer the host cannot execute.
+//! * Every kernel is **bit-identical** to the scalar reference — the
+//!   differential tests in this module and the crate's proptests enforce it —
+//!   so switching kernels mid-run is always safe, merely faster or slower.
+//!
+//! Each [`Kernel`] also exposes checked per-kernel slice ops
+//! ([`Kernel::mul_slice`] etc.) that bypass the global selection entirely;
+//! the differential suite uses them to pin every compiled-in kernel against
+//! [`Kernel::Scalar`] without touching process-wide state.
+//!
+//! See `docs/KERNELS.md` for the safety argument of each intrinsic block and
+//! the checklist for adding a new ISA.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use crate::bulk8::MulTable;
+
+/// Environment variable consulted once, at first dispatch, to pin the kernel
+/// (`scalar`, `ssse3`, `avx2`, `neon`, or `auto`; case-insensitive).
+///
+/// Unknown or unsupported values fall back to auto-detection with a warning
+/// on stderr rather than failing, so a stale override never breaks serving.
+pub const KERNEL_ENV: &str = "SEC_GF_KERNEL";
+
+/// Bytes of destination processed per strip by the fused drivers
+/// ([`mul_multi_with`] / [`xor_accumulate_with`]): the destination strip
+/// stays L1-resident while every source row is applied to it.
+pub(crate) const DRIVER_STRIP: usize = 4096;
+
+/// One implementation of the `GF(2^8)` slice kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Portable scalar loops over the flattened 256-entry table — the
+    /// reference implementation every SIMD kernel is tested against.
+    Scalar,
+    /// x86_64 `PSHUFB` nibble lookups on 16-byte registers (SSSE3, 2006+).
+    Ssse3,
+    /// x86_64 `VPSHUFB` nibble lookups on 32-byte registers (AVX2, 2013+).
+    Avx2,
+    /// aarch64 `TBL` nibble lookups on 16-byte registers (`vqtbl1q_u8`).
+    Neon,
+}
+
+impl Kernel {
+    /// Every kernel this crate knows about, supported on this host or not.
+    pub const ALL: [Kernel; 4] = [Kernel::Scalar, Kernel::Ssse3, Kernel::Avx2, Kernel::Neon];
+
+    /// The kernel's lower-case name as accepted by [`KERNEL_ENV`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Ssse3 => "ssse3",
+            Kernel::Avx2 => "avx2",
+            Kernel::Neon => "neon",
+        }
+    }
+
+    /// Parses a kernel name (case-insensitive). `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        Kernel::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Whether this kernel can execute on the current host (compiled in for
+    /// this architecture *and* the CPU reports the instruction set).
+    pub fn is_supported(self) -> bool {
+        match self {
+            Kernel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ssse3 => std::arch::is_x86_feature_detected!("ssse3"),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "aarch64")]
+            Kernel::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// All kernels supported on this host, scalar first.
+    pub fn available() -> Vec<Kernel> {
+        Kernel::ALL.into_iter().filter(|k| k.is_supported()).collect()
+    }
+
+    /// Computes `dst[i] = table.mul(src[i])` with this kernel, bypassing the
+    /// global dispatch. Raw table op: no `c = 0` / `c = 1` fast paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedKernel`] when the host cannot run this kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` and `src` have different lengths.
+    pub fn mul_slice(
+        self,
+        table: &MulTable,
+        src: &[u8],
+        dst: &mut [u8],
+    ) -> Result<(), UnsupportedKernel> {
+        crate::bulk8::assert_slice_lengths("mul_slice", dst.len(), src.len());
+        (self.checked_ops()?.mul)(table, src, dst);
+        Ok(())
+    }
+
+    /// Computes `dst[i] ^= table.mul(src[i])` with this kernel, bypassing the
+    /// global dispatch. Raw table op: no `c = 0` / `c = 1` fast paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedKernel`] when the host cannot run this kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` and `src` have different lengths.
+    pub fn mul_add_slice(
+        self,
+        table: &MulTable,
+        src: &[u8],
+        dst: &mut [u8],
+    ) -> Result<(), UnsupportedKernel> {
+        crate::bulk8::assert_slice_lengths("mul_add_slice", dst.len(), src.len());
+        (self.checked_ops()?.mul_add)(table, src, dst);
+        Ok(())
+    }
+
+    /// Computes `dst[i] ^= src[i]` with this kernel, bypassing the global
+    /// dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedKernel`] when the host cannot run this kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` and `src` have different lengths.
+    pub fn xor_slice(self, src: &[u8], dst: &mut [u8]) -> Result<(), UnsupportedKernel> {
+        crate::bulk8::assert_slice_lengths("xor_accumulate", dst.len(), src.len());
+        (self.checked_ops()?.xor)(src, dst);
+        Ok(())
+    }
+
+    /// Fused multi-source product row (`dst[i] = Σ_j tables_j.mul(srcs_j[i])`,
+    /// overwriting `dst`) with this kernel, bypassing the global dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedKernel`] when the host cannot run this kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source length differs from `dst`.
+    pub fn mul_multi(
+        self,
+        sources: &[(&MulTable, &[u8])],
+        dst: &mut [u8],
+    ) -> Result<(), UnsupportedKernel> {
+        for (_, src) in sources {
+            crate::bulk8::assert_slice_lengths("mul_multi", dst.len(), src.len());
+        }
+        mul_multi_with(self.checked_ops()?, sources, dst);
+        Ok(())
+    }
+
+    /// Multi-row XOR accumulation (`dst[i] ^= src_1[i] ^ … ^ src_m[i]`) with
+    /// this kernel, bypassing the global dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedKernel`] when the host cannot run this kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source length differs from `dst`.
+    pub fn xor_accumulate(self, dst: &mut [u8], srcs: &[&[u8]]) -> Result<(), UnsupportedKernel> {
+        for src in srcs {
+            crate::bulk8::assert_slice_lengths("xor_accumulate", dst.len(), src.len());
+        }
+        xor_accumulate_with(self.checked_ops()?, dst, srcs);
+        Ok(())
+    }
+
+    fn checked_ops(self) -> Result<&'static KernelOps, UnsupportedKernel> {
+        if self.is_supported() {
+            Ok(ops_of(self))
+        } else {
+            Err(UnsupportedKernel { kernel: self })
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned by [`force_kernel`] and the per-kernel slice ops when the
+/// requested kernel cannot execute on this host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedKernel {
+    /// The kernel that is unavailable here.
+    pub kernel: Kernel,
+}
+
+impl fmt::Display for UnsupportedKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel `{}` is not supported on this host", self.kernel.name())
+    }
+}
+
+impl std::error::Error for UnsupportedKernel {}
+
+/// The dispatch table: one function pointer per slice op. `mul_multi` and
+/// `xor_accumulate` are derived by the strip drivers below, so a kernel only
+/// has to supply the three primitive ops.
+#[derive(Debug)]
+pub(crate) struct KernelOps {
+    /// `dst[i] = table.mul(src[i])`; lengths pre-checked equal by callers.
+    pub(crate) mul: fn(&MulTable, &[u8], &mut [u8]),
+    /// `dst[i] ^= table.mul(src[i])`; lengths pre-checked equal by callers.
+    pub(crate) mul_add: fn(&MulTable, &[u8], &mut [u8]),
+    /// `dst[i] ^= src[i]`; lengths pre-checked equal by callers.
+    pub(crate) xor: fn(&[u8], &mut [u8]),
+}
+
+static SCALAR_OPS: KernelOps = KernelOps {
+    mul: scalar::mul,
+    mul_add: scalar::mul_add,
+    xor: scalar::xor,
+};
+
+#[cfg(target_arch = "x86_64")]
+static SSSE3_OPS: KernelOps = KernelOps {
+    mul: ssse3::mul,
+    mul_add: ssse3::mul_add,
+    xor: ssse3::xor,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2_OPS: KernelOps = KernelOps {
+    mul: avx2::mul,
+    mul_add: avx2::mul_add,
+    xor: avx2::xor,
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON_OPS: KernelOps = KernelOps {
+    mul: neon::mul,
+    mul_add: neon::mul_add,
+    xor: neon::xor,
+};
+
+/// The ops table for `kernel`. Architecture-absent kernels map to scalar;
+/// [`Kernel::checked_ops`] and [`force_kernel`] reject them before this
+/// fallback can matter.
+pub(crate) fn ops_of(kernel: Kernel) -> &'static KernelOps {
+    match kernel {
+        Kernel::Scalar => &SCALAR_OPS,
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Ssse3 => &SSSE3_OPS,
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => &AVX2_OPS,
+        #[cfg(target_arch = "aarch64")]
+        Kernel::Neon => &NEON_OPS,
+        #[allow(unreachable_patterns)]
+        _ => &SCALAR_OPS,
+    }
+}
+
+/// The ops table the `bulk8` entry points route through right now.
+pub(crate) fn active_ops() -> &'static KernelOps {
+    ops_of(active_kernel())
+}
+
+/// Forced-kernel selector: 0 = auto (use [`detected`]), otherwise
+/// `code_of(kernel)`. A plain byte because there is nothing to synchronize —
+/// every kernel computes identical bytes, so racing readers are benign.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// The auto-detected kernel, resolved once (env override, then CPU probe).
+static DETECTED: OnceLock<Kernel> = OnceLock::new();
+
+fn code_of(kernel: Kernel) -> u8 {
+    match kernel {
+        Kernel::Scalar => 1,
+        Kernel::Ssse3 => 2,
+        Kernel::Avx2 => 3,
+        Kernel::Neon => 4,
+    }
+}
+
+fn kernel_of(code: u8) -> Option<Kernel> {
+    Kernel::ALL.into_iter().find(|&k| code_of(k) == code)
+}
+
+/// Best kernel the CPU supports: AVX2 over SSSE3 over NEON over scalar.
+fn auto_detect() -> Kernel {
+    [Kernel::Avx2, Kernel::Ssse3, Kernel::Neon]
+        .into_iter()
+        .find(|k| k.is_supported())
+        .unwrap_or(Kernel::Scalar)
+}
+
+/// Resolves (once) the [`KERNEL_ENV`] override or the CPU probe.
+fn detected() -> Kernel {
+    *DETECTED.get_or_init(|| {
+        let Ok(value) = std::env::var(KERNEL_ENV) else {
+            return auto_detect();
+        };
+        let name = value.trim();
+        if name.is_empty() || name.eq_ignore_ascii_case("auto") {
+            return auto_detect();
+        }
+        match Kernel::from_name(name) {
+            Some(kernel) if kernel.is_supported() => kernel,
+            Some(kernel) => {
+                eprintln!(
+                    "sec-gf: {KERNEL_ENV}={name} requests kernel `{}`, which this host \
+                     does not support; falling back to auto-detection",
+                    kernel.name()
+                );
+                auto_detect()
+            }
+            None => {
+                eprintln!(
+                    "sec-gf: unknown {KERNEL_ENV} value {name:?} \
+                     (expected scalar|ssse3|avx2|neon|auto); falling back to auto-detection"
+                );
+                auto_detect()
+            }
+        }
+    })
+}
+
+/// The kernel every `bulk8` entry point currently dispatches to: the forced
+/// selection if one is in effect, otherwise the once-resolved detection.
+pub fn active_kernel() -> Kernel {
+    // audit: atomic ok — one-byte kernel selector; every kernel computes bit-identical
+    // results, so a racing reader merely runs a different-speed implementation
+    match kernel_of(FORCED.load(Ordering::Relaxed)) {
+        Some(kernel) => kernel,
+        None => detected(),
+    }
+}
+
+/// Forces all subsequent `bulk8` dispatch onto `kernel`, returning the
+/// previously active kernel so callers (tests, benchmarks) can restore it.
+///
+/// # Errors
+///
+/// Returns [`UnsupportedKernel`] — and leaves the selection unchanged — when
+/// the host cannot execute `kernel`, so the dispatch table never points at an
+/// instruction set the CPU lacks.
+pub fn force_kernel(kernel: Kernel) -> Result<Kernel, UnsupportedKernel> {
+    if !kernel.is_supported() {
+        return Err(UnsupportedKernel { kernel });
+    }
+    let previous = active_kernel();
+    // audit: atomic ok — one-byte kernel selector; all kernels are bit-identical, so
+    // readers that race this store compute the same bytes either way
+    FORCED.store(code_of(kernel), Ordering::Relaxed);
+    Ok(previous)
+}
+
+/// Clears any [`force_kernel`] override, returning dispatch to the
+/// auto-detected (or [`KERNEL_ENV`]-pinned) kernel, which is also returned.
+pub fn reset_kernel() -> Kernel {
+    // audit: atomic ok — one-byte kernel selector; all kernels are bit-identical, so
+    // readers that race this store compute the same bytes either way
+    FORCED.store(0, Ordering::Relaxed);
+    detected()
+}
+
+/// Fused multi-source product row over `ops`: `dst` is tiled into
+/// [`DRIVER_STRIP`]-byte strips and every source row is applied to a strip
+/// before moving to the next, so the destination strip stays L1-resident
+/// across all `k` sources. Lengths must be pre-checked by the caller.
+pub(crate) fn mul_multi_with(ops: &KernelOps, sources: &[(&MulTable, &[u8])], dst: &mut [u8]) {
+    let Some((&(first_table, first_src), rest)) = sources.split_first() else {
+        dst.fill(0);
+        return;
+    };
+    let len = dst.len();
+    let mut start = 0;
+    while start < len {
+        let end = (start + DRIVER_STRIP).min(len);
+        let strip = &mut dst[start..end];
+        (ops.mul)(first_table, &first_src[start..end], strip);
+        for (table, src) in rest {
+            (ops.mul_add)(table, &src[start..end], strip);
+        }
+        start = end;
+    }
+}
+
+/// Multi-row XOR accumulation over `ops`, strip-tiled like
+/// [`mul_multi_with`]. Lengths must be pre-checked by the caller.
+pub(crate) fn xor_accumulate_with(ops: &KernelOps, dst: &mut [u8], srcs: &[&[u8]]) {
+    let len = dst.len();
+    let mut start = 0;
+    while start < len {
+        let end = (start + DRIVER_STRIP).min(len);
+        let strip = &mut dst[start..end];
+        for src in srcs {
+            (ops.xor)(&src[start..end], strip);
+        }
+        start = end;
+    }
+}
+
+/// Portable scalar kernels: flattened-table loops over [`CHUNK`]-byte blocks,
+/// identical in structure to the pre-SIMD `bulk8` implementation. This is the
+/// reference every SIMD kernel is differentially tested against.
+///
+/// [`CHUNK`]: crate::bulk8::CHUNK
+mod scalar {
+    use crate::bulk8::{MulTable, CHUNK};
+
+    pub(super) fn mul(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        let mut d = dst.chunks_exact_mut(CHUNK);
+        let mut s = src.chunks_exact(CHUNK);
+        for (dc, sc) in (&mut d).zip(&mut s) {
+            for i in 0..CHUNK {
+                dc[i] = table.mul(sc[i]);
+            }
+        }
+        for (db, &sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+            *db = table.mul(sb);
+        }
+    }
+
+    pub(super) fn mul_add(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        let mut d = dst.chunks_exact_mut(CHUNK);
+        let mut s = src.chunks_exact(CHUNK);
+        for (dc, sc) in (&mut d).zip(&mut s) {
+            for i in 0..CHUNK {
+                dc[i] ^= table.mul(sc[i]);
+            }
+        }
+        for (db, &sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+            *db ^= table.mul(sb);
+        }
+    }
+
+    pub(super) fn xor(src: &[u8], dst: &mut [u8]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+    }
+}
+
+/// SSSE3 kernels: `PSHUFB` nibble lookups on 16-byte registers, two blocks
+/// per iteration. Safe wrappers run the SIMD body over the largest 16-byte
+/// prefix and finish the tail with the scalar table.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod ssse3 {
+    use std::arch::x86_64::{
+        __m128i, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8, _mm_srli_epi16,
+        _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    use crate::bulk8::MulTable;
+
+    /// One 16-lane shuffle multiply: `lo[x & 0xF] ^ hi[x >> 4]` per byte.
+    /// `_mm_srli_epi16` shifts bits across byte-lane boundaries, so the high
+    /// nibble is masked back to 4 bits before indexing the table.
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    // audit: unsafe ok — pure register arithmetic (no memory access); only called from
+    // SSSE3-gated fns that the dispatcher installs after is_x86_feature_detected!("ssse3")
+    unsafe fn mul16(lo: __m128i, hi: __m128i, mask: __m128i, x: __m128i) -> __m128i {
+        let lo_nib = _mm_and_si128(x, mask);
+        let hi_nib = _mm_and_si128(_mm_srli_epi16::<4>(x), mask);
+        _mm_xor_si128(_mm_shuffle_epi8(lo, lo_nib), _mm_shuffle_epi8(hi, hi_nib))
+    }
+
+    #[target_feature(enable = "ssse3")]
+    // audit: unsafe ok — SSSE3 is guaranteed by the caller; every unaligned 16-byte
+    // load/store offset i satisfies i + 16 <= len for both slices, whose lengths the
+    // safe wrapper checked equal and trimmed to a multiple of 16
+    unsafe fn mul_impl(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        debug_assert_eq!(src.len(), dst.len());
+        debug_assert_eq!(src.len() % 16, 0);
+        let lo = _mm_loadu_si128(table.low_nibble().as_ptr() as *const __m128i);
+        let hi = _mm_loadu_si128(table.high_nibble().as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0f);
+        let (s, d, len) = (src.as_ptr(), dst.as_mut_ptr(), dst.len());
+        let mut i = 0;
+        while i + 32 <= len {
+            let r0 = mul16(lo, hi, mask, _mm_loadu_si128(s.add(i) as *const __m128i));
+            let r1 = mul16(lo, hi, mask, _mm_loadu_si128(s.add(i + 16) as *const __m128i));
+            _mm_storeu_si128(d.add(i) as *mut __m128i, r0);
+            _mm_storeu_si128(d.add(i + 16) as *mut __m128i, r1);
+            i += 32;
+        }
+        if i < len {
+            let r = mul16(lo, hi, mask, _mm_loadu_si128(s.add(i) as *const __m128i));
+            _mm_storeu_si128(d.add(i) as *mut __m128i, r);
+        }
+    }
+
+    #[target_feature(enable = "ssse3")]
+    // audit: unsafe ok — SSSE3 is guaranteed by the caller; every unaligned 16-byte
+    // load/store offset i satisfies i + 16 <= len for both slices, whose lengths the
+    // safe wrapper checked equal and trimmed to a multiple of 16
+    unsafe fn mul_add_impl(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        debug_assert_eq!(src.len(), dst.len());
+        debug_assert_eq!(src.len() % 16, 0);
+        let lo = _mm_loadu_si128(table.low_nibble().as_ptr() as *const __m128i);
+        let hi = _mm_loadu_si128(table.high_nibble().as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0f);
+        let (s, d, len) = (src.as_ptr(), dst.as_mut_ptr(), dst.len());
+        let mut i = 0;
+        while i + 32 <= len {
+            let r0 = mul16(lo, hi, mask, _mm_loadu_si128(s.add(i) as *const __m128i));
+            let r1 = mul16(lo, hi, mask, _mm_loadu_si128(s.add(i + 16) as *const __m128i));
+            let d0 = _mm_loadu_si128(d.add(i) as *const __m128i);
+            let d1 = _mm_loadu_si128(d.add(i + 16) as *const __m128i);
+            _mm_storeu_si128(d.add(i) as *mut __m128i, _mm_xor_si128(d0, r0));
+            _mm_storeu_si128(d.add(i + 16) as *mut __m128i, _mm_xor_si128(d1, r1));
+            i += 32;
+        }
+        if i < len {
+            let r = mul16(lo, hi, mask, _mm_loadu_si128(s.add(i) as *const __m128i));
+            let d0 = _mm_loadu_si128(d.add(i) as *const __m128i);
+            _mm_storeu_si128(d.add(i) as *mut __m128i, _mm_xor_si128(d0, r));
+        }
+    }
+
+    // audit: unsafe ok — SSE2 (baseline on every x86_64) loads/stores; every 16-byte
+    // offset i satisfies i + 16 <= len for both slices, whose lengths the safe wrapper
+    // checked equal and trimmed to a multiple of 16
+    unsafe fn xor_impl(src: &[u8], dst: &mut [u8]) {
+        debug_assert_eq!(src.len(), dst.len());
+        debug_assert_eq!(src.len() % 16, 0);
+        let (s, d, len) = (src.as_ptr(), dst.as_mut_ptr(), dst.len());
+        let mut i = 0;
+        while i < len {
+            let x = _mm_xor_si128(
+                _mm_loadu_si128(s.add(i) as *const __m128i),
+                _mm_loadu_si128(d.add(i) as *const __m128i),
+            );
+            _mm_storeu_si128(d.add(i) as *mut __m128i, x);
+            i += 16;
+        }
+    }
+
+    pub(super) fn mul(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "kernel ops require equal slice lengths");
+        let main = dst.len() - dst.len() % 16;
+        // audit: unsafe ok — SSSE3 support was verified by Kernel::is_supported before
+        // this fn pointer was installed; the impl touches only the first `main` bytes,
+        // a multiple of 16 within both slices
+        unsafe { mul_impl(table, &src[..main], &mut dst[..main]) };
+        for i in main..dst.len() {
+            dst[i] = table.mul(src[i]);
+        }
+    }
+
+    pub(super) fn mul_add(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "kernel ops require equal slice lengths");
+        let main = dst.len() - dst.len() % 16;
+        // audit: unsafe ok — SSSE3 support was verified by Kernel::is_supported before
+        // this fn pointer was installed; the impl touches only the first `main` bytes,
+        // a multiple of 16 within both slices
+        unsafe { mul_add_impl(table, &src[..main], &mut dst[..main]) };
+        for i in main..dst.len() {
+            dst[i] ^= table.mul(src[i]);
+        }
+    }
+
+    pub(super) fn xor(src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "kernel ops require equal slice lengths");
+        let main = dst.len() - dst.len() % 16;
+        // audit: unsafe ok — SSE2 is baseline on x86_64; the impl touches only the
+        // first `main` bytes, a multiple of 16 within both slices
+        unsafe { xor_impl(&src[..main], &mut dst[..main]) };
+        for i in main..dst.len() {
+            dst[i] ^= src[i];
+        }
+    }
+}
+
+/// AVX2 kernels: `VPSHUFB` nibble lookups on 32-byte registers (the 16-entry
+/// split tables broadcast to both 128-bit lanes), two blocks per iteration.
+/// Safe wrappers run the SIMD body over the largest 32-byte prefix and finish
+/// the tail with the scalar table.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use std::arch::x86_64::{
+        __m128i, __m256i, _mm256_and_si256, _mm256_broadcastsi128_si256, _mm256_loadu_si256,
+        _mm256_set1_epi8, _mm256_shuffle_epi8, _mm256_srli_epi16, _mm256_storeu_si256, _mm256_xor_si256,
+        _mm_loadu_si128,
+    };
+
+    use crate::bulk8::MulTable;
+
+    /// One 32-lane shuffle multiply. `VPSHUFB` shuffles within each 128-bit
+    /// lane independently, which is exactly right here: both lanes hold the
+    /// same broadcast 16-entry table.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    // audit: unsafe ok — pure register arithmetic (no memory access); only called from
+    // AVX2-gated fns that the dispatcher installs after is_x86_feature_detected!("avx2")
+    unsafe fn mul32(lo: __m256i, hi: __m256i, mask: __m256i, x: __m256i) -> __m256i {
+        let lo_nib = _mm256_and_si256(x, mask);
+        let hi_nib = _mm256_and_si256(_mm256_srli_epi16::<4>(x), mask);
+        _mm256_xor_si256(_mm256_shuffle_epi8(lo, lo_nib), _mm256_shuffle_epi8(hi, hi_nib))
+    }
+
+    /// Loads one 16-entry split table and broadcasts it to both lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    // audit: unsafe ok — reads exactly 16 bytes from a &[u8; 16] via unaligned load;
+    // only called from AVX2-gated fns installed after feature detection
+    unsafe fn broadcast_table(table: &[u8; 16]) -> __m256i {
+        _mm256_broadcastsi128_si256(_mm_loadu_si128(table.as_ptr() as *const __m128i))
+    }
+
+    #[target_feature(enable = "avx2")]
+    // audit: unsafe ok — AVX2 is guaranteed by the caller; every unaligned 32-byte
+    // load/store offset i satisfies i + 32 <= len for both slices, whose lengths the
+    // safe wrapper checked equal and trimmed to a multiple of 32
+    unsafe fn mul_impl(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        debug_assert_eq!(src.len(), dst.len());
+        debug_assert_eq!(src.len() % 32, 0);
+        let lo = broadcast_table(table.low_nibble());
+        let hi = broadcast_table(table.high_nibble());
+        let mask = _mm256_set1_epi8(0x0f);
+        let (s, d, len) = (src.as_ptr(), dst.as_mut_ptr(), dst.len());
+        let mut i = 0;
+        while i + 64 <= len {
+            let r0 = mul32(lo, hi, mask, _mm256_loadu_si256(s.add(i) as *const __m256i));
+            let r1 = mul32(lo, hi, mask, _mm256_loadu_si256(s.add(i + 32) as *const __m256i));
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, r0);
+            _mm256_storeu_si256(d.add(i + 32) as *mut __m256i, r1);
+            i += 64;
+        }
+        if i < len {
+            let r = mul32(lo, hi, mask, _mm256_loadu_si256(s.add(i) as *const __m256i));
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, r);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    // audit: unsafe ok — AVX2 is guaranteed by the caller; every unaligned 32-byte
+    // load/store offset i satisfies i + 32 <= len for both slices, whose lengths the
+    // safe wrapper checked equal and trimmed to a multiple of 32
+    unsafe fn mul_add_impl(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        debug_assert_eq!(src.len(), dst.len());
+        debug_assert_eq!(src.len() % 32, 0);
+        let lo = broadcast_table(table.low_nibble());
+        let hi = broadcast_table(table.high_nibble());
+        let mask = _mm256_set1_epi8(0x0f);
+        let (s, d, len) = (src.as_ptr(), dst.as_mut_ptr(), dst.len());
+        let mut i = 0;
+        while i + 64 <= len {
+            let r0 = mul32(lo, hi, mask, _mm256_loadu_si256(s.add(i) as *const __m256i));
+            let r1 = mul32(lo, hi, mask, _mm256_loadu_si256(s.add(i + 32) as *const __m256i));
+            let d0 = _mm256_loadu_si256(d.add(i) as *const __m256i);
+            let d1 = _mm256_loadu_si256(d.add(i + 32) as *const __m256i);
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, _mm256_xor_si256(d0, r0));
+            _mm256_storeu_si256(d.add(i + 32) as *mut __m256i, _mm256_xor_si256(d1, r1));
+            i += 64;
+        }
+        if i < len {
+            let r = mul32(lo, hi, mask, _mm256_loadu_si256(s.add(i) as *const __m256i));
+            let d0 = _mm256_loadu_si256(d.add(i) as *const __m256i);
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, _mm256_xor_si256(d0, r));
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    // audit: unsafe ok — AVX2 is guaranteed by the caller; every unaligned 32-byte
+    // load/store offset i satisfies i + 32 <= len for both slices, whose lengths the
+    // safe wrapper checked equal and trimmed to a multiple of 32
+    unsafe fn xor_impl(src: &[u8], dst: &mut [u8]) {
+        debug_assert_eq!(src.len(), dst.len());
+        debug_assert_eq!(src.len() % 32, 0);
+        let (s, d, len) = (src.as_ptr(), dst.as_mut_ptr(), dst.len());
+        let mut i = 0;
+        while i < len {
+            let x = _mm256_xor_si256(
+                _mm256_loadu_si256(s.add(i) as *const __m256i),
+                _mm256_loadu_si256(d.add(i) as *const __m256i),
+            );
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, x);
+            i += 32;
+        }
+    }
+
+    pub(super) fn mul(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "kernel ops require equal slice lengths");
+        let main = dst.len() - dst.len() % 32;
+        // audit: unsafe ok — AVX2 support was verified by Kernel::is_supported before
+        // this fn pointer was installed; the impl touches only the first `main` bytes,
+        // a multiple of 32 within both slices
+        unsafe { mul_impl(table, &src[..main], &mut dst[..main]) };
+        for i in main..dst.len() {
+            dst[i] = table.mul(src[i]);
+        }
+    }
+
+    pub(super) fn mul_add(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "kernel ops require equal slice lengths");
+        let main = dst.len() - dst.len() % 32;
+        // audit: unsafe ok — AVX2 support was verified by Kernel::is_supported before
+        // this fn pointer was installed; the impl touches only the first `main` bytes,
+        // a multiple of 32 within both slices
+        unsafe { mul_add_impl(table, &src[..main], &mut dst[..main]) };
+        for i in main..dst.len() {
+            dst[i] ^= table.mul(src[i]);
+        }
+    }
+
+    pub(super) fn xor(src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "kernel ops require equal slice lengths");
+        let main = dst.len() - dst.len() % 32;
+        // audit: unsafe ok — AVX2 support was verified by Kernel::is_supported before
+        // this fn pointer was installed; the impl touches only the first `main` bytes,
+        // a multiple of 32 within both slices
+        unsafe { xor_impl(&src[..main], &mut dst[..main]) };
+        for i in main..dst.len() {
+            dst[i] ^= src[i];
+        }
+    }
+}
+
+/// NEON kernels: `TBL` nibble lookups (`vqtbl1q_u8`) on 16-byte registers.
+/// Safe wrappers run the SIMD body over the largest 16-byte prefix and finish
+/// the tail with the scalar table.
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon {
+    use std::arch::aarch64::{
+        uint8x16_t, vandq_u8, vdupq_n_u8, veorq_u8, vld1q_u8, vqtbl1q_u8, vshrq_n_u8, vst1q_u8,
+    };
+
+    use crate::bulk8::MulTable;
+
+    /// One 16-lane table-lookup multiply: `lo[x & 0xF] ^ hi[x >> 4]` per byte.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    // audit: unsafe ok — pure register arithmetic (no memory access); only called from
+    // NEON-gated fns that the dispatcher installs after is_aarch64_feature_detected!("neon")
+    unsafe fn mul16(lo: uint8x16_t, hi: uint8x16_t, x: uint8x16_t) -> uint8x16_t {
+        let lo_nib = vandq_u8(x, vdupq_n_u8(0x0f));
+        let hi_nib = vshrq_n_u8::<4>(x);
+        veorq_u8(vqtbl1q_u8(lo, lo_nib), vqtbl1q_u8(hi, hi_nib))
+    }
+
+    #[target_feature(enable = "neon")]
+    // audit: unsafe ok — NEON is guaranteed by the caller; every 16-byte load/store
+    // offset i satisfies i + 16 <= len for both slices, whose lengths the safe wrapper
+    // checked equal and trimmed to a multiple of 16
+    unsafe fn mul_impl(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        debug_assert_eq!(src.len(), dst.len());
+        debug_assert_eq!(src.len() % 16, 0);
+        let lo = vld1q_u8(table.low_nibble().as_ptr());
+        let hi = vld1q_u8(table.high_nibble().as_ptr());
+        let (s, d, len) = (src.as_ptr(), dst.as_mut_ptr(), dst.len());
+        let mut i = 0;
+        while i < len {
+            vst1q_u8(d.add(i), mul16(lo, hi, vld1q_u8(s.add(i))));
+            i += 16;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    // audit: unsafe ok — NEON is guaranteed by the caller; every 16-byte load/store
+    // offset i satisfies i + 16 <= len for both slices, whose lengths the safe wrapper
+    // checked equal and trimmed to a multiple of 16
+    unsafe fn mul_add_impl(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        debug_assert_eq!(src.len(), dst.len());
+        debug_assert_eq!(src.len() % 16, 0);
+        let lo = vld1q_u8(table.low_nibble().as_ptr());
+        let hi = vld1q_u8(table.high_nibble().as_ptr());
+        let (s, d, len) = (src.as_ptr(), dst.as_mut_ptr(), dst.len());
+        let mut i = 0;
+        while i < len {
+            let r = mul16(lo, hi, vld1q_u8(s.add(i)));
+            vst1q_u8(d.add(i), veorq_u8(vld1q_u8(d.add(i)), r));
+            i += 16;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    // audit: unsafe ok — NEON is guaranteed by the caller; every 16-byte load/store
+    // offset i satisfies i + 16 <= len for both slices, whose lengths the safe wrapper
+    // checked equal and trimmed to a multiple of 16
+    unsafe fn xor_impl(src: &[u8], dst: &mut [u8]) {
+        debug_assert_eq!(src.len(), dst.len());
+        debug_assert_eq!(src.len() % 16, 0);
+        let (s, d, len) = (src.as_ptr(), dst.as_mut_ptr(), dst.len());
+        let mut i = 0;
+        while i < len {
+            vst1q_u8(d.add(i), veorq_u8(vld1q_u8(d.add(i)), vld1q_u8(s.add(i))));
+            i += 16;
+        }
+    }
+
+    pub(super) fn mul(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "kernel ops require equal slice lengths");
+        let main = dst.len() - dst.len() % 16;
+        // audit: unsafe ok — NEON support was verified by Kernel::is_supported before
+        // this fn pointer was installed; the impl touches only the first `main` bytes,
+        // a multiple of 16 within both slices
+        unsafe { mul_impl(table, &src[..main], &mut dst[..main]) };
+        for i in main..dst.len() {
+            dst[i] = table.mul(src[i]);
+        }
+    }
+
+    pub(super) fn mul_add(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "kernel ops require equal slice lengths");
+        let main = dst.len() - dst.len() % 16;
+        // audit: unsafe ok — NEON support was verified by Kernel::is_supported before
+        // this fn pointer was installed; the impl touches only the first `main` bytes,
+        // a multiple of 16 within both slices
+        unsafe { mul_add_impl(table, &src[..main], &mut dst[..main]) };
+        for i in main..dst.len() {
+            dst[i] ^= table.mul(src[i]);
+        }
+    }
+
+    pub(super) fn xor(src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "kernel ops require equal slice lengths");
+        let main = dst.len() - dst.len() % 16;
+        // audit: unsafe ok — NEON support was verified by Kernel::is_supported before
+        // this fn pointer was installed; the impl touches only the first `main` bytes,
+        // a multiple of 16 within both slices
+        unsafe { xor_impl(&src[..main], &mut dst[..main]) };
+        for i in main..dst.len() {
+            dst[i] ^= src[i];
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Helpers for tests that exercise the *global* dispatch: a process-wide
+    //! lock serializes forcing, and a guard restores the previous kernel.
+
+    use std::sync::{Mutex, MutexGuard};
+
+    use super::{force_kernel, Kernel, KernelOps};
+    use crate::bulk8::MulTable;
+
+    static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+    /// RAII guard from [`force_guard`]: holds the exclusion lock and restores
+    /// the previously active kernel on drop.
+    pub(crate) struct ForcedKernel {
+        previous: Kernel,
+        _lock: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for ForcedKernel {
+        fn drop(&mut self) {
+            let _ = force_kernel(self.previous);
+        }
+    }
+
+    /// Forces `kernel` (which must be supported) for the guard's lifetime.
+    pub(crate) fn force_guard(kernel: Kernel) -> ForcedKernel {
+        let lock = FORCE_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let previous = force_kernel(kernel).expect("forced kernel must be supported on this host");
+        ForcedKernel {
+            previous,
+            _lock: lock,
+        }
+    }
+
+    fn corrupt(dst: &mut [u8]) {
+        if let Some(last) = dst.len().checked_sub(1) {
+            dst[13.min(last)] ^= 0x10;
+        }
+    }
+
+    fn broken_mul(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        (super::SCALAR_OPS.mul)(table, src, dst);
+        corrupt(dst);
+    }
+
+    fn broken_mul_add(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        (super::SCALAR_OPS.mul_add)(table, src, dst);
+        corrupt(dst);
+    }
+
+    fn broken_xor(src: &[u8], dst: &mut [u8]) {
+        (super::SCALAR_OPS.xor)(src, dst);
+        corrupt(dst);
+    }
+
+    /// A deliberately wrong kernel (one bit flipped per op) used to prove the
+    /// differential sweep actually detects a broken SIMD lane.
+    pub(crate) fn broken_ops() -> KernelOps {
+        KernelOps {
+            mul: broken_mul,
+            mul_add: broken_mul_add,
+            xor: broken_xor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk8::CoeffTables;
+    use crate::{GaloisField, Gf256};
+
+    /// Deterministic byte pattern distinct per (seed, index).
+    fn pattern(seed: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| {
+                let x = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (x >> 32) as u8
+            })
+            .collect()
+    }
+
+    /// Lengths that exercise empty slices, sub-register tails, every head
+    /// offset through one 256-byte sweep, and multi-KiB strip interiors.
+    fn sweep_lens() -> Vec<usize> {
+        let mut lens: Vec<usize> = (0..=257).collect();
+        lens.extend([1024, DRIVER_STRIP + 13, 3 * DRIVER_STRIP, 16 * 1024 + 1]);
+        lens
+    }
+
+    /// Runs every op of `ops` against the scalar reference across the sweep;
+    /// returns false on the first mismatch.
+    fn sweep_matches_scalar(ops: &KernelOps) -> bool {
+        let tables = CoeffTables::new();
+        let coeffs = [2u64, 0x1D, 0x53, 0x8E, 0xFF];
+        for &len in &sweep_lens() {
+            let src = pattern(0xA5A5_0001, len);
+            let src2 = pattern(0x5A5A_0002, len);
+            let init = pattern(0xC3C3_0003, len);
+            for &c in &coeffs {
+                let table = tables.get(Gf256::from_u64(c));
+
+                let mut want = vec![0u8; len];
+                let mut got = vec![0xEEu8; len];
+                (SCALAR_OPS.mul)(table, &src, &mut want);
+                (ops.mul)(table, &src, &mut got);
+                if want != got {
+                    return false;
+                }
+
+                let mut want = init.clone();
+                let mut got = init.clone();
+                (SCALAR_OPS.mul_add)(table, &src, &mut want);
+                (ops.mul_add)(table, &src, &mut got);
+                if want != got {
+                    return false;
+                }
+            }
+
+            let mut want = init.clone();
+            let mut got = init.clone();
+            (SCALAR_OPS.xor)(&src, &mut want);
+            (ops.xor)(&src, &mut got);
+            if want != got {
+                return false;
+            }
+
+            let sources: Vec<(&crate::bulk8::MulTable, &[u8])> = vec![
+                (tables.get(Gf256::from_u64(0x1D)), src.as_slice()),
+                (tables.get(Gf256::ONE), src2.as_slice()),
+                (tables.get(Gf256::from_u64(0x8E)), init.as_slice()),
+            ];
+            let mut want = vec![0u8; len];
+            let mut got = vec![0x77u8; len];
+            mul_multi_with(&SCALAR_OPS, &sources, &mut want);
+            mul_multi_with(ops, &sources, &mut got);
+            if want != got {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn every_available_kernel_is_bit_identical_to_scalar() {
+        for kernel in Kernel::available() {
+            assert!(
+                sweep_matches_scalar(ops_of(kernel)),
+                "kernel `{}` diverged from the scalar reference",
+                kernel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn a_mutated_kernel_fails_the_differential_sweep() {
+        // Guards the guard: if this ever passes for a broken kernel, the
+        // sweep has lost its teeth and the SIMD lanes are unwatched.
+        assert!(
+            !sweep_matches_scalar(&test_support::broken_ops()),
+            "differential sweep failed to detect a deliberately broken kernel"
+        );
+    }
+
+    #[test]
+    fn per_kernel_checked_ops_match_scalar_and_reject_unsupported() {
+        let table = crate::bulk8::MulTable::new(Gf256::from_u64(0xB1));
+        let src = pattern(7, 100);
+        for kernel in Kernel::ALL {
+            let mut dst = pattern(11, 100);
+            if kernel.is_supported() {
+                let mut want = dst.clone();
+                Kernel::Scalar.mul_add_slice(&table, &src, &mut want).unwrap();
+                kernel.mul_add_slice(&table, &src, &mut dst).unwrap();
+                assert_eq!(dst, want, "kernel `{}`", kernel.name());
+            } else {
+                let err = kernel.mul_add_slice(&table, &src, &mut dst).unwrap_err();
+                assert_eq!(err, UnsupportedKernel { kernel });
+                assert!(err.to_string().contains(kernel.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_names_round_trip_and_parse_case_insensitively() {
+        for kernel in Kernel::ALL {
+            assert_eq!(Kernel::from_name(kernel.name()), Some(kernel));
+            assert_eq!(Kernel::from_name(&kernel.name().to_uppercase()), Some(kernel));
+            assert_eq!(kernel.to_string(), kernel.name());
+        }
+        assert_eq!(Kernel::from_name("sse9"), None);
+        assert_eq!(Kernel::from_name(""), None);
+    }
+
+    #[test]
+    fn forcing_a_kernel_changes_active_and_restores_on_drop() {
+        for kernel in Kernel::available() {
+            let initial = active_kernel();
+            {
+                let _guard = test_support::force_guard(kernel);
+                assert_eq!(active_kernel(), kernel);
+            }
+            assert_eq!(active_kernel(), initial, "guard must restore the previous kernel");
+        }
+    }
+
+    #[test]
+    fn forcing_an_unsupported_kernel_is_rejected_and_leaves_dispatch_alone() {
+        let Some(unsupported) = Kernel::ALL.into_iter().find(|k| !k.is_supported()) else {
+            return; // host supports every compiled-in kernel
+        };
+        let before = active_kernel();
+        assert_eq!(
+            force_kernel(unsupported),
+            Err(UnsupportedKernel { kernel: unsupported })
+        );
+        assert_eq!(active_kernel(), before);
+    }
+
+    #[test]
+    fn public_bulk8_api_handles_unaligned_heads_tails_and_errors_on_every_kernel() {
+        let tables = CoeffTables::new();
+        let c = Gf256::from_u64(0x53);
+        for kernel in Kernel::available() {
+            let _guard = test_support::force_guard(kernel);
+            // Offsets into an oversized backing buffer misalign the slice
+            // pointers; lengths cover empty, sub-register, and cross-chunk.
+            for offset in [1usize, 2, 3, 13, 15, 16, 17, 31, 33, 63] {
+                for len in [0usize, 1, 15, 16, 63, 64, 65, 257] {
+                    let backing_src = pattern(offset as u64, offset + len);
+                    let backing_dst = pattern(!(offset as u64), offset + len);
+                    let src = &backing_src[offset..];
+                    let mut dst = backing_dst[offset..].to_vec();
+                    let want: Vec<u8> = dst
+                        .iter()
+                        .zip(src)
+                        .map(|(&d, &s)| d ^ (c * Gf256::from_u64(u64::from(s))).to_u64() as u8)
+                        .collect();
+                    tables.mul_add_slice(c, src, &mut dst);
+                    assert_eq!(dst, want, "kernel `{}` offset {offset} len {len}", kernel.name());
+                }
+            }
+            // Length mismatches must take the error path on the SIMD kernels
+            // too, leaving the destination untouched.
+            let mut dst = vec![0xABu8; 64];
+            let err = tables.try_mul_add_slice(c, &[0u8; 65], &mut dst).unwrap_err();
+            assert_eq!((err.expected, err.actual), (64, 65));
+            assert!(dst.iter().all(|&b| b == 0xAB));
+            // Zero-length slices are a no-op on every kernel.
+            tables.mul_add_slice(c, &[], &mut []);
+        }
+    }
+
+    #[test]
+    fn auto_detection_prefers_the_widest_supported_kernel() {
+        let expect = [Kernel::Avx2, Kernel::Ssse3, Kernel::Neon]
+            .into_iter()
+            .find(|k| k.is_supported())
+            .unwrap_or(Kernel::Scalar);
+        assert_eq!(auto_detect(), expect);
+        assert!(Kernel::available().contains(&Kernel::Scalar));
+    }
+}

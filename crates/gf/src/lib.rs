@@ -14,9 +14,14 @@
 //! * bulk slice kernels ([`bulk`]) used by the erasure encoder to apply a
 //!   scalar coefficient to a whole block of symbols at once,
 //! * the byte-shard fast path ([`bulk8`]): split-table `GF(2^8)` kernels
-//!   operating directly on `&[u8]` shards in 64-byte chunks, with a
-//!   per-coefficient table cache. The generic [`bulk`] kernels remain the
-//!   scalar reference implementation the fast path is tested against.
+//!   operating directly on `&[u8]` shards, with a per-coefficient table
+//!   cache. The generic [`bulk`] kernels remain the scalar reference
+//!   implementation the fast path is tested against,
+//! * runtime-dispatched SIMD kernels ([`kernel`]) behind the `bulk8` entry
+//!   points: SSSE3/AVX2 `PSHUFB` and NEON `TBL` nibble-lookup multiplication
+//!   selected once per process (overridable via `SEC_GF_KERNEL` or
+//!   [`force_kernel`]), with the scalar loops as the universal fallback and
+//!   differential-test reference.
 //!
 //! # Example
 //!
@@ -32,7 +37,7 @@
 //! assert_eq!(a + a, Gf256::ZERO);
 //! ```
 
-#![deny(unsafe_code)] // audit carve-out: future SIMD kernels may need per-block #[allow]
+#![deny(unsafe_code)] // audit carve-out: kernel.rs SIMD modules carve out per-module #[allow]
 #![warn(missing_debug_implementations)]
 #![warn(missing_docs)]
 
@@ -42,10 +47,12 @@ mod tables;
 
 pub mod bulk;
 pub mod bulk8;
+pub mod kernel;
 pub mod poly;
 
 pub use field::GaloisField;
 pub use fields::{Gf1024, Gf16, Gf256, Gf65536};
+pub use kernel::{active_kernel, force_kernel, reset_kernel, Kernel, UnsupportedKernel, KERNEL_ENV};
 pub use poly::Poly;
 
 #[cfg(test)]

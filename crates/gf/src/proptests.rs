@@ -168,6 +168,56 @@ proptest! {
     }
 
     #[test]
+    fn bulk8_simd_kernels_match_scalar_reference_on_all_lengths(
+        // Short lengths sweep every head/tail remainder a 16/32-byte SIMD
+        // register can see; the multi-KiB lengths cross the fused drivers'
+        // strip boundaries (including a deliberately unaligned +13 / +1).
+        len in prop_oneof![
+            0usize..258,
+            Just(4096usize + 13),
+            Just(3 * 4096usize),
+            Just(16 * 1024usize + 1)
+        ],
+        c in 0u64..256,
+        c2 in 0u64..256,
+        seed in 0u64..u64::MAX,
+    ) {
+        use crate::kernel::Kernel;
+        let table = crate::bulk8::MulTable::new(Gf256::from_u64(c));
+        let table2 = crate::bulk8::MulTable::new(Gf256::from_u64(c2));
+        let src: Vec<u8> = (0..len).map(|i| (seed.wrapping_mul(i as u64 + 1) >> 13) as u8).collect();
+        let init: Vec<u8> = (0..len).map(|i| (seed.wrapping_add(i as u64 * 7) >> 21) as u8).collect();
+        let sources: Vec<(&crate::bulk8::MulTable, &[u8])> =
+            vec![(&table, src.as_slice()), (&table2, init.as_slice())];
+
+        // The scalar kernel is the reference; every kernel the host supports
+        // must be bit-identical to it through the per-kernel checked ops.
+        let mut want_mul = vec![0u8; len];
+        Kernel::Scalar.mul_slice(&table, &src, &mut want_mul).unwrap();
+        let mut want_add = init.clone();
+        Kernel::Scalar.mul_add_slice(&table, &src, &mut want_add).unwrap();
+        let mut want_xor = init.clone();
+        Kernel::Scalar.xor_slice(&src, &mut want_xor).unwrap();
+        let mut want_multi = vec![0u8; len];
+        Kernel::Scalar.mul_multi(&sources, &mut want_multi).unwrap();
+
+        for kernel in Kernel::available() {
+            let mut got = vec![0xEEu8; len];
+            kernel.mul_slice(&table, &src, &mut got).unwrap();
+            prop_assert_eq!(&got, &want_mul, "mul_slice diverged on kernel `{}`", kernel.name());
+            let mut got = init.clone();
+            kernel.mul_add_slice(&table, &src, &mut got).unwrap();
+            prop_assert_eq!(&got, &want_add, "mul_add_slice diverged on kernel `{}`", kernel.name());
+            let mut got = init.clone();
+            kernel.xor_slice(&src, &mut got).unwrap();
+            prop_assert_eq!(&got, &want_xor, "xor_slice diverged on kernel `{}`", kernel.name());
+            let mut got = vec![0x77u8; len];
+            kernel.mul_multi(&sources, &mut got).unwrap();
+            prop_assert_eq!(&got, &want_multi, "mul_multi diverged on kernel `{}`", kernel.name());
+        }
+    }
+
+    #[test]
     fn bulk8_xor_accumulate_matches_scalar_reference(
         len in prop_oneof![Just(0usize), Just(1usize), Just(64usize), 2usize..200],
         rows in 0usize..5,
