@@ -41,6 +41,14 @@
 //! auto-detected kernel as `active_kernel`, and the headline print shows
 //! each SIMD kernel's speedup over scalar for the (6, 3) encode.
 //!
+//! An eighth series measures *cache scaling*: a (6, 3) Basic-SEC engine
+//! holding a 64-version chain of PMF-driven sparse edits (alternating the
+//! paper's truncated-exponential and truncated-Poisson sparsity models),
+//! checkpointed every `c` deltas, read with version targets drawn Zipf-by-
+//! recency. Rows report exact- and nearest-base hit rates of the delta
+//! cache and the mean read amplification, which the checkpoint policy
+//! bounds by `1 + c` (in units of `k` block reads).
+//!
 //! Run with `cargo run --release -p sec-bench --bin throughput`. Pass
 //! `--smoke` for a quick CI-sized run (4 KiB shards only) and `--out <path>`
 //! to change the JSON destination.
@@ -49,10 +57,13 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sec_engine::{ObjectId, PlacementStrategy, SecCluster, SecEngine};
 use sec_erasure::{shards, ByteCodec, ByteShards, GeneratorForm, SecCode, Share};
 use sec_gf::{GaloisField, Gf256, Kernel};
-use sec_versioning::{ArchiveConfig, EncodingStrategy};
+use sec_versioning::{ArchiveConfig, CheckpointPolicy, EncodingStrategy};
+use sec_workload::{SparsityPmf, ZipfPmf};
 
 /// One measured data point.
 struct Sample {
@@ -166,6 +177,85 @@ fn measure_placement_scaling(
         retrievals,
         retrievals_per_s: retrievals as f64 / elapsed,
         mb_per_s: (retrievals as f64 * object_bytes as f64 / 1e6) / elapsed,
+    }
+}
+
+/// One cache-scaling data point: delta-cache hit rates and read
+/// amplification for one checkpoint-spacing × cache-capacity pair.
+struct CacheScalingSample {
+    spacing: usize,
+    cache_capacity: usize,
+    versions: usize,
+    retrievals: u64,
+    hit_rate: f64,
+    base_hit_rate: f64,
+    deltas_applied: u64,
+    checkpoints_written: u64,
+    read_amplification: f64,
+    retrievals_per_s: f64,
+}
+
+/// Measures delta-cache effectiveness on a (6, 3) Basic-SEC engine holding
+/// a `versions`-long chain whose per-version sparsity alternates between
+/// the paper's truncated-exponential and truncated-Poisson PMFs, with a
+/// checkpoint every `spacing` deltas. The read phase draws `reads` version
+/// targets Zipf-by-recency (rank 1 = the newest version) and reports the
+/// cache's exact- and nearest-base hit rates plus the mean read
+/// amplification: block reads per retrieval over `k`, which the checkpoint
+/// policy bounds by `1 + spacing`.
+fn measure_cache_scaling(
+    shard_bytes: usize,
+    versions: usize,
+    spacing: usize,
+    cache_capacity: usize,
+    reads: u64,
+) -> CacheScalingSample {
+    let k = 3usize;
+    let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
+        .expect("(6,3) fits in GF(256)")
+        .with_checkpoints(CheckpointPolicy::every(spacing));
+    let engine = SecEngine::with_cache(config, cache_capacity).expect("engine builds");
+
+    let mut rng = StdRng::seed_from_u64(0x5EC5_CA1E ^ (spacing as u64) << 8 ^ cache_capacity as u64);
+    let exponential = SparsityPmf::truncated_exponential(1.0, k).expect("valid PMF");
+    let poisson = SparsityPmf::truncated_poisson(1.2, k).expect("valid PMF");
+    let mut object = vec![0u8; k * shard_bytes];
+    fill(&mut object, shard_bytes as u64 + 71);
+    engine.append_version(&object).expect("append v1");
+    for v in 1..versions {
+        // One-byte edits in γ distinct blocks: the stored delta's sparsity
+        // is exactly the PMF draw.
+        let pmf = if v % 2 == 0 { &exponential } else { &poisson };
+        let gamma = pmf.sample(&mut rng);
+        for block in 0..gamma {
+            object[block * shard_bytes + (v * 131) % shard_bytes] ^= 0xA5;
+        }
+        engine.append_version(&object).expect("append delta");
+    }
+
+    let zipf = ZipfPmf::new(1.1, versions).expect("valid PMF");
+    let before = engine.metrics_snapshot().cache;
+    let mut io_reads = 0u64;
+    let start = Instant::now();
+    for _ in 0..reads {
+        let l = versions + 1 - zipf.sample(&mut rng);
+        let r = engine.get_version(l).expect("retrieval");
+        io_reads += r.io_reads as u64;
+        std::hint::black_box(r);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let m = engine.metrics_snapshot();
+    CacheScalingSample {
+        spacing,
+        cache_capacity,
+        versions,
+        retrievals: reads,
+        hit_rate: (m.cache.hits - before.hits) as f64 / reads as f64,
+        base_hit_rate: (m.cache.base_hits - before.base_hits) as f64 / reads as f64,
+        deltas_applied: m.deltas_applied,
+        checkpoints_written: m.checkpoints_written,
+        read_amplification: io_reads as f64 / (reads as f64 * k as f64),
+        retrievals_per_s: reads as f64 / elapsed,
     }
 }
 
@@ -735,6 +825,24 @@ fn main() -> std::io::Result<()> {
             })
             .collect();
 
+    // ---- cache scaling: hit rates and checkpointed read amplification ------
+    let cache_versions = 64;
+    let cache_reads: u64 = if args.smoke { 512 } else { 4096 };
+    let cache_spacings: &[usize] = if args.smoke { &[0, 8] } else { &[0, 4, 8, 16] };
+    let cache_capacities: &[usize] = if args.smoke { &[0, 8] } else { &[0, 4, 16] };
+    let mut cache_scaling: Vec<CacheScalingSample> = Vec::new();
+    for &spacing in cache_spacings {
+        for &capacity in cache_capacities {
+            cache_scaling.push(measure_cache_scaling(
+                4096,
+                cache_versions,
+                spacing,
+                capacity,
+                cache_reads,
+            ));
+        }
+    }
+
     // Human-readable table.
     println!(
         "{:<16} {:<14} {:>4} {:>4} {:>12} {:>14} {:>12}",
@@ -798,6 +906,29 @@ fn main() -> std::io::Result<()> {
         );
     }
 
+    println!(
+        "\n{:<8} {:>9} {:>9} {:>11} {:>13} {:>8} {:>8} {:>6}",
+        "spacing", "capacity", "hit_rate", "base_rate", "checkpoints", "deltas", "amp", "bound"
+    );
+    for s in &cache_scaling {
+        let bound = if s.spacing == 0 {
+            "-".to_string()
+        } else {
+            format!("{}", 1 + s.spacing)
+        };
+        println!(
+            "{:<8} {:>9} {:>9.3} {:>11.3} {:>13} {:>8} {:>8.3} {:>6}",
+            s.spacing,
+            s.cache_capacity,
+            s.hit_rate,
+            s.base_hit_rate,
+            s.checkpoints_written,
+            s.deltas_applied,
+            s.read_amplification,
+            bound
+        );
+    }
+
     // Headline speedup: byte vs per-symbol encode for the (6,3) code at the
     // largest measured shard size.
     let headline_size = *sizes.last().expect("at least one size");
@@ -847,7 +978,7 @@ fn main() -> std::io::Result<()> {
     // JSON emission (hand-rolled; the workspace has no serde).
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"schema\": \"sec-bench-throughput/v5\",").unwrap();
+    writeln!(json, "  \"schema\": \"sec-bench-throughput/v6\",").unwrap();
     writeln!(json, "  \"smoke\": {},", args.smoke).unwrap();
     writeln!(json, "  \"active_kernel\": \"{auto_kernel}\",").unwrap();
     writeln!(json, "  \"headline_shard_bytes\": {headline_size},").unwrap();
@@ -941,6 +1072,35 @@ fn main() -> std::io::Result<()> {
             s.retrievals,
             { s.retrievals_per_s },
             s.mb_per_s
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"cache_scaling\": [").unwrap();
+    for (idx, s) in cache_scaling.iter().enumerate() {
+        let comma = if idx + 1 == cache_scaling.len() { "" } else { "," };
+        let bound = if s.spacing == 0 {
+            "null".to_string()
+        } else {
+            (1 + s.spacing).to_string()
+        };
+        writeln!(
+            json,
+            "    {{\"engine\": \"sec-engine\", \"n\": 6, \"k\": 3, \"strategy\": \"basic-sec\", \
+             \"versions\": {}, \"checkpoint_spacing\": {}, \"cache_capacity\": {}, \
+             \"retrievals\": {}, \"hit_rate\": {:.4}, \"base_hit_rate\": {:.4}, \
+             \"deltas_applied\": {}, \"checkpoints_written\": {}, \"read_amplification\": {:.4}, \
+             \"amplification_bound\": {bound}, \"retrievals_per_s\": {:.1}}}{comma}",
+            s.versions,
+            s.spacing,
+            s.cache_capacity,
+            s.retrievals,
+            s.hit_rate,
+            s.base_hit_rate,
+            s.deltas_applied,
+            s.checkpoints_written,
+            s.read_amplification,
+            s.retrievals_per_s
         )
         .unwrap();
     }

@@ -30,7 +30,7 @@ use crate::ordered::{LockRank, OrderedRwLock};
 use sec_store::fault;
 use sec_store::{FailurePattern, IoMetrics, PlacementStrategy, StoreError};
 use sec_versioning::object::VersionId;
-use sec_versioning::{ArchiveConfig, ByteVersionedArchive, CacheStats};
+use sec_versioning::{ArchiveConfig, ByteVersionedArchive, CacheStats, DeltaCache};
 
 use crate::engine::{EngineMetrics, EnginePrefix, EngineRetrieval, NodeLiveness, SecEngine};
 use sec_erasure::ByteCodec;
@@ -154,9 +154,15 @@ pub struct ShardMetrics {
     pub objects: usize,
     /// Total versions appended across the shard's objects.
     pub versions: usize,
-    /// Version-cache statistics summed across the shard's objects
+    /// Delta-cache statistics summed across the shard's objects
     /// (`capacity` sums the per-object capacities).
     pub cache: CacheStats,
+    /// Stored entries XOR-applied on top of cached bases, summed across the
+    /// shard's objects.
+    pub deltas_applied: u64,
+    /// Checkpoint full versions forced by the archive policy, summed across
+    /// the shard's objects.
+    pub checkpoints_written: u64,
 }
 
 /// A point-in-time view of everything the cluster counts.
@@ -179,6 +185,10 @@ pub struct ClusterMetrics {
     pub objects: usize,
     /// Total versions across all objects.
     pub versions: usize,
+    /// Cluster-wide total of stored entries XOR-applied on cached bases.
+    pub deltas_applied: u64,
+    /// Cluster-wide total of policy-forced checkpoint full versions.
+    pub checkpoints_written: u64,
 }
 
 /// One shard: the engines of the objects routed here, plus — under
@@ -226,7 +236,7 @@ pub struct SecCluster {
 }
 
 impl SecCluster {
-    /// Creates a cluster of `shards` empty shards with version caches
+    /// Creates a cluster of `shards` empty shards with delta caches
     /// disabled (the mode whose read accounting is bit-compatible with the
     /// single-archive references).
     ///
@@ -239,7 +249,7 @@ impl SecCluster {
         Self::with_cache(config, shards, 0)
     }
 
-    /// Like [`SecCluster::new`], giving every object's engine a version
+    /// Like [`SecCluster::new`], giving every object's engine a delta
     /// cache of `cache_capacity` decoded versions (0 disables caching).
     ///
     /// # Errors
@@ -423,9 +433,13 @@ impl SecCluster {
         // encode into a private engine with no map lock held.
         let archive = ByteVersionedArchive::with_codec(self.config, self.codec.clone())
             .map_err(StoreError::from)?;
-        let engine = Arc::new(SecEngine::from_layout(
+        // Each engine owns its cache but files entries under the object's
+        // id, so per-object statistics and capacities stay independent (the
+        // cluster's aggregate metrics sum them).
+        let engine = Arc::new(SecEngine::from_layout_with_cache(
             archive,
-            self.cache_capacity,
+            Arc::new(DeltaCache::new(self.cache_capacity)),
+            id.0,
             self.placement,
             shard.liveness.as_ref().map(Arc::clone),
         ));
@@ -502,6 +516,18 @@ impl SecCluster {
     /// As for [`SecCluster::get_version`].
     pub fn get_prefix(&self, id: ObjectId, l: usize) -> Result<EnginePrefix, ClusterError> {
         Ok(self.engine_of(id)?.get_prefix(l)?)
+    }
+
+    /// Drops every cached decoded version of object `id` (a no-op when the
+    /// cluster was built without caching).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownObject`] for an object with no
+    /// versions.
+    pub fn clear_cache(&self, id: ObjectId) -> Result<(), ClusterError> {
+        self.engine_of(id)?.clear_cache();
+        Ok(())
     }
 
     /// Whether node `node` of shard `shard` is live. Lock-free.
@@ -729,6 +755,8 @@ impl SecCluster {
             live_nodes: 0,
             objects: 0,
             versions: 0,
+            deltas_applied: 0,
+            checkpoints_written: 0,
         };
         for shard in &self.shards {
             let engines: Vec<Arc<SecEngine>> = shard.objects.read().values().cloned().collect();
@@ -740,6 +768,8 @@ impl SecCluster {
                 objects: engines.len(),
                 versions: 0,
                 cache: CacheStats::default(),
+                deltas_applied: 0,
+                checkpoints_written: 0,
             };
             for engine in engines {
                 let m = view(&engine);
@@ -752,6 +782,8 @@ impl SecCluster {
                 }
                 sm.versions += m.versions;
                 sm.cache.absorb(&m.cache);
+                sm.deltas_applied += m.deltas_applied;
+                sm.checkpoints_written += m.checkpoints_written;
                 if self.placement == PlacementStrategy::Dispersed {
                     sm.live_nodes += m.live_nodes;
                     sm.nodes += m.nodes;
@@ -769,6 +801,8 @@ impl SecCluster {
             totals.live_nodes += sm.live_nodes;
             totals.objects += sm.objects;
             totals.versions += sm.versions;
+            totals.deltas_applied += sm.deltas_applied;
+            totals.checkpoints_written += sm.checkpoints_written;
             totals.shards.push(sm);
         }
         totals

@@ -107,9 +107,12 @@ use sec_store::fault;
 use sec_store::node::{StorageNode, SymbolKey};
 use sec_store::{AtomicIoMetrics, FailurePattern, IoMetrics, Placement, PlacementStrategy, StoreError};
 use sec_versioning::object::VersionId;
-use sec_versioning::walk::{decode_planned, read_target, trim_object, walk_prefix, walk_version};
+use sec_versioning::walk::{
+    decode_planned, read_target, trim_object, walk_prefix, walk_prefix_from_tail, walk_version,
+    walk_version_from_base, walk_version_from_tail,
+};
 use sec_versioning::{
-    ArchiveConfig, ByteVersionedArchive, CacheStats, EncodingStrategy, StoredPayload, VersionCache,
+    ArchiveConfig, ByteVersionedArchive, CacheStats, DeltaCache, EncodingStrategy, StoredPayload,
     VersioningError,
 };
 
@@ -121,9 +124,12 @@ pub struct EngineRetrieval {
     /// The reconstructed byte object. Shared so cache hits cost a refcount
     /// bump, not a copy.
     pub data: Arc<Vec<u8>>,
-    /// Block reads spent serving this retrieval (0 on a cache hit).
+    /// Block reads spent serving this retrieval (0 on an exact cache hit,
+    /// only the delta chain's reads when a cached base was extended).
     pub io_reads: usize,
-    /// Whether the version was served from the engine's version cache.
+    /// Whether the delta cache contributed to this retrieval — an exact hit
+    /// or a nearest-base walk. When set, `io_reads` may undercut the
+    /// uncached archive's accounting.
     pub cached: bool,
 }
 
@@ -134,6 +140,9 @@ pub struct EnginePrefix {
     pub versions: Vec<Vec<u8>>,
     /// Total block reads spent.
     pub io_reads: usize,
+    /// Whether a cached Reversed-SEC tail anchored the backward walk (the
+    /// forward strategies never consult the cache for prefix reads).
+    pub cached: bool,
 }
 
 /// A point-in-time view of everything the engine counts.
@@ -149,10 +158,16 @@ pub struct EngineMetrics {
     /// Total number of storage nodes the placement currently addresses —
     /// `n` under colocated placement, `n · entries` under dispersed.
     pub nodes: usize,
-    /// Version-cache statistics.
+    /// Delta-cache statistics (exact hits, nearest-base hits, misses).
     pub cache: CacheStats,
     /// Number of versions appended so far.
     pub versions: usize,
+    /// Stored entries read and XOR-applied on top of cached bases across
+    /// every nearest-base retrieval served so far.
+    pub deltas_applied: u64,
+    /// Full versions the archive's [`CheckpointPolicy`](sec_versioning::CheckpointPolicy)
+    /// forced into the chain in place of deltas.
+    pub checkpoints_written: u64,
 }
 
 /// One contiguous group of `n` storage nodes plus their liveness flags: the
@@ -239,7 +254,13 @@ pub struct SecEngine {
     placement: OrderedRwLock<Placement>,
     slabs: OrderedRwLock<Vec<NodeSlab>>,
     metrics: AtomicIoMetrics,
-    cache: VersionCache<Vec<u8>>,
+    cache: Arc<DeltaCache<Vec<u8>>>,
+    /// Key this engine's decoded versions are filed under in the (possibly
+    /// shared) delta cache — 0 standalone, the cluster object id otherwise.
+    cache_object: u64,
+    /// Stored entries XOR-applied on top of cached bases, for
+    /// [`EngineMetrics::deltas_applied`].
+    deltas_applied: AtomicU64,
 }
 
 impl SecEngine {
@@ -255,7 +276,7 @@ impl SecEngine {
         Self::with_cache(config, 0)
     }
 
-    /// Creates an empty engine whose version cache holds up to
+    /// Creates an empty engine whose delta cache holds up to
     /// `cache_capacity` decoded versions (0 disables caching).
     ///
     /// # Errors
@@ -304,6 +325,32 @@ impl SecEngine {
         Ok(Self::from_archive_with_cache(archive, cache_capacity))
     }
 
+    /// Creates an empty engine that serves reads through an externally owned
+    /// [`DeltaCache`], filing its decoded versions under `cache_object` — the
+    /// constructor a multi-engine deployment uses to pool one cache budget
+    /// across objects. The cache keys every entry by `(object, version)`, so
+    /// engines sharing a cache must use distinct object keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns a versioning error when the configured code cannot be built
+    /// over `GF(2^8)`.
+    pub fn with_shared_cache(
+        config: ArchiveConfig,
+        placement: PlacementStrategy,
+        cache: Arc<DeltaCache<Vec<u8>>>,
+        cache_object: u64,
+    ) -> Result<Self, StoreError> {
+        let archive = ByteVersionedArchive::new(config)?;
+        Ok(Self::from_layout_with_cache(
+            archive,
+            cache,
+            cache_object,
+            placement,
+            None,
+        ))
+    }
+
     /// Wraps an existing archive, distributing its coded blocks across the
     /// engine's nodes (colocated placement: node `i` holds block position
     /// `i` of every stored entry, the placement the paper shows maximizes
@@ -340,6 +387,24 @@ impl SecEngine {
     pub(crate) fn from_layout(
         archive: ByteVersionedArchive,
         cache_capacity: usize,
+        strategy: PlacementStrategy,
+        shared_liveness: Option<Arc<NodeLiveness>>,
+    ) -> Self {
+        Self::from_layout_with_cache(
+            archive,
+            Arc::new(DeltaCache::new(cache_capacity)),
+            0,
+            strategy,
+            shared_liveness,
+        )
+    }
+
+    /// [`SecEngine::from_layout`] with an explicit (possibly shared) delta
+    /// cache and the object key this engine files entries under.
+    pub(crate) fn from_layout_with_cache(
+        archive: ByteVersionedArchive,
+        cache: Arc<DeltaCache<Vec<u8>>>,
+        cache_object: u64,
         strategy: PlacementStrategy,
         shared_liveness: Option<Arc<NodeLiveness>>,
     ) -> Self {
@@ -388,7 +453,9 @@ impl SecEngine {
             placement: OrderedRwLock::new(LockRank::Placement, placement),
             slabs: OrderedRwLock::new(LockRank::Directory, slabs),
             metrics,
-            cache: VersionCache::new(cache_capacity),
+            cache,
+            cache_object,
+            deltas_applied: AtomicU64::new(0),
         }
     }
 
@@ -610,9 +677,12 @@ impl SecEngine {
             }
         }
         // Pre-warm only when a cache exists; a disabled cache must not cost
-        // an object copy per append.
+        // an object copy per append. Appends never invalidate: decoded
+        // versions are immutable under every strategy (Reversed SEC rewrites
+        // only its *encoded* full-copy slot, and that entry carries the new
+        // version's id).
         if self.cache.capacity() > 0 {
-            self.cache.insert(id.0, object.to_vec());
+            self.cache.insert(self.cache_object, id.0, object.to_vec());
         }
         Ok(id)
     }
@@ -644,7 +714,10 @@ impl SecEngine {
 
     /// Retrieves version `l` (1-based), reading blocks only from live nodes
     /// under the SEC read plan (`2γ` block reads per exploitable delta, `k`
-    /// otherwise), or from the version cache when it holds `l`.
+    /// otherwise). The delta cache is consulted for the nearest usable base
+    /// first: an exact hit costs zero reads, and a cached neighbour lets the
+    /// walk pay only for the deltas between it and `l` instead of rewinding
+    /// to a stored full version.
     ///
     /// # Errors
     ///
@@ -656,14 +729,30 @@ impl SecEngine {
         check_version(&archive, l)?;
         self.metrics.add_retrieval();
         // Probe the cache only for a validated version, so an out-of-range
-        // request can never register as a (phantom) cache miss.
-        if let Some(data) = self.cache.get(l) {
-            return Ok(EngineRetrieval {
-                version: l,
-                data,
-                io_reads: 0,
-                cached: true,
-            });
+        // request can never register as a (phantom) cache miss. Each
+        // strategy asks for the nearest base its delta chain can extend:
+        // Basic/Optimized walk forward from a version ≤ l, Reversed walks
+        // backward from a version ≥ l, and NonDifferential (no deltas) can
+        // use only an exact copy.
+        let base = match archive.config().strategy() {
+            EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
+                self.cache.nearest_at_most(self.cache_object, l)
+            }
+            EncodingStrategy::ReversedSec => self.cache.nearest_at_least(self.cache_object, l),
+            EncodingStrategy::NonDifferential => {
+                self.cache.get(self.cache_object, l).map(|data| (l, data))
+            }
+        };
+        if let Some((base_version, data)) = base {
+            if base_version == l {
+                return Ok(EngineRetrieval {
+                    version: l,
+                    data,
+                    io_reads: 0,
+                    cached: true,
+                });
+            }
+            return self.get_version_from_base(archive, l, base_version, &data);
         }
         let (strategy, object_len, entries, _pin) = self.snapshot_entries(archive);
         let out = walk_version(
@@ -675,7 +764,9 @@ impl SecEngine {
             // audit: panic ok — `idx` comes from walk_version, which stays within 0..entries.len()
             |idx| self.read_entry(idx, entries[idx].0, entries[idx].1),
         )?;
-        let data = self.cache.insert(l, trim_object(&out.shards, object_len));
+        let data = self
+            .cache
+            .insert(self.cache_object, l, trim_object(&out.shards, object_len));
         Ok(EngineRetrieval {
             version: l,
             data,
@@ -684,8 +775,63 @@ impl SecEngine {
         })
     }
 
-    /// Retrieves the first `l` versions in order. Bypasses the version cache
-    /// so its read accounting matches the reference archive exactly.
+    /// Serves version `l` by extending a cached decoded neighbour: forward
+    /// over the deltas `base_version + 1..=l` (Basic/Optimized), or backward
+    /// from a newer tail by un-applying `l + 1..=base_version` (Reversed).
+    fn get_version_from_base(
+        &self,
+        archive: OrderedReadGuard<'_, ByteVersionedArchive>,
+        l: usize,
+        base_version: usize,
+        base: &[u8],
+    ) -> Result<EngineRetrieval, StoreError> {
+        let k = self.codec.code().k();
+        let (strategy, object_len, entries, _pin) = self.snapshot_entries(archive);
+        let base_shards = ByteShards::from_flat(base, k);
+        let (out, base_used) = match strategy {
+            EncodingStrategy::ReversedSec => walk_version_from_tail(
+                l,
+                base_version,
+                base_shards,
+                // audit: panic ok — `idx` comes from the walk, which stays within 0..entries.len()
+                |idx| self.read_entry(idx, entries[idx].0, entries[idx].1),
+            )
+            .map(|out| (out, true))?,
+            _ => walk_version_from_base(
+                strategy,
+                entries.len(),
+                // audit: panic ok — `idx` comes from the walk, which stays within 0..entries.len()
+                |idx| entries[idx].0,
+                l,
+                base_version,
+                base_shards,
+                // audit: panic ok — `idx` comes from the walk, which stays within 0..entries.len()
+                |idx| self.read_entry(idx, entries[idx].0, entries[idx].1),
+            )?,
+        };
+        if base_used {
+            let applied = out.entries_read as u64;
+            // audit: atomic ok — statistic
+            self.deltas_applied.fetch_add(applied, Ordering::Relaxed);
+        }
+        let data = self
+            .cache
+            .insert(self.cache_object, l, trim_object(&out.shards, object_len));
+        Ok(EngineRetrieval {
+            version: l,
+            data,
+            io_reads: out.io_reads,
+            cached: base_used,
+        })
+    }
+
+    /// Retrieves the first `l` versions in order.
+    ///
+    /// Only Reversed SEC consults the delta cache here: its backward chain
+    /// can anchor the whole prefix walk on any cached tail ≥ `l`, saving the
+    /// full-copy read. The forward strategies read every stored entry below
+    /// `l` regardless, so a probe would be bookkeeping with no read savings
+    /// — their accounting stays bit-compatible with the reference archive.
     ///
     /// # Errors
     ///
@@ -694,6 +840,29 @@ impl SecEngine {
         let archive = self.read_archive();
         check_version(&archive, l)?;
         self.metrics.add_retrieval();
+        if archive.config().strategy() == EncodingStrategy::ReversedSec {
+            if let Some((tail_version, data)) = self.cache.nearest_at_least(self.cache_object, l) {
+                let k = self.codec.code().k();
+                let (_, object_len, entries, _pin) = self.snapshot_entries(archive);
+                let tail_shards = ByteShards::from_flat(&data, k);
+                let out = walk_prefix_from_tail(
+                    l,
+                    object_len,
+                    tail_version,
+                    tail_shards,
+                    // audit: panic ok — `idx` comes from the walk, which stays within 0..entries.len()
+                    |idx| self.read_entry(idx, entries[idx].0, entries[idx].1),
+                )?;
+                let applied = out.entries_read as u64;
+                // audit: atomic ok — statistic
+                self.deltas_applied.fetch_add(applied, Ordering::Relaxed);
+                return Ok(EnginePrefix {
+                    versions: out.versions,
+                    io_reads: out.io_reads,
+                    cached: true,
+                });
+            }
+        }
         let (strategy, object_len, entries, _pin) = self.snapshot_entries(archive);
         let out = walk_prefix(
             strategy,
@@ -708,7 +877,14 @@ impl SecEngine {
         Ok(EnginePrefix {
             versions: out.versions,
             io_reads: out.io_reads,
+            cached: false,
         })
+    }
+
+    /// Drops every cached decoded version. Statistics and capacity are
+    /// untouched; with a shared cache this clears *all* objects' entries.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
     }
 
     /// Snapshots the entry metadata a walk needs — `(payload, shard_len)`
@@ -890,13 +1066,18 @@ impl SecEngine {
 
     /// Completes an [`EngineMetrics`] around an already-captured `io` view.
     fn metrics_view(&self, io: IoMetrics) -> EngineMetrics {
-        // The version count takes the archive lock, which is *outermost* in
-        // the engine's hierarchy: capture it before acquiring the slab
-        // directory. Waiting on the archive while holding the directory
-        // inverts the order used by `append_version` (archive → directory)
-        // and can deadlock against a concurrent writer.
-        let versions = self.len();
+        // The version and checkpoint counts take the archive lock, which is
+        // *outermost* in the engine's hierarchy: capture them before
+        // acquiring the slab directory. Waiting on the archive while holding
+        // the directory inverts the order used by `append_version`
+        // (archive → directory) and can deadlock against a concurrent writer.
+        let (versions, checkpoints_written) = {
+            let archive = self.read_archive();
+            (archive.len(), archive.checkpoints_written() as u64)
+        };
         let cache = self.cache.stats();
+        // audit: atomic ok — statistic read
+        let deltas_applied = self.deltas_applied.load(Ordering::Relaxed);
         let slabs = self.slabs.read();
         let mut node_reads = Vec::new();
         let mut live_nodes = 0usize;
@@ -914,6 +1095,8 @@ impl SecEngine {
             nodes,
             cache,
             versions,
+            deltas_applied,
+            checkpoints_written,
         }
     }
 
@@ -1195,6 +1378,125 @@ mod tests {
         let m = engine.metrics_snapshot();
         assert!(m.cache.hits >= 2);
         assert_eq!(m.versions, 3);
+    }
+
+    #[test]
+    fn zero_capacity_cache_does_no_bookkeeping() {
+        // Satellite contract: a disabled cache must skip ALL bookkeeping on
+        // both read paths — no hits, no misses, no insert allocations — so
+        // the cap-0 engine is bit-identical to the reference archive in both
+        // bytes and accounting.
+        for strategy in [EncodingStrategy::BasicSec, EncodingStrategy::ReversedSec] {
+            let engine = SecEngine::new(config(strategy)).unwrap();
+            let vs = versions();
+            engine.append_all(&vs).unwrap();
+            for l in 1..=vs.len() {
+                assert!(!engine.get_version(l).unwrap().cached, "{strategy}");
+            }
+            assert!(!engine.get_prefix(vs.len()).unwrap().cached, "{strategy}");
+            let m = engine.metrics_snapshot();
+            assert_eq!(m.cache, CacheStats::default(), "{strategy}: all-zero stats");
+            assert_eq!(m.deltas_applied, 0, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn nearest_base_extends_forward_for_basic_sec() {
+        let engine = SecEngine::with_cache(config(EncodingStrategy::BasicSec), 1).unwrap();
+        let reference = SecEngine::new(config(EncodingStrategy::BasicSec)).unwrap();
+        let vs = versions();
+        engine.append_all(&vs).unwrap();
+        reference.append_all(&vs).unwrap();
+        // Capacity 1: the pre-warm leaves only v3 cached; decode v2 from the
+        // nodes so the cache holds it as a base below v3.
+        assert!(!engine.get_version(2).unwrap().cached);
+        let via_base = engine.get_version(3).unwrap();
+        let uncached = reference.get_version(3).unwrap();
+        assert!(via_base.cached, "v2 is the nearest cached base ≤ 3");
+        assert_eq!(*via_base.data, vs[2]);
+        assert!(
+            via_base.io_reads < uncached.io_reads,
+            "base walk pays only δ3, not k + δ2 + δ3"
+        );
+        let m = engine.metrics_snapshot();
+        assert_eq!(m.cache.base_hits, 1);
+        assert_eq!(m.deltas_applied, 1, "one delta entry applied on the base");
+    }
+
+    #[test]
+    fn reversed_tail_serves_older_versions_and_prefixes() {
+        let engine = SecEngine::with_cache(config(EncodingStrategy::ReversedSec), 1).unwrap();
+        let reference = SecEngine::new(config(EncodingStrategy::ReversedSec)).unwrap();
+        let vs = versions();
+        engine.append_all(&vs).unwrap();
+        reference.append_all(&vs).unwrap();
+        // Only v3 is cached. The prefix walk anchors on that tail and
+        // un-applies every delta, skipping the k-read encoded full copy.
+        let p = engine.get_prefix(3).unwrap();
+        let want = reference.get_prefix(3).unwrap();
+        assert!(p.cached);
+        assert_eq!(p.versions, want.versions);
+        assert_eq!(p.io_reads, want.io_reads - 3);
+        // v1 is likewise served by un-applying δ3 and δ2 from the tail
+        // (prefix probes never insert, so v3 is still the cached entry).
+        let via_tail = engine.get_version(1).unwrap();
+        let uncached = reference.get_version(1).unwrap();
+        assert!(via_tail.cached);
+        assert_eq!(*via_tail.data, vs[0]);
+        assert_eq!(
+            via_tail.io_reads,
+            uncached.io_reads - 3,
+            "the cached tail saves the k-read full copy"
+        );
+        let m = engine.metrics_snapshot();
+        assert!(m.deltas_applied >= 4, "two tail walks × two deltas each");
+    }
+
+    #[test]
+    fn shared_cache_keys_engines_by_object() {
+        let cache = Arc::new(DeltaCache::new(4));
+        let a = SecEngine::with_shared_cache(
+            config(EncodingStrategy::BasicSec),
+            PlacementStrategy::Colocated,
+            Arc::clone(&cache),
+            1,
+        )
+        .unwrap();
+        let b = SecEngine::with_shared_cache(
+            config(EncodingStrategy::BasicSec),
+            PlacementStrategy::Colocated,
+            Arc::clone(&cache),
+            2,
+        )
+        .unwrap();
+        let vs_a = versions();
+        let mut vs_b = versions();
+        for v in &mut vs_b {
+            v[0] ^= 0xFF;
+        }
+        a.append_version(&vs_a[0]).unwrap();
+        b.append_version(&vs_b[0]).unwrap();
+        // Both engines pre-warmed version 1 of *their* object into the one
+        // shared cache; the object key keeps them from aliasing.
+        assert_eq!(cache.len(), 2);
+        let from_a = a.get_version(1).unwrap();
+        let from_b = b.get_version(1).unwrap();
+        assert!(from_a.cached && from_b.cached);
+        assert_eq!(*from_a.data, vs_a[0]);
+        assert_eq!(*from_b.data, vs_b[0]);
+    }
+
+    #[test]
+    fn clear_cache_forces_node_reads_again() {
+        let engine = SecEngine::with_cache(config(EncodingStrategy::BasicSec), 4).unwrap();
+        let vs = versions();
+        engine.append_all(&vs).unwrap();
+        assert_eq!(engine.get_version(3).unwrap().io_reads, 0);
+        engine.clear_cache();
+        let r = engine.get_version(3).unwrap();
+        assert!(!r.cached);
+        assert!(r.io_reads > 0);
+        assert_eq!(*r.data, vs[2]);
     }
 
     #[test]

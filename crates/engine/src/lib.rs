@@ -20,8 +20,10 @@
 //!   (`n` fresh nodes per stored entry, slabs appended on write without
 //!   blocking in-flight readers) — under dispersed placement a node
 //!   failure degrades exactly the one entry it hosts;
-//! * an optional [`VersionCache`] (shared-read LRU) serves hot versions
-//!   without touching a single node;
+//! * an optional [`DeltaCache`] (shared-read LRU keyed by `(object,
+//!   version)`) serves exact hits without touching a single node and lets
+//!   nearby requests walk forward or backward from the *nearest* cached
+//!   decoded base, paying only for the deltas in between;
 //! * every I/O is accounted exactly as in the paper's model — the engine's
 //!   read counts are bit-compatible with the single-threaded
 //!   `ByteVersionedArchive` reference, which the concurrency test suite
@@ -61,7 +63,7 @@
 //!
 //! One engine serves one versioned object. A [`SecCluster`] hashes
 //! [`ObjectId`]s across `S` independent shards — each with its own storage
-//! nodes, liveness atomics and version cache, all sharing a single set of
+//! nodes, liveness atomics and delta caches, all sharing a single set of
 //! `GF(2^8)` multiplication tables — so independent objects append and
 //! retrieve concurrently on different shards with zero shared locking:
 //!
@@ -103,4 +105,4 @@ pub use sec_store::StoreError as EngineError;
 // One source of truth for node placement: the engine and cluster consume
 // `sec-store`'s `Placement` rather than growing a parallel notion of layout.
 pub use sec_store::{Placement, PlacementStrategy};
-pub use sec_versioning::{CacheStats, VersionCache};
+pub use sec_versioning::{CacheStats, CheckpointPolicy, DeltaCache};

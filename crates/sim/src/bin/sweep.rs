@@ -71,6 +71,15 @@ const PROPERTIES: &[Property] = &[
             let mut options = SimOptions::strict(6, 3, 64);
             options.encoding = EncodingStrategy::OptimizedSec;
             options.cache_capacity = 4;
+            options.checkpoint_spacing = 2;
+            engine_walk(seed, options);
+        },
+    },
+    Property {
+        name: "engine-checkpointed-strict",
+        run: |seed| {
+            let mut options = SimOptions::strict(5, 3, 64);
+            options.checkpoint_spacing = 2;
             engine_walk(seed, options);
         },
     },
@@ -92,6 +101,15 @@ const PROPERTIES: &[Property] = &[
         run: |seed| {
             let mut options = ClusterSimOptions::strict(5, 3, 2, 3, 48);
             options.read_fault_percent = 10;
+            cluster_walk(seed, options);
+        },
+    },
+    Property {
+        name: "cluster-cached-checkpointed",
+        run: |seed| {
+            let mut options = ClusterSimOptions::strict(5, 3, 2, 3, 48);
+            options.cache_capacity = 3;
+            options.checkpoint_spacing = 2;
             cluster_walk(seed, options);
         },
     },

@@ -24,7 +24,7 @@ use sec_engine::{ClusterError, ObjectId, PlacementStrategy, SecCluster, SecEngin
 use sec_erasure::GeneratorForm;
 use sec_store::fault::{self, HookGuard};
 use sec_store::{ByteDistributedStore, StoreError};
-use sec_versioning::{ArchiveConfig, ByteVersionedArchive, EncodingStrategy};
+use sec_versioning::{ArchiveConfig, ByteVersionedArchive, CheckpointPolicy, EncodingStrategy};
 
 use crate::clock::{EventQueue, VirtualClock};
 use crate::hook::SimHook;
@@ -86,6 +86,9 @@ pub enum Op {
     /// Drain the I/O counters (`reset_metrics`) and fold them into the
     /// exactly-once accounting check.
     ResetMetrics,
+    /// Drop every cached decoded version, forcing subsequent reads back to
+    /// the nodes (a no-op with caching disabled).
+    ResetCache,
     /// Assert the metrics snapshot agrees with the model (versions, node
     /// counts, liveness, exactly-once retrieval accounting).
     CheckMetrics,
@@ -132,9 +135,13 @@ pub struct SimOptions {
     pub placement: PlacementStrategy,
     /// Byte length of every version.
     pub object_len: usize,
-    /// Engine version-cache capacity (0 disables; strict I/O accounting
+    /// Engine delta-cache capacity (0 disables; strict I/O accounting
     /// requires 0).
     pub cache_capacity: usize,
+    /// Checkpoint spacing for the archive under test *and* the reference
+    /// (0 disables). Strict-compatible: both sides share the layout, so
+    /// I/O accounting stays bit-identical.
+    pub checkpoint_spacing: usize,
     /// Probability (percent) that a node read spuriously fails
     /// (`store::node::read` buggify site).
     pub read_fault_percent: u32,
@@ -155,6 +162,7 @@ impl SimOptions {
             placement: PlacementStrategy::Colocated,
             object_len,
             cache_capacity: 0,
+            checkpoint_spacing: 0,
             read_fault_percent: 0,
             rebuild_abort_percent: 0,
         }
@@ -222,7 +230,8 @@ impl EngineSim {
             GeneratorForm::NonSystematic,
             options.encoding,
         )
-        .expect("sim: invalid archive config");
+        .expect("sim: invalid archive config")
+        .with_checkpoints(CheckpointPolicy::every(options.checkpoint_spacing));
         let engine = SecEngine::with_placement(config, options.placement, options.cache_capacity)
             .expect("sim: engine construction failed");
         let reference = ByteVersionedArchive::new(config).expect("sim: reference construction failed");
@@ -314,7 +323,8 @@ impl EngineSim {
             91..=95 => Op::AdvanceClock {
                 ticks: 1 + rng.gen_range(5) as u64,
             },
-            96..=97 => Op::ResetMetrics,
+            96 => Op::ResetMetrics,
+            97 => Op::ResetCache,
             _ => Op::CheckMetrics,
         }
     }
@@ -362,6 +372,7 @@ impl EngineSim {
                 let m = self.engine.reset_metrics();
                 self.drained_retrievals += m.io.retrievals;
             }
+            Op::ResetCache => self.engine.clear_cache(),
             Op::CheckMetrics => self.check_metrics(step),
         }
     }
@@ -452,10 +463,22 @@ impl EngineSim {
                 }
             }
             (Err(engine_err), Err(oracle_err)) => {
-                assert_eq!(
-                    engine_err, oracle_err,
-                    "step {step}: get_version({version}) failed on both sides with different errors"
-                );
+                if self.options.cache_capacity == 0 {
+                    assert_eq!(
+                        engine_err, oracle_err,
+                        "step {step}: get_version({version}) failed on both sides with different errors"
+                    );
+                } else {
+                    // A nearest-base walk anchors on a cached version, so a
+                    // failing read can surface at a different entry than the
+                    // oracle's from-scratch walk; the error kind must agree.
+                    assert_eq!(
+                        std::mem::discriminant(engine_err),
+                        std::mem::discriminant(oracle_err),
+                        "step {step}: get_version({version}) failed on both sides with different \
+                         error kinds ({engine_err} vs {oracle_err})"
+                    );
+                }
             }
             (Ok(got), Err(oracle_err)) => {
                 // A cache hit legitimately serves a version the cache-free
@@ -503,6 +526,12 @@ impl EngineSim {
                     upto,
                     "step {step}: get_prefix({upto}) length"
                 );
+                if self.options.is_strict() {
+                    assert!(
+                        !prefix.cached,
+                        "step {step}: get_prefix({upto}) cache hit with caching disabled"
+                    );
+                }
                 for (idx, got) in prefix.versions.iter().enumerate() {
                     assert_eq!(
                         got.as_slice(),
@@ -744,12 +773,18 @@ pub struct ClusterSimOptions {
     pub objects: usize,
     /// Byte length of every version of every object.
     pub object_len: usize,
+    /// Per-engine delta-cache capacity (0 disables; strict I/O accounting
+    /// requires 0).
+    pub cache_capacity: usize,
+    /// Checkpoint spacing shared by every object's archive and reference
+    /// (0 disables). Strict-compatible, as for [`SimOptions`].
+    pub checkpoint_spacing: usize,
     /// Probability (percent) of spurious node-read failures.
     pub read_fault_percent: u32,
 }
 
 impl ClusterSimOptions {
-    /// A strict fault-free colocated cluster setup.
+    /// A strict (fault-free, cache-free) colocated cluster setup.
     pub fn strict(n: usize, k: usize, shards: usize, objects: usize, object_len: usize) -> Self {
         Self {
             n,
@@ -758,12 +793,14 @@ impl ClusterSimOptions {
             shards,
             objects,
             object_len,
+            cache_capacity: 0,
+            checkpoint_spacing: 0,
             read_fault_percent: 0,
         }
     }
 
     fn is_strict(&self) -> bool {
-        self.read_fault_percent == 0
+        self.read_fault_percent == 0 && self.cache_capacity == 0
     }
 }
 
@@ -813,6 +850,12 @@ pub enum ClusterOp {
     },
     /// Drain cluster I/O counters into the exactly-once accounting.
     ResetMetrics,
+    /// Drop an object's cached decoded versions (a no-op with caching
+    /// disabled).
+    ResetCache {
+        /// Object index.
+        object: usize,
+    },
     /// Assert the cluster metrics snapshot against the model.
     CheckMetrics,
 }
@@ -889,8 +932,10 @@ impl ClusterSim {
             GeneratorForm::NonSystematic,
             options.encoding,
         )
-        .expect("sim: invalid archive config");
-        let cluster = SecCluster::new(config, options.shards).expect("sim: cluster construction failed");
+        .expect("sim: invalid archive config")
+        .with_checkpoints(CheckpointPolicy::every(options.checkpoint_spacing));
+        let cluster = SecCluster::with_cache(config, options.shards, options.cache_capacity)
+            .expect("sim: cluster construction failed");
         let hook = Rc::new(SimHook::new(hook_rng));
         hook.set_probability("store::node::read", options.read_fault_percent);
         let guard = hook.install();
@@ -974,7 +1019,8 @@ impl ClusterSim {
                 }
                 ClusterOp::Repair { shard, node, window }
             }
-            90..=94 => ClusterOp::ResetMetrics,
+            90..=92 => ClusterOp::ResetMetrics,
+            93..=94 => ClusterOp::ResetCache { object },
             _ => ClusterOp::CheckMetrics,
         }
     }
@@ -1012,6 +1058,7 @@ impl ClusterSim {
                 let m = self.cluster.reset_metrics();
                 self.drained_retrievals += m.io.retrievals;
             }
+            ClusterOp::ResetCache { object } => self.do_reset_cache(*object),
             ClusterOp::CheckMetrics => self.check_metrics(),
         }
     }
@@ -1084,18 +1131,44 @@ impl ClusterSim {
                         got.io_reads, want.io_reads,
                         "step {step}: object {object} get({version}) I/O accounting diverged"
                     );
+                    assert!(
+                        !got.cached,
+                        "step {step}: object {object} get({version}) cache hit with caching disabled"
+                    );
                 }
             }
             (Err(ClusterError::Engine(engine_err)), Err(oracle_err)) => {
+                if self.options.cache_capacity == 0 {
+                    assert_eq!(
+                        engine_err, oracle_err,
+                        "step {step}: object {object} get({version}) errors diverged"
+                    );
+                } else {
+                    // As for [`EngineSim::do_get`]: a cached base shifts the
+                    // entry a failing walk reports; the kind must agree.
+                    assert_eq!(
+                        std::mem::discriminant(engine_err),
+                        std::mem::discriminant(oracle_err),
+                        "step {step}: object {object} get({version}) error kinds diverged \
+                         ({engine_err} vs {oracle_err})"
+                    );
+                }
+            }
+            (Ok(got), Err(oracle_err)) => {
+                // As in [`EngineSim::do_get`]: a cache hit legitimately
+                // serves a version the cache-free oracle cannot reach past
+                // the current failures; anything else is divergence.
+                assert!(
+                    got.cached,
+                    "step {step}: cluster served object {object} get({version}) uncached but the \
+                     oracle fails with {oracle_err}"
+                );
                 assert_eq!(
-                    engine_err, oracle_err,
-                    "step {step}: object {object} get({version}) errors diverged"
+                    Some(got.data.as_slice()),
+                    model.versions.get(version.wrapping_sub(1)).map(Vec::as_slice),
+                    "step {step}: cached object {object} get({version}) bytes diverged from model"
                 );
             }
-            (Ok(_), Err(oracle_err)) => panic!(
-                "step {step}: cluster served object {object} get({version}) but the oracle fails \
-                 with {oracle_err}"
-            ),
             (Err(engine_err), Ok(_)) => {
                 assert!(
                     !self.options.is_strict(),
@@ -1106,6 +1179,24 @@ impl ClusterSim {
             (Err(engine_err), Err(_)) => {
                 panic!("step {step}: object {object} get({version}) failed with non-engine error {engine_err}")
             }
+        }
+    }
+
+    fn do_reset_cache(&mut self, object: usize) {
+        let step = self.steps;
+        let Some(model) = self.objects.get(object) else {
+            panic!("step {step}: reset cache on unknown object index {object}");
+        };
+        match self.cluster.clear_cache(model.id) {
+            Ok(()) => assert!(
+                !model.versions.is_empty(),
+                "step {step}: clear_cache(object {object}) succeeded before any append"
+            ),
+            Err(ClusterError::UnknownObject { .. }) => assert!(
+                model.versions.is_empty(),
+                "step {step}: clear_cache(object {object}) lost a known object"
+            ),
+            Err(e) => panic!("step {step}: clear_cache(object {object}) failed unexpectedly: {e}"),
         }
     }
 

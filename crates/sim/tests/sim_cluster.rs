@@ -104,6 +104,66 @@ fn interleaved_appends_keep_object_sequences_isolated() {
     });
 }
 
+/// The cluster walk with per-engine delta caches and anchor checkpoints on
+/// (including the walk's `ResetCache` steps): byte equality against each
+/// object's model and oracle throughout.
+#[test]
+fn cached_checkpointed_cluster_walks_match_their_models() {
+    random_walk("cluster-cache-checkpoints", 15, |seed| {
+        let mut rng = SimRng::new(seed);
+        let mut options = options();
+        options.cache_capacity = 3;
+        options.checkpoint_spacing = 2;
+        let mut sim = ClusterSim::new(options, rng.fork());
+        for _ in 0..70 {
+            let op = sim.random_op(&mut rng);
+            sim.step(&op);
+        }
+        sim.step(&ClusterOp::CheckMetrics);
+    });
+}
+
+/// Pinned cluster mirror of the engine's cache lifecycle test: with more
+/// than `n − k` nodes of an object's shard down, the append-warmed cache
+/// keeps serving; `ResetCache` forces the next read back to the nodes,
+/// where it fails exactly as the oracle predicts until the nodes revive.
+#[test]
+fn cluster_cached_reads_survive_dead_nodes_until_reset() {
+    let mut opts = options();
+    opts.cache_capacity = 2;
+    let mut rng = SimRng::new(0x5EC0_0000_0000_0009);
+    let mut sim = ClusterSim::new(opts, rng.fork());
+    sim.step(&ClusterOp::Append {
+        object: 0,
+        edits: Vec::new(),
+    });
+    sim.step(&ClusterOp::Append {
+        object: 0,
+        edits: vec![(3, 0x21)],
+    });
+    let shard = sim.object_shard(0);
+    for node in 0..=2 {
+        sim.step(&ClusterOp::Fail { shard, node });
+    }
+    sim.step(&ClusterOp::Get {
+        object: 0,
+        version: 2,
+    });
+    sim.step(&ClusterOp::ResetCache { object: 0 });
+    sim.step(&ClusterOp::Get {
+        object: 0,
+        version: 2,
+    });
+    for node in 0..=2 {
+        sim.step(&ClusterOp::Revive { shard, node });
+    }
+    sim.step(&ClusterOp::Get {
+        object: 0,
+        version: 2,
+    });
+    sim.step(&ClusterOp::CheckMetrics);
+}
+
 /// Pinned-seed regression for the `SecCluster::repair_node` window bug
 /// fixed in this change: the repair rebuilt every engine, then revived the
 /// node *unconditionally* — a failure landing between the last rebuild and

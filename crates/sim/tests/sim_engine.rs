@@ -100,6 +100,70 @@ fn reads_survive_failures_appends_and_repairs_without_corruption() {
     });
 }
 
+/// Checkpointed layouts stay *strict*: the reference archive shares the
+/// engine's `CheckpointPolicy`, so the layouts (and therefore the I/O
+/// accounting) stay bit-identical with caching disabled.
+#[test]
+fn checkpointed_schedules_keep_strict_io_accounting() {
+    random_walk("engine-checkpointed-strict", 15, |seed| {
+        let mut options = SimOptions::strict(N, K, OBJECT_LEN);
+        options.checkpoint_spacing = 2;
+        walk(seed, options, 60);
+    });
+}
+
+/// Cache, checkpoints and the full churn alphabet together (including the
+/// walk's `ResetCache` steps): byte equality against model and oracle
+/// under each delta-bearing encoding.
+#[test]
+fn cached_checkpointed_walks_survive_churn() {
+    for encoding in [
+        EncodingStrategy::BasicSec,
+        EncodingStrategy::OptimizedSec,
+        EncodingStrategy::ReversedSec,
+    ] {
+        random_walk("engine-cache-checkpoints", 8, |seed| {
+            let mut options = SimOptions::strict(N, K, OBJECT_LEN);
+            options.encoding = encoding;
+            options.cache_capacity = 3;
+            options.checkpoint_spacing = 2;
+            walk(seed, options, 60);
+        });
+    }
+}
+
+/// Pinned cache lifecycle: with more than `n − k` nodes down, an uncached
+/// read is unrecoverable, but the append-warmed cache keeps serving the
+/// latest version; `ResetCache` drops it and the very same read then fails
+/// exactly as the oracle predicts, until a revival restores service.
+#[test]
+fn cached_reads_survive_dead_nodes_until_reset() {
+    let mut options = SimOptions::strict(N, K, OBJECT_LEN);
+    options.cache_capacity = 2;
+    let mut sim = EngineSim::new(options, SimRng::new(11));
+    sim.step(&Op::Append { edits: Vec::new() });
+    sim.step(&Op::Append {
+        edits: vec![(3, 0x21)],
+    });
+    sim.step(&Op::Append {
+        edits: vec![(9, 0x42)],
+    });
+    // k = 3 live nodes are required; leave only 2 so node reads die.
+    sim.step(&Op::Fail { node: 0 });
+    sim.step(&Op::Fail { node: 1 });
+    sim.step(&Op::Fail { node: 2 });
+    // Appends pre-warmed the cache: version 3 is served from it (the
+    // harness's Ok-vs-oracle-Err arm asserts the hit is cached).
+    sim.step(&Op::Get { version: 3 });
+    // Dropping the cache forces node reads; the engine now fails with
+    // exactly the oracle's error (the Err/Err arm asserts equality).
+    sim.step(&Op::ResetCache);
+    sim.step(&Op::Get { version: 3 });
+    sim.step(&Op::Revive { node: 0 });
+    sim.step(&Op::Get { version: 3 });
+    sim.step(&Op::CheckMetrics);
+}
+
 /// Exhaustive mode: every order-preserving interleaving of a failure/repair
 /// track with an append/read track — all C(4,2) = 6 schedules, not a
 /// sample. The harness checks model and oracle agreement in each.

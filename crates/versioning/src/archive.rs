@@ -6,7 +6,7 @@ use core::fmt;
 use sec_erasure::{CodeParams, GeneratorForm, SecCode};
 use sec_gf::GaloisField;
 
-use crate::cache::LatestVersionCache;
+use crate::cache::DeltaCache;
 use crate::delta::Delta;
 use crate::error::VersioningError;
 use crate::io_model::IoModel;
@@ -39,16 +39,56 @@ impl fmt::Display for EncodingStrategy {
     }
 }
 
+/// Anchor-checkpoint policy: materialize a full version every `spacing`
+/// consecutive deltas in a Basic/Optimized SEC chain.
+///
+/// With spacing `c`, at most `c` deltas separate any version from its
+/// nearest stored full version, so a single-version read costs at most
+/// `k · (1 + c)` blocks — worst-case read amplification is bounded by
+/// `1 + c` regardless of chain length. This generalizes the paper's
+/// Optimized SEC rule (store full when `2γ ≥ k`), which bounds the *cost*
+/// of each link but not the *number* of links walked.
+///
+/// `spacing = 0` (the [`Default`]) disables checkpointing; the archive then
+/// behaves exactly as the paper describes. Reversed SEC and the
+/// non-differential baseline already bound their walks (latest copy /
+/// per-version fulls) and ignore the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CheckpointPolicy {
+    /// Number of consecutive deltas after which the next append stores the
+    /// full version instead; zero disables checkpointing.
+    pub spacing: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy inserting a checkpoint after every `spacing` deltas.
+    pub fn every(spacing: usize) -> Self {
+        Self { spacing }
+    }
+
+    /// The disabled policy (no checkpoints; paper-exact layouts).
+    pub fn disabled() -> Self {
+        Self { spacing: 0 }
+    }
+
+    /// `true` when checkpoints are being inserted.
+    pub fn is_enabled(&self) -> bool {
+        self.spacing > 0
+    }
+}
+
 /// Configuration of a versioned archive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArchiveConfig {
     params: CodeParams,
     form: GeneratorForm,
     strategy: EncodingStrategy,
+    checkpoints: CheckpointPolicy,
 }
 
 impl ArchiveConfig {
-    /// Creates and validates a configuration.
+    /// Creates and validates a configuration (checkpointing disabled; opt in
+    /// with [`ArchiveConfig::with_checkpoints`]).
     ///
     /// # Errors
     ///
@@ -63,7 +103,14 @@ impl ArchiveConfig {
             params: CodeParams::new(n, k)?,
             form,
             strategy,
+            checkpoints: CheckpointPolicy::disabled(),
         })
+    }
+
+    /// Returns the configuration with the given checkpoint policy.
+    pub fn with_checkpoints(mut self, checkpoints: CheckpointPolicy) -> Self {
+        self.checkpoints = checkpoints;
+        self
     }
 
     /// The `(n, k)` code parameters.
@@ -79,6 +126,11 @@ impl ArchiveConfig {
     /// The encoding strategy.
     pub fn strategy(&self) -> EncodingStrategy {
         self.strategy
+    }
+
+    /// The anchor-checkpoint policy.
+    pub fn checkpoints(&self) -> CheckpointPolicy {
+        self.checkpoints
     }
 
     /// The I/O model induced by this configuration.
@@ -141,9 +193,16 @@ pub struct VersionedArchive<F> {
     entries: Vec<EncodedEntry<F>>,
     /// Reversed SEC only: the full encoding of the latest version.
     latest_full: Option<EncodedEntry<F>>,
-    cache: LatestVersionCache<F>,
+    /// Plaintext of the latest version, kept for delta computation (the
+    /// paper's "cache a full copy of the latest version" rule, as state the
+    /// append path *owns* rather than a cache entry it hopes survives).
+    latest: Vec<F>,
+    cache: DeltaCache<Vec<F>>,
     sparsity: Vec<usize>,
     versions: usize,
+    /// Consecutive deltas since the last stored full version.
+    delta_run: usize,
+    checkpoints_written: usize,
 }
 
 impl<F: GaloisField> VersionedArchive<F> {
@@ -160,9 +219,12 @@ impl<F: GaloisField> VersionedArchive<F> {
             code,
             entries: Vec::new(),
             latest_full: None,
-            cache: LatestVersionCache::new(),
+            latest: Vec::new(),
+            cache: DeltaCache::new(1),
             sparsity: Vec::new(),
             versions: 0,
+            delta_run: 0,
+            checkpoints_written: 0,
         })
     }
 
@@ -204,8 +266,16 @@ impl<F: GaloisField> VersionedArchive<F> {
     }
 
     /// Read access to the latest-version cache (its counters in particular).
-    pub fn cache(&self) -> &LatestVersionCache<F> {
+    /// A capacity-1 [`DeltaCache`] under object key 0: `peek_latest(0)`
+    /// exposes the cached newest version.
+    pub fn cache(&self) -> &DeltaCache<Vec<F>> {
         &self.cache
+    }
+
+    /// Number of policy-forced checkpoint entries written so far (fulls the
+    /// Optimized threshold would not have stored on its own).
+    pub fn checkpoints_written(&self) -> usize {
+        self.checkpoints_written
     }
 
     /// Total number of stored coded symbols across all entries — the storage
@@ -247,14 +317,13 @@ impl<F: GaloisField> VersionedArchive<F> {
                 _ => self.entries.push(entry),
             }
         } else {
-            let previous = self
-                .cache
-                .peek()
-                .map(|(_, data)| data.to_vec())
-                .expect("cache always holds the latest version after an append");
-            let delta = Delta::between(&previous, version)?;
+            let delta = Delta::between(&self.latest, version)?;
             let gamma = delta.sparsity();
             self.sparsity.push(gamma);
+            // Anchor checkpoints: after `spacing` consecutive deltas the next
+            // Basic/Optimized append stores the full version instead.
+            let spacing = self.config.checkpoints.spacing;
+            let checkpoint_due = spacing > 0 && self.delta_run >= spacing;
 
             match self.config.strategy {
                 EncodingStrategy::NonDifferential => {
@@ -265,22 +334,14 @@ impl<F: GaloisField> VersionedArchive<F> {
                     });
                 }
                 EncodingStrategy::BasicSec => {
-                    let codeword = self.code.encode(delta.data())?;
-                    self.entries.push(EncodedEntry {
-                        payload: StoredPayload::Delta {
-                            to: id.0,
-                            sparsity: gamma,
-                        },
-                        codeword,
-                    });
-                }
-                EncodingStrategy::OptimizedSec => {
-                    if self.config.io_model().optimized_stores_full(gamma) {
+                    if checkpoint_due {
                         let codeword = self.code.encode(version)?;
                         self.entries.push(EncodedEntry {
                             payload: StoredPayload::FullVersion { version: id.0 },
                             codeword,
                         });
+                        self.checkpoints_written += 1;
+                        self.delta_run = 0;
                     } else {
                         let codeword = self.code.encode(delta.data())?;
                         self.entries.push(EncodedEntry {
@@ -290,6 +351,31 @@ impl<F: GaloisField> VersionedArchive<F> {
                             },
                             codeword,
                         });
+                        self.delta_run += 1;
+                    }
+                }
+                EncodingStrategy::OptimizedSec => {
+                    let threshold_full = self.config.io_model().optimized_stores_full(gamma);
+                    if threshold_full || checkpoint_due {
+                        let codeword = self.code.encode(version)?;
+                        self.entries.push(EncodedEntry {
+                            payload: StoredPayload::FullVersion { version: id.0 },
+                            codeword,
+                        });
+                        if !threshold_full {
+                            self.checkpoints_written += 1;
+                        }
+                        self.delta_run = 0;
+                    } else {
+                        let codeword = self.code.encode(delta.data())?;
+                        self.entries.push(EncodedEntry {
+                            payload: StoredPayload::Delta {
+                                to: id.0,
+                                sparsity: gamma,
+                            },
+                            codeword,
+                        });
+                        self.delta_run += 1;
                     }
                 }
                 EncodingStrategy::ReversedSec => {
@@ -311,7 +397,8 @@ impl<F: GaloisField> VersionedArchive<F> {
             }
         }
 
-        self.cache.put(id, version.to_vec());
+        self.latest = version.to_vec();
+        self.cache.insert(0, id.0, version.to_vec());
         self.versions += 1;
         Ok(id)
     }
@@ -391,7 +478,36 @@ mod tests {
         );
         assert!(a.latest_full_entry().is_none());
         assert_eq!(a.stored_symbols(), 3 * 6);
-        assert_eq!(a.cache().cached_version().unwrap().0, 3);
+        assert_eq!(a.cache().peek_latest(0).unwrap().0, 3);
+    }
+
+    #[test]
+    fn checkpoint_policy_inserts_periodic_fulls() {
+        let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
+            .unwrap()
+            .with_checkpoints(CheckpointPolicy::every(2));
+        assert!(config.checkpoints().is_enabled());
+        let mut a: VersionedArchive<Gf1024> = VersionedArchive::new(config).unwrap();
+        // Six versions differing by one symbol each: with spacing 2 the
+        // layout is full, δ, δ, full(checkpoint), δ, δ.
+        let mut version = obj(&[10, 20, 30]);
+        for v in 1..=6u64 {
+            version[0] = Gf1024::from_u64(v);
+            a.append_version(&version).unwrap();
+        }
+        let fulls: Vec<usize> = a
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.payload, StoredPayload::FullVersion { .. }))
+            .map(|(idx, _)| idx)
+            .collect();
+        assert_eq!(fulls, vec![0, 3]);
+        assert_eq!(a.checkpoints_written(), 1);
+        // The disabled policy leaves the paper-exact layout untouched.
+        let mut plain = archive(EncodingStrategy::BasicSec);
+        plain.append_all(&three_versions()).unwrap();
+        assert_eq!(plain.checkpoints_written(), 0);
     }
 
     #[test]

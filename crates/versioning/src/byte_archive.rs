@@ -98,6 +98,9 @@ pub struct ByteVersionedArchive {
     latest_version: Vec<u8>,
     sparsity: Vec<usize>,
     versions: usize,
+    /// Consecutive deltas since the last stored full version.
+    delta_run: usize,
+    checkpoints_written: usize,
 }
 
 impl ByteVersionedArchive {
@@ -141,6 +144,8 @@ impl ByteVersionedArchive {
             latest_version: Vec::new(),
             sparsity: Vec::new(),
             versions: 0,
+            delta_run: 0,
+            checkpoints_written: 0,
         })
     }
 
@@ -185,6 +190,13 @@ impl ByteVersionedArchive {
     /// Per-block sparsity profile `γ_2, …, γ_L` of the appended versions.
     pub fn sparsity_profile(&self) -> &[usize] {
         &self.sparsity
+    }
+
+    /// Number of policy-forced checkpoint entries written so far (full
+    /// versions stored by the [`CheckpointPolicy`](crate::CheckpointPolicy)
+    /// where the strategy alone would have stored a delta).
+    pub fn checkpoints_written(&self) -> usize {
+        self.checkpoints_written
     }
 
     /// The stored entries, in append order (excluding the Reversed-SEC latest
@@ -252,6 +264,11 @@ impl ByteVersionedArchive {
             let delta = ByteShards::from_flat(&delta_bytes, k);
             let gamma = delta.weight();
             self.sparsity.push(gamma);
+            // Anchor checkpoints: after `spacing` consecutive deltas the next
+            // Basic/Optimized append stores the full version instead, bounding
+            // every forward walk to at most `spacing` delta applications.
+            let spacing = self.config.checkpoints().spacing;
+            let checkpoint_due = spacing > 0 && self.delta_run >= spacing;
 
             match self.config.strategy() {
                 EncodingStrategy::NonDifferential => {
@@ -262,22 +279,14 @@ impl ByteVersionedArchive {
                     });
                 }
                 EncodingStrategy::BasicSec => {
-                    let shards = self.codec.encode_blocks(&delta)?;
-                    self.entries.push(ByteEncodedEntry {
-                        payload: StoredPayload::Delta {
-                            to: id.0,
-                            sparsity: gamma,
-                        },
-                        shards,
-                    });
-                }
-                EncodingStrategy::OptimizedSec => {
-                    if self.config.io_model().optimized_stores_full(gamma) {
+                    if checkpoint_due {
                         let shards = self.codec.encode_blocks(&ByteShards::from_flat(object, k))?;
                         self.entries.push(ByteEncodedEntry {
                             payload: StoredPayload::FullVersion { version: id.0 },
                             shards,
                         });
+                        self.checkpoints_written += 1;
+                        self.delta_run = 0;
                     } else {
                         let shards = self.codec.encode_blocks(&delta)?;
                         self.entries.push(ByteEncodedEntry {
@@ -287,6 +296,31 @@ impl ByteVersionedArchive {
                             },
                             shards,
                         });
+                        self.delta_run += 1;
+                    }
+                }
+                EncodingStrategy::OptimizedSec => {
+                    let threshold_full = self.config.io_model().optimized_stores_full(gamma);
+                    if threshold_full || checkpoint_due {
+                        let shards = self.codec.encode_blocks(&ByteShards::from_flat(object, k))?;
+                        self.entries.push(ByteEncodedEntry {
+                            payload: StoredPayload::FullVersion { version: id.0 },
+                            shards,
+                        });
+                        if !threshold_full {
+                            self.checkpoints_written += 1;
+                        }
+                        self.delta_run = 0;
+                    } else {
+                        let shards = self.codec.encode_blocks(&delta)?;
+                        self.entries.push(ByteEncodedEntry {
+                            payload: StoredPayload::Delta {
+                                to: id.0,
+                                sparsity: gamma,
+                            },
+                            shards,
+                        });
+                        self.delta_run += 1;
                     }
                 }
                 EncodingStrategy::ReversedSec => {
@@ -670,5 +704,110 @@ mod tests {
             let symbol_bytes: Vec<u8> = via_symbols.data.iter().map(|s| s.to_u64() as u8).collect();
             assert_eq!(via_bytes.data, symbol_bytes, "version {l}");
         }
+    }
+
+    #[test]
+    fn checkpoint_policy_bounds_read_cost_and_round_trips() {
+        use crate::archive::{CheckpointPolicy, StoredPayload};
+
+        // Six versions of a 90-byte object, each editing a single block, with
+        // a checkpoint every 2 deltas: the chain stores fulls at entries 0
+        // and 3, so no retrieval rewinds through more than 2 deltas.
+        let spacing = 2;
+        let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
+            .unwrap()
+            .with_checkpoints(CheckpointPolicy::every(spacing));
+        let mut a = ByteVersionedArchive::new(config).unwrap();
+        let mut versions = vec![(0..90).map(|i| (i * 7 + 3) as u8).collect::<Vec<u8>>()];
+        for j in 1..6 {
+            let mut next = versions[j - 1].clone();
+            next[30 * (j % 3)] ^= 0x5a; // one edited block → γ = 1
+            versions.push(next);
+        }
+        a.append_all(&versions).unwrap();
+
+        let fulls: Vec<usize> = a
+            .stored_entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.payload, StoredPayload::FullVersion { .. }))
+            .map(|(idx, _)| idx)
+            .collect();
+        assert_eq!(fulls, vec![0, 3]);
+        assert_eq!(a.checkpoints_written(), 1);
+
+        // Bytes still round-trip, reads anchor on the checkpoint, and the
+        // layout-aware io-model predicts each cost exactly.
+        let model = a.config().io_model();
+        let layout: Vec<StoredPayload> = a.stored_entries().iter().map(|e| e.payload).collect();
+        for l in 1..=versions.len() {
+            let r = a.retrieve_version(l).unwrap();
+            assert_eq!(r.data, versions[l - 1], "version {l}");
+            assert_eq!(
+                r.io_reads,
+                model.version_reads_for_layout(EncodingStrategy::BasicSec, &layout, l),
+                "version {l}"
+            );
+            // k · (1 + c): the full anchor plus at most `spacing` deltas.
+            assert!(r.io_reads <= 3 * (1 + spacing), "version {l}");
+        }
+        let prefix = a.retrieve_prefix(versions.len()).unwrap();
+        assert_eq!(prefix.versions, versions);
+        assert_eq!(
+            prefix.io_reads,
+            model.prefix_reads_for_layout(EncodingStrategy::BasicSec, &layout, versions.len())
+        );
+
+        // A disabled policy leaves the paper layout untouched.
+        let plain =
+            ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec).unwrap();
+        let mut p = ByteVersionedArchive::new(plain).unwrap();
+        p.append_all(&versions).unwrap();
+        assert_eq!(p.checkpoints_written(), 0);
+        assert_eq!(
+            p.stored_entries()
+                .iter()
+                .filter(|e| matches!(e.payload, StoredPayload::FullVersion { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn optimized_checkpoints_skip_threshold_fulls() {
+        use crate::archive::{CheckpointPolicy, StoredPayload};
+
+        // Optimized SEC already stores a full when 2γ ≥ k; the policy only
+        // counts the fulls *it* forces. With spacing 2: v3's threshold full
+        // resets the delta run, so the first policy checkpoint is the v6 full
+        // after the two sparse deltas v4 and v5.
+        let config =
+            ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::OptimizedSec)
+                .unwrap()
+                .with_checkpoints(CheckpointPolicy::every(2));
+        let mut a = ByteVersionedArchive::new(config).unwrap();
+        let v1: Vec<u8> = (0..90).map(|i| (i * 11 + 1) as u8).collect();
+        let mut v2 = v1.clone();
+        v2[0] ^= 1; // γ = 1 → delta (run 1)
+        let mut v3 = v2.clone();
+        v3[0] ^= 2;
+        v3[30] ^= 2; // γ = 2 ≥ k/2 → threshold full (run reset)
+        let mut v4 = v3.clone();
+        v4[60] ^= 3; // γ = 1 → delta (run 1)
+        let mut v5 = v4.clone();
+        v5[60] ^= 4; // γ = 1 → delta (run 2)
+        let mut v6 = v5.clone();
+        v6[30] ^= 5; // γ = 1, but run = 2 → checkpoint full
+        a.append_all(&[v1, v2, v3, v4, v5, v6.clone()]).unwrap();
+
+        let payloads: Vec<StoredPayload> = a.stored_entries().iter().map(|e| e.payload).collect();
+        assert!(matches!(payloads[2], StoredPayload::FullVersion { version: 3 }));
+        assert!(matches!(payloads[3], StoredPayload::Delta { to: 4, sparsity: 1 }));
+        assert!(matches!(payloads[4], StoredPayload::Delta { to: 5, sparsity: 1 }));
+        assert!(matches!(payloads[5], StoredPayload::FullVersion { version: 6 }));
+        // Only the v6 full came from the policy; the v3 full is the paper's rule.
+        assert_eq!(a.checkpoints_written(), 1);
+        assert_eq!(a.retrieve_version(6).unwrap().data, v6);
+        assert_eq!(a.retrieve_version(6).unwrap().io_reads, 3);
     }
 }

@@ -1,117 +1,39 @@
-//! Caches for the versioning layer.
+//! The delta-aware decoded-version cache shared by every serving layer.
 //!
-//! SEC stores only deltas, yet computing the next delta `z_{j+1} = x_{j+1} −
-//! x_j` requires `x_j`. The paper's practical answer is to "cache a full copy
-//! of the latest version until a new version arrives", which also speeds up
-//! reads of the newest version. [`LatestVersionCache`] is that cache, with hit
-//! and miss counters so experiments can report its effect.
+//! SEC stores only deltas, so a read of version `l` walks a chain whose
+//! length grows with `l`'s distance from the nearest stored full version.
+//! Exact-hit caching wastes most of that work: after decoding version `v`,
+//! a read of `v + 1` needs only one more delta, yet an exact-hit cache
+//! re-walks the entire chain. [`DeltaCache`] therefore indexes decoded
+//! versions by `(object, version)` and answers *nearest-base* queries —
+//! "the closest cached version at or below the target" for the forward
+//! strategies ([`DeltaCache::nearest_at_most`]) and "at or above" for
+//! Reversed SEC, whose walk un-applies deltas backwards
+//! ([`DeltaCache::nearest_at_least`]). It also subsumes the paper's
+//! "cache a full copy of the latest version" rule (the old
+//! `LatestVersionCache`): [`DeltaCache::peek_latest`] serves the
+//! append path's need for the previous plaintext without touching the
+//! hit/miss statistics.
 //!
-//! [`VersionCache`] generalizes it into a small shared-read LRU over decoded
-//! versions for serving layers: lookups take `&self` (the recency touch is an
-//! atomic store under a read lock), so cached retrievals from many concurrent
-//! readers never serialize on the cache.
+//! Lookups take `&self` (the recency touch is an atomic store under a read
+//! lock), so cached retrievals from many concurrent readers never serialize
+//! on the cache. A capacity of zero disables the cache entirely: lookups
+//! return `None` and inserts store nothing, with **zero** bookkeeping — no
+//! miss counts, no lock traffic, no slot allocation — so a disabled cache is
+//! indistinguishable from no cache at all in both metrics and cost.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use sec_gf::GaloisField;
-
-use crate::object::VersionId;
-
-/// Cache holding the plaintext of the most recently appended version.
-///
-/// Lookups are `&self`: the hit/miss counters are atomics, so a pure read
-/// never needs an exclusive borrow of the archive that owns the cache.
-#[derive(Debug)]
-pub struct LatestVersionCache<F> {
-    entry: Option<(VersionId, Vec<F>)>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl<F: GaloisField> LatestVersionCache<F> {
-    /// Creates an empty cache.
-    pub fn new() -> Self {
-        Self {
-            entry: None,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
-
-    /// Replaces the cached version.
-    pub fn put(&mut self, id: VersionId, data: Vec<F>) {
-        self.entry = Some((id, data));
-    }
-
-    /// Returns the cached data if it is exactly version `id`, recording a hit
-    /// or miss. A pure lookup: concurrent readers can call this through a
-    /// shared borrow without serializing.
-    pub fn get(&self, id: VersionId) -> Option<&[F]> {
-        match &self.entry {
-            Some((cached_id, data)) if *cached_id == id => {
-                // audit: atomic ok — hit/miss statistic; no ordering dependency
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(data.as_slice())
-            }
-            _ => {
-                // audit: atomic ok — hit/miss statistic; no ordering dependency
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
-    }
-
-    /// The cached version id, if any (does not affect hit/miss counters).
-    pub fn cached_version(&self) -> Option<VersionId> {
-        self.entry.as_ref().map(|(id, _)| *id)
-    }
-
-    /// A view of the cached data, if any (does not affect counters).
-    pub fn peek(&self) -> Option<(&VersionId, &[F])> {
-        self.entry.as_ref().map(|(id, data)| (id, data.as_slice()))
-    }
-
-    /// Clears the cache.
-    pub fn clear(&mut self) {
-        self.entry = None;
-    }
-
-    /// Number of lookups that found the requested version.
-    pub fn hits(&self) -> u64 {
-        // audit: atomic ok — statistic read; cross-thread exactness not claimed
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    /// Number of lookups that did not find the requested version.
-    pub fn misses(&self) -> u64 {
-        // audit: atomic ok — statistic read; cross-thread exactness not claimed
-        self.misses.load(Ordering::Relaxed)
-    }
-}
-
-impl<F: GaloisField> Default for LatestVersionCache<F> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<F: Clone> Clone for LatestVersionCache<F> {
-    fn clone(&self) -> Self {
-        Self {
-            entry: self.entry.clone(),
-            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)), // audit: atomic ok — relaxed copy of statistics
-            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)), // audit: atomic ok — relaxed copy of statistics
-        }
-    }
-}
-
-/// Hit/miss statistics of a [`VersionCache`].
+/// Hit/miss statistics of a [`DeltaCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups that found their version.
+    /// Lookups that found exactly their target version.
     pub hits: u64,
-    /// Lookups that did not.
+    /// Nearest-base lookups that found a usable base other than the target
+    /// itself (the walk still applies the trailing deltas).
+    pub base_hits: u64,
+    /// Lookups that found nothing usable.
     pub misses: u64,
     /// Versions currently cached.
     pub len: usize,
@@ -125,53 +47,63 @@ impl CacheStats {
     /// `capacity` sum as well).
     pub fn absorb(&mut self, other: &CacheStats) {
         self.hits += other.hits;
+        self.base_hits += other.base_hits;
         self.misses += other.misses;
         self.len += other.len;
         self.capacity += other.capacity;
     }
 }
 
-/// One cached version: its number, its decoded value, and an atomically
+/// One cached decoded version: its key, its value, and an atomically
 /// touchable recency stamp.
 #[derive(Debug)]
 struct CacheSlot<V> {
+    object: u64,
     version: usize,
     value: Arc<V>,
     last_used: AtomicU64,
 }
 
-/// A capacity-bounded LRU cache of decoded versions with shared-read lookup.
+/// A capacity-bounded LRU cache of decoded versions keyed by
+/// `(object, version)`, with shared-read nearest-base lookup.
 ///
-/// Versions are immutable once appended, so cached values never need
-/// invalidation — eviction is purely capacity-driven. The design goal is that
-/// the *read path never takes an exclusive lock*:
+/// Versions are immutable once appended (even under Reversed SEC, where only
+/// the *latest-full slot* is rewritten — it then encodes a new version id),
+/// so cached values never need invalidation — eviction is purely
+/// capacity-driven. The design goal is that the *read path never takes an
+/// exclusive lock*:
 ///
-/// * [`VersionCache::get`] takes the slot list's read lock (shared among any
-///   number of readers) and performs the LRU touch by storing a fresh logical
-///   timestamp into the slot's atomic — interior mutability instead of a
-///   write lock;
-/// * [`VersionCache::insert`] takes the write lock only to admit a new
+/// * the lookup family ([`DeltaCache::get`], [`DeltaCache::nearest_at_most`],
+///   [`DeltaCache::nearest_at_least`]) takes the slot list's read lock
+///   (shared among any number of readers) and performs the LRU touch by
+///   storing a fresh logical timestamp into the slot's atomic — interior
+///   mutability instead of a write lock;
+/// * [`DeltaCache::insert`] takes the write lock only to admit a new
 ///   version, evicting the slot with the oldest stamp when full.
 ///
 /// Values are handed out as [`Arc`]s so a hit costs one refcount bump, not a
-/// copy of the decoded object.
+/// copy of the decoded object. Single-archive owners pass `object = 0`;
+/// cluster layers key by their object id so one cache can back many engines.
 #[derive(Debug)]
-pub struct VersionCache<V> {
+pub struct DeltaCache<V> {
     capacity: usize,
     clock: AtomicU64,
     hits: AtomicU64,
+    base_hits: AtomicU64,
     misses: AtomicU64,
     slots: RwLock<Vec<CacheSlot<V>>>,
 }
 
-impl<V> VersionCache<V> {
-    /// Creates a cache holding at most `capacity` versions. A zero capacity
-    /// disables the cache: every lookup misses and inserts are dropped.
+impl<V> DeltaCache<V> {
+    /// Creates a cache holding at most `capacity` decoded versions. A zero
+    /// capacity disables the cache: every lookup returns `None` and inserts
+    /// are dropped, with no bookkeeping of any kind.
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            base_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             slots: RwLock::new(Vec::with_capacity(capacity)),
         }
@@ -184,6 +116,7 @@ impl<V> VersionCache<V> {
 
     /// Number of currently cached versions.
     pub fn len(&self) -> usize {
+        // audit: panic ok — lock poisoning only propagates a prior panic
         self.slots.read().expect("cache lock poisoned").len()
     }
 
@@ -192,42 +125,109 @@ impl<V> VersionCache<V> {
         self.len() == 0
     }
 
-    /// Looks up version `version` (1-based), touching its recency stamp and
+    /// Touches `slot`'s recency stamp and returns a handle to its value.
+    fn touch(&self, slot: &CacheSlot<V>) -> Arc<V> {
+        // LRU touch through the slot's atomic: no write lock needed.
+        // audit: atomic ok — LRU clock tick; approximate recency is acceptable
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        // audit: atomic ok — LRU stamp publish; staleness only skews eviction choice
+        slot.last_used.store(stamp, Ordering::Relaxed);
+        Arc::clone(&slot.value)
+    }
+
+    /// Records the statistics outcome of one nearest-base lookup.
+    fn count(&self, target: usize, found: Option<usize>) {
+        let counter = match found {
+            Some(version) if version == target => &self.hits,
+            Some(_) => &self.base_hits,
+            None => &self.misses,
+        };
+        // audit: atomic ok — hit/miss statistic; no ordering dependency
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Shared core of the lookup family: finds the best slot for `object`
+    /// under `candidate` (which ranks acceptable versions by distance,
+    /// `None` meaning unusable), touches it and records the outcome against
+    /// `target`.
+    fn lookup(
+        &self,
+        object: u64,
+        target: usize,
+        candidate: impl Fn(usize) -> Option<usize>,
+    ) -> Option<(usize, Arc<V>)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        // audit: panic ok — lock poisoning only propagates a prior panic
+        let slots = self.slots.read().expect("cache lock poisoned");
+        let found = slots
+            .iter()
+            .filter(|slot| slot.object == object)
+            .filter_map(|slot| candidate(slot.version).map(|rank| (rank, slot)))
+            .min_by_key(|(rank, _)| *rank)
+            .map(|(_, slot)| (slot.version, self.touch(slot)));
+        self.count(target, found.as_ref().map(|(version, _)| *version));
+        found
+    }
+
+    /// Looks up exactly `(object, version)`, touching its recency stamp and
     /// recording a hit or miss. Concurrent lookups proceed in parallel.
     ///
     /// A disabled cache (capacity 0) returns `None` without recording a
     /// miss — there is no cache to be cold.
-    pub fn get(&self, version: usize) -> Option<Arc<V>> {
+    pub fn get(&self, object: u64, version: usize) -> Option<Arc<V>> {
+        self.lookup(object, version, |v| (v == version).then_some(0))
+            .map(|(_, value)| value)
+    }
+
+    /// Returns the nearest cached base **at or below** `version` for
+    /// `object` — the best starting point for a forward (Basic/Optimized
+    /// SEC) delta walk. An exact match counts as a hit, a lower base as a
+    /// base hit, nothing as a miss.
+    pub fn nearest_at_most(&self, object: u64, version: usize) -> Option<(usize, Arc<V>)> {
+        self.lookup(object, version, |v| (v <= version).then(|| version - v))
+    }
+
+    /// Returns the nearest cached base **at or above** `version` for
+    /// `object` — the best starting point for a backward (Reversed SEC)
+    /// un-apply walk. An exact match counts as a hit, a higher base as a
+    /// base hit, nothing as a miss.
+    pub fn nearest_at_least(&self, object: u64, version: usize) -> Option<(usize, Arc<V>)> {
+        self.lookup(object, version, |v| (v >= version).then(|| v - version))
+    }
+
+    /// The highest cached version for `object`, if any, without touching
+    /// recency or statistics — the append path's "previous plaintext" probe
+    /// (the paper's cache-the-latest rule).
+    pub fn peek_latest(&self, object: u64) -> Option<(usize, Arc<V>)> {
         if self.capacity == 0 {
             return None;
         }
+        // audit: panic ok — lock poisoning only propagates a prior panic
         let slots = self.slots.read().expect("cache lock poisoned");
-        let found = slots.iter().find(|slot| slot.version == version).map(|slot| {
-            // LRU touch through the slot's atomic: no write lock needed.
-            // audit: atomic ok — LRU clock tick; approximate recency is acceptable
-            let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-            // audit: atomic ok — LRU stamp publish; staleness only skews eviction choice
-            slot.last_used.store(stamp, Ordering::Relaxed);
-            Arc::clone(&slot.value)
-        });
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed), // audit: atomic ok — hit/miss statistic
-            None => self.misses.fetch_add(1, Ordering::Relaxed), // audit: atomic ok — hit/miss statistic
-        };
-        found
+        slots
+            .iter()
+            .filter(|slot| slot.object == object)
+            .max_by_key(|slot| slot.version)
+            .map(|slot| (slot.version, Arc::clone(&slot.value)))
     }
 
-    /// Admits version `version`, evicting the least recently used slot when
-    /// the cache is full. Returns the cached handle (the existing one when
-    /// the version was already present — versions are immutable, so the first
-    /// admitted value wins).
-    pub fn insert(&self, version: usize, value: V) -> Arc<V> {
+    /// Admits `(object, version)`, evicting the least recently used slot
+    /// when the cache is full. Returns the cached handle (the existing one
+    /// when the version was already present — versions are immutable, so
+    /// the first admitted value wins).
+    pub fn insert(&self, object: u64, version: usize, value: V) -> Arc<V> {
         let value = Arc::new(value);
         if self.capacity == 0 {
             return value;
         }
+        // audit: panic ok — lock poisoning only propagates a prior panic
         let mut slots = self.slots.write().expect("cache lock poisoned");
-        if let Some(slot) = slots.iter().find(|slot| slot.version == version) {
+        if let Some(slot) = slots
+            .iter()
+            .find(|slot| slot.object == object && slot.version == version)
+        {
             return Arc::clone(&slot.value);
         }
         // audit: atomic ok — LRU clock tick; approximate recency is acceptable
@@ -239,10 +239,12 @@ impl<V> VersionCache<V> {
                 // audit: atomic ok — stale stamp only skews which slot is evicted
                 .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
                 .map(|(idx, _)| idx)
+                // audit: panic ok — capacity > 0 here and len ≥ capacity, so the list is non-empty
                 .expect("capacity > 0 and cache full");
             slots.swap_remove(oldest);
         }
         slots.push(CacheSlot {
+            object,
             version,
             value: Arc::clone(&value),
             last_used: AtomicU64::new(stamp),
@@ -252,6 +254,7 @@ impl<V> VersionCache<V> {
 
     /// Drops every cached version (counters are kept).
     pub fn clear(&self) {
+        // audit: panic ok — lock poisoning only propagates a prior panic
         self.slots.write().expect("cache lock poisoned").clear();
     }
 
@@ -259,6 +262,7 @@ impl<V> VersionCache<V> {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed), // audit: atomic ok — statistic read
+            base_hits: self.base_hits.load(Ordering::Relaxed), // audit: atomic ok — statistic read
             misses: self.misses.load(Ordering::Relaxed), // audit: atomic ok — statistic read
             len: self.len(),
             capacity: self.capacity,
@@ -266,105 +270,222 @@ impl<V> VersionCache<V> {
     }
 }
 
+impl<V> Clone for DeltaCache<V> {
+    /// Clones the cache contents and statistics. Values are shared (`Arc`
+    /// clones), counters are copied at their current relaxed values.
+    fn clone(&self) -> Self {
+        // audit: panic ok — lock poisoning only propagates a prior panic
+        let slots = self.slots.read().expect("cache lock poisoned");
+        Self {
+            capacity: self.capacity,
+            // audit: atomic ok — relaxed copy of the LRU clock
+            clock: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
+            // audit: atomic ok — relaxed copy of statistics
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            // audit: atomic ok — relaxed copy of statistics
+            base_hits: AtomicU64::new(self.base_hits.load(Ordering::Relaxed)),
+            // audit: atomic ok — relaxed copy of statistics
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            slots: RwLock::new(
+                slots
+                    .iter()
+                    .map(|slot| CacheSlot {
+                        object: slot.object,
+                        version: slot.version,
+                        value: Arc::clone(&slot.value),
+                        // audit: atomic ok — relaxed copy of a recency stamp
+                        last_used: AtomicU64::new(slot.last_used.load(Ordering::Relaxed)),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sec_gf::Gf256;
-
-    fn obj(vals: &[u64]) -> Vec<Gf256> {
-        vals.iter().map(|&v| Gf256::from_u64(v)).collect()
-    }
 
     #[test]
-    fn put_get_and_counters() {
-        let mut cache = LatestVersionCache::new();
-        assert!(cache.cached_version().is_none());
-        assert!(cache.peek().is_none());
-        assert!(cache.get(VersionId(1)).is_none());
-        assert_eq!(cache.misses(), 1);
+    fn exact_get_and_counters() {
+        let cache: DeltaCache<Vec<u8>> = DeltaCache::new(2);
+        assert!(cache.get(0, 1).is_none());
+        assert_eq!(cache.stats().misses, 1);
 
-        cache.put(VersionId(1), obj(&[1, 2, 3]));
-        assert_eq!(cache.cached_version(), Some(VersionId(1)));
-        assert_eq!(cache.get(VersionId(1)).unwrap(), obj(&[1, 2, 3]).as_slice());
-        assert_eq!(cache.hits(), 1);
-        // Asking for a different version misses.
-        assert!(cache.get(VersionId(2)).is_none());
-        assert_eq!(cache.misses(), 2);
-
-        // A newer version replaces the older one.
-        cache.put(VersionId(2), obj(&[9]));
-        assert_eq!(cache.peek().unwrap().0, &VersionId(2));
-        // Lookups through a shared borrow still count.
-        let shared = &cache;
-        assert!(shared.get(VersionId(2)).is_some());
-        assert_eq!(cache.hits(), 2);
+        cache.insert(0, 1, vec![1, 2, 3]);
+        assert_eq!(*cache.get(0, 1).unwrap(), vec![1, 2, 3]);
+        assert_eq!(cache.stats().hits, 1);
+        // Asking for a different version misses; exact get never base-hits.
+        assert!(cache.get(0, 2).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.base_hits, 0);
         cache.clear();
-        assert!(cache.cached_version().is_none());
-    }
-
-    #[test]
-    fn clone_carries_counters() {
-        let mut cache = LatestVersionCache::new();
-        cache.put(VersionId(1), obj(&[4]));
-        let _ = cache.get(VersionId(1));
-        let _ = cache.get(VersionId(9));
-        let cloned = cache.clone();
-        assert_eq!(cloned.hits(), 1);
-        assert_eq!(cloned.misses(), 1);
-        assert_eq!(cloned.cached_version(), Some(VersionId(1)));
-    }
-
-    #[test]
-    fn default_is_empty() {
-        let cache: LatestVersionCache<Gf256> = LatestVersionCache::default();
-        assert!(cache.peek().is_none());
-        assert_eq!(cache.hits(), 0);
-        assert_eq!(cache.misses(), 0);
-    }
-
-    #[test]
-    fn version_cache_lru_eviction() {
-        let cache: VersionCache<Vec<u8>> = VersionCache::new(2);
         assert!(cache.is_empty());
-        cache.insert(1, vec![1]);
-        cache.insert(2, vec![2]);
+    }
+
+    #[test]
+    fn nearest_at_most_prefers_the_closest_lower_base() {
+        let cache: DeltaCache<Vec<u8>> = DeltaCache::new(4);
+        cache.insert(0, 2, vec![2]);
+        cache.insert(0, 5, vec![5]);
+        // Exact match is a hit.
+        assert_eq!(cache.nearest_at_most(0, 5).unwrap().0, 5);
+        // Version 4: base 2 is the only one ≤ 4.
+        assert_eq!(cache.nearest_at_most(0, 4).unwrap().0, 2);
+        // Version 7: base 5 beats base 2.
+        assert_eq!(cache.nearest_at_most(0, 7).unwrap().0, 5);
+        // Version 1: nothing at or below.
+        assert!(cache.nearest_at_most(0, 1).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.base_hits, 2);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn nearest_at_least_prefers_the_closest_higher_base() {
+        let cache: DeltaCache<Vec<u8>> = DeltaCache::new(4);
+        cache.insert(0, 3, vec![3]);
+        cache.insert(0, 8, vec![8]);
+        assert_eq!(cache.nearest_at_least(0, 3).unwrap().0, 3);
+        assert_eq!(cache.nearest_at_least(0, 4).unwrap().0, 8);
+        assert_eq!(cache.nearest_at_least(0, 1).unwrap().0, 3);
+        assert!(cache.nearest_at_least(0, 9).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.base_hits, 2);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn objects_are_isolated() {
+        let cache: DeltaCache<Vec<u8>> = DeltaCache::new(4);
+        cache.insert(7, 3, vec![73]);
+        cache.insert(9, 5, vec![95]);
+        assert_eq!(cache.nearest_at_most(7, 4).unwrap().0, 3);
+        assert!(cache.nearest_at_most(8, 9).is_none(), "unknown object");
+        assert_eq!(cache.peek_latest(9).unwrap().0, 5);
+        assert!(cache.peek_latest(8).is_none());
+    }
+
+    #[test]
+    fn peek_latest_returns_the_newest_without_counting() {
+        let cache: DeltaCache<Vec<u8>> = DeltaCache::new(4);
+        assert!(cache.peek_latest(0).is_none());
+        cache.insert(0, 1, vec![1]);
+        cache.insert(0, 3, vec![3]);
+        cache.insert(0, 2, vec![2]);
+        let (version, value) = cache.peek_latest(0).unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(*value, vec![3]);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                base_hits: 0,
+                misses: 0,
+                len: 3,
+                capacity: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let cache: DeltaCache<Vec<u8>> = DeltaCache::new(2);
+        assert!(cache.is_empty());
+        cache.insert(0, 1, vec![1]);
+        cache.insert(0, 2, vec![2]);
         // Touch version 1 so version 2 is the LRU.
-        assert_eq!(*cache.get(1).unwrap(), vec![1]);
-        cache.insert(3, vec![3]);
+        assert_eq!(*cache.get(0, 1).unwrap(), vec![1]);
+        cache.insert(0, 3, vec![3]);
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(2).is_none(), "LRU entry evicted");
-        assert!(cache.get(1).is_some());
-        assert!(cache.get(3).is_some());
+        assert!(cache.get(0, 2).is_none(), "LRU entry evicted");
+        assert!(cache.get(0, 1).is_some());
+        assert!(cache.get(0, 3).is_some());
         let stats = cache.stats();
         assert_eq!(stats.capacity, 2);
         assert_eq!(stats.len, 2);
         assert_eq!(stats.hits, 3);
         assert_eq!(stats.misses, 1);
-        cache.clear();
-        assert!(cache.is_empty());
     }
 
     #[test]
-    fn version_cache_first_value_wins_and_zero_capacity_disables() {
-        let cache: VersionCache<Vec<u8>> = VersionCache::new(2);
-        let first = cache.insert(1, vec![1]);
-        let second = cache.insert(1, vec![99]);
+    fn first_value_wins_and_zero_capacity_disables() {
+        let cache: DeltaCache<Vec<u8>> = DeltaCache::new(2);
+        let first = cache.insert(0, 1, vec![1]);
+        let second = cache.insert(0, 1, vec![99]);
         assert!(Arc::ptr_eq(&first, &second), "versions are immutable");
         assert_eq!(*second, vec![1]);
 
-        let disabled: VersionCache<Vec<u8>> = VersionCache::new(0);
-        disabled.insert(1, vec![1]);
-        assert!(disabled.get(1).is_none());
-        // A disabled cache is not "cold": lookups record no misses.
-        assert_eq!(disabled.stats().misses, 0);
-        assert_eq!(disabled.len(), 0);
+        let disabled: DeltaCache<Vec<u8>> = DeltaCache::new(0);
+        disabled.insert(0, 1, vec![1]);
+        assert!(disabled.get(0, 1).is_none());
+        assert!(disabled.nearest_at_most(0, 1).is_none());
+        assert!(disabled.nearest_at_least(0, 1).is_none());
+        assert!(disabled.peek_latest(0).is_none());
+        // A disabled cache is not "cold": lookups record no bookkeeping.
+        assert_eq!(
+            disabled.stats(),
+            CacheStats {
+                hits: 0,
+                base_hits: 0,
+                misses: 0,
+                len: 0,
+                capacity: 0,
+            }
+        );
     }
 
     #[test]
-    fn version_cache_shared_reads() {
-        let cache: Arc<VersionCache<Vec<u8>>> = Arc::new(VersionCache::new(4));
+    fn clone_carries_contents_and_counters() {
+        let cache: DeltaCache<Vec<u8>> = DeltaCache::new(3);
+        cache.insert(0, 1, vec![4]);
+        let _ = cache.get(0, 1);
+        let _ = cache.nearest_at_most(0, 9);
+        let _ = cache.nearest_at_least(0, 9);
+        let cloned = cache.clone();
+        let stats = cloned.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.base_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(*cloned.get(0, 1).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn stats_absorb_sums_every_field() {
+        let mut total = CacheStats {
+            hits: 1,
+            base_hits: 2,
+            misses: 3,
+            len: 4,
+            capacity: 5,
+        };
+        total.absorb(&CacheStats {
+            hits: 10,
+            base_hits: 20,
+            misses: 30,
+            len: 40,
+            capacity: 50,
+        });
+        assert_eq!(
+            total,
+            CacheStats {
+                hits: 11,
+                base_hits: 22,
+                misses: 33,
+                len: 44,
+                capacity: 55,
+            }
+        );
+    }
+
+    #[test]
+    fn shared_reads() {
+        let cache: Arc<DeltaCache<Vec<u8>>> = Arc::new(DeltaCache::new(4));
         for v in 1..=4 {
-            cache.insert(v, vec![v as u8]);
+            cache.insert(0, v, vec![v as u8]);
         }
         let handles: Vec<_> = (0..4)
             .map(|t| {
@@ -372,7 +493,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..100 {
                         let v = (t + i) % 4 + 1;
-                        assert_eq!(*cache.get(v).unwrap(), vec![v as u8]);
+                        assert_eq!(*cache.get(0, v).unwrap(), vec![v as u8]);
                     }
                 })
             })

@@ -9,7 +9,7 @@
 
 use sec_erasure::{CodeParams, GeneratorForm};
 
-use crate::archive::EncodingStrategy;
+use crate::archive::{EncodingStrategy, StoredPayload};
 
 /// I/O read model for one `(n, k)` code and generator form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +172,84 @@ impl IoModel {
                 // delta back to version 1; deltas l+1..L are shared with the
                 // walk to version l, deltas 2..l reconstruct the earlier ones.
                 k + sparsity.iter().map(|&g| self.delta_reads(g)).sum::<usize>()
+            }
+        }
+    }
+
+    /// Total reads to retrieve version `l` alone from a *concrete stored
+    /// layout* rather than a sparsity profile.
+    ///
+    /// The closed forms above assume the paper's layouts — full `x_1` then
+    /// deltas (Basic), or fulls exactly where `2γ ≥ k` (Optimized). A
+    /// [`CheckpointPolicy`](crate::CheckpointPolicy) breaks that assumption
+    /// by inserting extra fulls, so this variant walks the actual payload
+    /// list (in [`stored_entries`](crate::ByteVersionedArchive::stored_entries)
+    /// order, the Reversed-SEC latest copy last) and prices exactly the
+    /// entries the operational walk touches. On checkpoint-free layouts it
+    /// reproduces [`IoModel::version_reads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is zero or exceeds the number of versions the layout
+    /// stores.
+    pub fn version_reads_for_layout(
+        &self,
+        strategy: EncodingStrategy,
+        payloads: &[StoredPayload],
+        l: usize,
+    ) -> usize {
+        let versions = payloads.len();
+        assert!(l >= 1 && l <= versions, "version {l} out of range 1..={versions}");
+        match strategy {
+            EncodingStrategy::NonDifferential => self.params.k,
+            EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
+                // Anchor on the most recent stored full at or before entry
+                // l - 1, then pay for every delta after it — the exact
+                // traversal of `walk::walk_version`.
+                let anchor = (0..l)
+                    .rev()
+                    .find(|&idx| matches!(payloads[idx], StoredPayload::FullVersion { .. }))
+                    .expect("the first entry always stores a full version");
+                (anchor..l).map(|idx| payloads[idx].reads(self)).sum()
+            }
+            EncodingStrategy::ReversedSec => {
+                // The full latest copy (final element) plus the deltas back
+                // down to version l.
+                let latest_idx = payloads.len() - 1;
+                payloads[latest_idx].reads(self)
+                    + (l.saturating_sub(1)..latest_idx)
+                        .map(|idx| payloads[idx].reads(self))
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    /// Total reads to retrieve versions `1..=l` from a concrete stored
+    /// layout; the layout-walking counterpart of [`IoModel::prefix_reads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is zero or exceeds the number of versions the layout
+    /// stores.
+    pub fn prefix_reads_for_layout(
+        &self,
+        strategy: EncodingStrategy,
+        payloads: &[StoredPayload],
+        l: usize,
+    ) -> usize {
+        let versions = payloads.len();
+        assert!(l >= 1 && l <= versions, "version {l} out of range 1..={versions}");
+        match strategy {
+            EncodingStrategy::NonDifferential => l * self.params.k,
+            EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
+                // The prefix walk reads every stored entry up to l in order;
+                // checkpoint fulls replace their delta's cost with k.
+                (0..l).map(|idx| payloads[idx].reads(self)).sum()
+            }
+            EncodingStrategy::ReversedSec => {
+                // Reading versions 1..=l un-applies every delta from the full
+                // latest copy regardless of l.
+                payloads.iter().map(|p| p.reads(self)).sum()
             }
         }
     }
@@ -339,6 +417,92 @@ mod tests {
     fn out_of_range_version_panics() {
         let m = model_20_10();
         let _ = m.version_reads(EncodingStrategy::BasicSec, &PAPER_PROFILE, 6);
+    }
+
+    /// Paper-profile layouts, as each strategy actually stores them.
+    fn paper_layout(strategy: EncodingStrategy) -> Vec<StoredPayload> {
+        match strategy {
+            EncodingStrategy::BasicSec => vec![
+                StoredPayload::FullVersion { version: 1 },
+                StoredPayload::Delta { to: 2, sparsity: 3 },
+                StoredPayload::Delta { to: 3, sparsity: 8 },
+                StoredPayload::Delta { to: 4, sparsity: 3 },
+                StoredPayload::Delta { to: 5, sparsity: 6 },
+            ],
+            EncodingStrategy::OptimizedSec => vec![
+                StoredPayload::FullVersion { version: 1 },
+                StoredPayload::Delta { to: 2, sparsity: 3 },
+                StoredPayload::FullVersion { version: 3 },
+                StoredPayload::Delta { to: 4, sparsity: 3 },
+                StoredPayload::FullVersion { version: 5 },
+            ],
+            EncodingStrategy::ReversedSec => vec![
+                StoredPayload::Delta { to: 2, sparsity: 3 },
+                StoredPayload::Delta { to: 3, sparsity: 8 },
+                StoredPayload::Delta { to: 4, sparsity: 3 },
+                StoredPayload::Delta { to: 5, sparsity: 6 },
+                StoredPayload::FullVersion { version: 5 },
+            ],
+            EncodingStrategy::NonDifferential => (1..=5)
+                .map(|version| StoredPayload::FullVersion { version })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn layout_reads_match_closed_forms_without_checkpoints() {
+        let m = model_20_10();
+        for strategy in [
+            EncodingStrategy::BasicSec,
+            EncodingStrategy::OptimizedSec,
+            EncodingStrategy::ReversedSec,
+            EncodingStrategy::NonDifferential,
+        ] {
+            let layout = paper_layout(strategy);
+            for l in 1..=5 {
+                assert_eq!(
+                    m.version_reads_for_layout(strategy, &layout, l),
+                    m.version_reads(strategy, &PAPER_PROFILE, l),
+                    "{strategy} version {l}"
+                );
+                assert_eq!(
+                    m.prefix_reads_for_layout(strategy, &layout, l),
+                    m.prefix_reads(strategy, &PAPER_PROFILE, l),
+                    "{strategy} prefix {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layout_reads_price_checkpoints_exactly() {
+        // Basic SEC with checkpoint spacing 2 over the paper profile stores a
+        // policy full at entry 3: {x1, z2, z3, x4, z5}.
+        let m = model_20_10();
+        let layout = vec![
+            StoredPayload::FullVersion { version: 1 },
+            StoredPayload::Delta { to: 2, sparsity: 3 },
+            StoredPayload::Delta { to: 3, sparsity: 8 },
+            StoredPayload::FullVersion { version: 4 },
+            StoredPayload::Delta { to: 5, sparsity: 6 },
+        ];
+        let s = EncodingStrategy::BasicSec;
+        // η(x_l): anchor on the checkpoint instead of rewinding to x1.
+        assert_eq!(m.version_reads_for_layout(s, &layout, 1), 10);
+        assert_eq!(m.version_reads_for_layout(s, &layout, 2), 16);
+        assert_eq!(m.version_reads_for_layout(s, &layout, 3), 26);
+        assert_eq!(m.version_reads_for_layout(s, &layout, 4), 10);
+        assert_eq!(m.version_reads_for_layout(s, &layout, 5), 20);
+        // The prefix walk pays k for the checkpoint entry instead of δ4's 6.
+        assert_eq!(m.prefix_reads_for_layout(s, &layout, 5), 10 + 6 + 10 + 10 + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn layout_out_of_range_version_panics() {
+        let m = model_20_10();
+        let layout = paper_layout(EncodingStrategy::BasicSec);
+        let _ = m.version_reads_for_layout(EncodingStrategy::BasicSec, &layout, 6);
     }
 
     #[test]

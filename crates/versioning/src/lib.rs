@@ -64,11 +64,13 @@ pub mod object;
 pub mod retrieval;
 pub mod walk;
 
-pub use archive::{ArchiveConfig, EncodedEntry, EncodingStrategy, StoredPayload, VersionedArchive};
+pub use archive::{
+    ArchiveConfig, CheckpointPolicy, EncodedEntry, EncodingStrategy, StoredPayload, VersionedArchive,
+};
 pub use byte_archive::{
     ByteEncodedEntry, BytePrefixRetrieval, ByteVersionRetrieval, ByteVersionedArchive,
 };
-pub use cache::{CacheStats, LatestVersionCache, VersionCache};
+pub use cache::{CacheStats, DeltaCache};
 pub use delta::Delta;
 pub use error::VersioningError;
 pub use io_model::IoModel;

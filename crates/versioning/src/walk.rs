@@ -108,6 +108,152 @@ where
     }
 }
 
+/// Reconstructs version `l` under Basic/Optimized SEC starting from an
+/// already-decoded base: `base_shards` holds version `base_version`
+/// (1-based, `base_version ≤ l`), and the walk XORs only the trailing
+/// deltas `z_{b+1}, …, z_l` on top of it.
+///
+/// Two cases leave the base unused (the second bool in the return is
+/// `false`): the degenerate `base_version == l` never happens here because
+/// the caller serves an exact hit directly, but a stored **full version**
+/// inside the region to walk does — a checkpoint or Optimized-threshold
+/// full at entry `f ∈ [b, l)` is not a delta and cannot be XORed, and
+/// anchoring the plain walk at the *latest* such full is cheaper than any
+/// cached base below it. In that case this falls back to [`walk_version`].
+///
+/// # Errors
+///
+/// As for [`walk_version`].
+pub fn walk_version_from_base<E, P, R>(
+    strategy: EncodingStrategy,
+    stored_count: usize,
+    payload_at: P,
+    l: usize,
+    base_version: usize,
+    base_shards: ByteShards,
+    mut read_entry: R,
+) -> Result<(WalkOutcome, bool), E>
+where
+    E: From<CodeError>,
+    P: Fn(usize) -> StoredPayload,
+    R: FnMut(usize) -> Result<(usize, ByteShards), E>,
+{
+    debug_assert!(matches!(
+        strategy,
+        EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec
+    ));
+    debug_assert!(base_version >= 1 && base_version <= l);
+    if base_version == l {
+        return Ok((
+            WalkOutcome {
+                io_reads: 0,
+                entries_read: 0,
+                shards: base_shards,
+            },
+            true,
+        ));
+    }
+    // Entry `v - 1` stores the delta to version `v`, so the trailing deltas
+    // occupy entries `base_version..l`. A full version stored in that range
+    // both invalidates the XOR chain and offers a closer anchor.
+    if (base_version..l).any(|idx| matches!(payload_at(idx), StoredPayload::FullVersion { .. })) {
+        return walk_version(strategy, stored_count, payload_at, l, read_entry).map(|out| (out, false));
+    }
+    let mut acc = base_shards;
+    let mut io_reads = 0;
+    let mut entries_read = 0;
+    for idx in base_version..l {
+        let (reads, delta) = read_entry(idx)?;
+        io_reads += reads;
+        entries_read += 1;
+        acc.xor_with(&delta)?;
+    }
+    Ok((
+        WalkOutcome {
+            io_reads,
+            entries_read,
+            shards: acc,
+        },
+        true,
+    ))
+}
+
+/// Reconstructs version `l` under Reversed SEC starting from an
+/// already-decoded tail: `tail_shards` holds version `tail_version`
+/// (`tail_version ≥ l`), and the walk un-applies only the deltas
+/// `z_{tail}, …, z_{l+1}` — never touching the stored full latest copy.
+///
+/// # Errors
+///
+/// As for [`walk_version`].
+pub fn walk_version_from_tail<E, R>(
+    l: usize,
+    tail_version: usize,
+    tail_shards: ByteShards,
+    mut read_entry: R,
+) -> Result<WalkOutcome, E>
+where
+    E: From<CodeError>,
+    R: FnMut(usize) -> Result<(usize, ByteShards), E>,
+{
+    debug_assert!(l >= 1 && tail_version >= l);
+    // Entry `v - 2` stores the delta to version `v`; un-apply deltas to
+    // versions `tail_version, …, l + 1`, i.e. entries `l - 1..tail_version - 1`
+    // walked newest-first.
+    let mut acc = tail_shards;
+    let mut io_reads = 0;
+    let mut entries_read = 0;
+    for idx in (l.saturating_sub(1)..tail_version.saturating_sub(1)).rev() {
+        let (reads, delta) = read_entry(idx)?;
+        io_reads += reads;
+        entries_read += 1;
+        acc.xor_with(&delta)?;
+    }
+    Ok(WalkOutcome {
+        io_reads,
+        entries_read,
+        shards: acc,
+    })
+}
+
+/// Reconstructs versions `1..=l` under Reversed SEC starting from an
+/// already-decoded tail at `tail_version ≥ l`, un-applying deltas backwards
+/// from the tail instead of reading the stored full latest copy.
+///
+/// # Errors
+///
+/// As for [`walk_version`].
+pub fn walk_prefix_from_tail<E, R>(
+    l: usize,
+    object_len: usize,
+    tail_version: usize,
+    tail_shards: ByteShards,
+    mut read_entry: R,
+) -> Result<PrefixWalkOutcome, E>
+where
+    E: From<CodeError>,
+    R: FnMut(usize) -> Result<(usize, ByteShards), E>,
+{
+    debug_assert!(l >= 1 && tail_version >= l);
+    let mut acc = tail_shards;
+    let mut io_reads = 0;
+    let mut versions_rev = vec![trim_object(&acc, object_len)];
+    for idx in (0..tail_version.saturating_sub(1)).rev() {
+        let (reads, delta) = read_entry(idx)?;
+        io_reads += reads;
+        acc.xor_with(&delta)?;
+        versions_rev.push(trim_object(&acc, object_len));
+    }
+    let entries_read = versions_rev.len() - 1;
+    versions_rev.reverse();
+    versions_rev.truncate(l);
+    Ok(PrefixWalkOutcome {
+        io_reads,
+        entries_read,
+        versions: versions_rev,
+    })
+}
+
 /// Maps one stored payload to its SEC read target, or `None` for the
 /// `γ = 0` shortcut: an all-zero delta is known without reading a single
 /// block, so the caller should return `(0, ByteShards::zeroed(k, shard_len))`
@@ -355,6 +501,123 @@ mod tests {
         .unwrap();
         assert_eq!(out.versions, vec![vec![5u8], vec![6], vec![7]]);
         assert_eq!(out.io_reads, 3);
+    }
+
+    #[test]
+    fn forward_walk_from_base_applies_only_trailing_deltas() {
+        let entries = entries();
+        let payloads: Vec<StoredPayload> = entries.iter().map(|(p, _)| *p).collect();
+        // Base: decoded version 2 (value 6). Target 3 needs one delta.
+        let (out, base_used) = walk_version_from_base(
+            EncodingStrategy::BasicSec,
+            payloads.len(),
+            |i| payloads[i],
+            3,
+            2,
+            ByteShards::from_flat(&[6], 1),
+            reader(&entries),
+        )
+        .unwrap();
+        assert!(base_used);
+        assert_eq!(out.shards.as_bytes(), &[7]);
+        assert_eq!(out.entries_read, 1);
+        assert_eq!(out.io_reads, 1);
+        // Base equal to the target: nothing to read at all.
+        let (out, base_used) = walk_version_from_base(
+            EncodingStrategy::BasicSec,
+            payloads.len(),
+            |i| payloads[i],
+            2,
+            2,
+            ByteShards::from_flat(&[6], 1),
+            reader(&entries),
+        )
+        .unwrap();
+        assert!(base_used);
+        assert_eq!(out.shards.as_bytes(), &[6]);
+        assert_eq!(out.io_reads, 0);
+        assert_eq!(out.entries_read, 0);
+    }
+
+    #[test]
+    fn forward_walk_from_base_falls_back_when_a_full_interposes() {
+        // Layout with a checkpoint: full x1=5, z2=3, full x3=7, z4=2.
+        // Versions: 5, 6, 7, 5.
+        let full = |version, byte| {
+            (
+                StoredPayload::FullVersion { version },
+                ByteShards::from_flat(&[byte], 1),
+            )
+        };
+        let delta = |to, byte: u8| {
+            (
+                StoredPayload::Delta { to, sparsity: 1 },
+                ByteShards::from_flat(&[byte], 1),
+            )
+        };
+        let entries = vec![full(1, 5), delta(2, 3), full(3, 7), delta(4, 2)];
+        let payloads: Vec<StoredPayload> = entries.iter().map(|(p, _)| *p).collect();
+        // Cached base 1 is older than the stored full at entry 2: the walk
+        // must anchor on the full, not XOR it onto the base.
+        let (out, base_used) = walk_version_from_base(
+            EncodingStrategy::OptimizedSec,
+            payloads.len(),
+            |i| payloads[i],
+            4,
+            1,
+            ByteShards::from_flat(&[5], 1),
+            reader(&entries),
+        )
+        .unwrap();
+        assert!(!base_used, "full version inside the walk region");
+        assert_eq!(out.shards.as_bytes(), &[5]);
+        assert_eq!(out.entries_read, 2, "anchor full + one trailing delta");
+        // A base past the checkpoint is used directly.
+        let (out, base_used) = walk_version_from_base(
+            EncodingStrategy::OptimizedSec,
+            payloads.len(),
+            |i| payloads[i],
+            4,
+            3,
+            ByteShards::from_flat(&[7], 1),
+            reader(&entries),
+        )
+        .unwrap();
+        assert!(base_used);
+        assert_eq!(out.shards.as_bytes(), &[5]);
+        assert_eq!(out.entries_read, 1);
+    }
+
+    #[test]
+    fn reversed_walk_from_tail_unapplies_only_newer_deltas() {
+        // Stored list: z_2 = 3, z_3 = 1, full x_3 = 7 (final entry).
+        let entries = vec![
+            (
+                StoredPayload::Delta { to: 2, sparsity: 1 },
+                ByteShards::from_flat(&[3], 1),
+            ),
+            (
+                StoredPayload::Delta { to: 3, sparsity: 1 },
+                ByteShards::from_flat(&[1], 1),
+            ),
+            (
+                StoredPayload::FullVersion { version: 3 },
+                ByteShards::from_flat(&[7], 1),
+            ),
+        ];
+        for (l, tail, expect, touched) in [(1, 3, 5u8, 2), (2, 3, 6, 1), (3, 3, 7, 0), (1, 2, 5, 1)] {
+            let shards = ByteShards::from_flat(&[if tail == 3 { 7 } else { 6 }], 1);
+            let out = walk_version_from_tail(l, tail, shards, reader(&entries)).unwrap();
+            assert_eq!(out.shards.as_bytes(), &[expect], "l={l} tail={tail}");
+            assert_eq!(out.entries_read, touched, "l={l} tail={tail}");
+            assert_eq!(out.io_reads, touched);
+        }
+        // Prefix from the tail: versions 1..=2 without reading the full copy.
+        let prefix =
+            walk_prefix_from_tail(2, 1, 3, ByteShards::from_flat(&[7], 1), reader(&entries)).unwrap();
+        assert_eq!(prefix.versions, vec![vec![5u8], vec![6]]);
+        assert_eq!(prefix.entries_read, 2);
+        assert_eq!(prefix.io_reads, 2);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! * [`traces`] — synthetic multi-version edit traces (localized edits,
 //!   scattered edits, append-heavy growth, and a mixed "document history"
 //!   model) that produce actual symbol-level version sequences whose measured
-//!   sparsity can be fed back into the analytical machinery.
+//!   sparsity can be fed back into the analytical machinery;
+//! * [`zipf`] — Zipf popularity PMFs over recency ranks, used by the
+//!   `cache_scaling` bench series to draw skewed version-read targets.
 //!
 //! # Example
 //!
@@ -30,6 +32,8 @@
 
 pub mod pmf;
 pub mod traces;
+pub mod zipf;
 
 pub use pmf::SparsityPmf;
 pub use traces::{EditModel, TraceConfig, VersionTrace};
+pub use zipf::ZipfPmf;

@@ -312,6 +312,27 @@ mod tests {
     }
 
     #[test]
+    fn known_answer_moments_for_exponential_and_poisson() {
+        // α = ln 2 makes the weights dyadic: e^{-αγ} = 2^{-γ}, so on {1,2,3}
+        // the weights are 1/2, 1/4, 1/8 (sum 7/8) and
+        // E[Γ] = (1/2 + 2/4 + 3/8) / (7/8) = 11/7.
+        let exp = SparsityPmf::truncated_exponential(std::f64::consts::LN_2, 3).unwrap();
+        assert!((exp.probability(1) - 4.0 / 7.0).abs() < 1e-12);
+        assert!((exp.probability(2) - 2.0 / 7.0).abs() < 1e-12);
+        assert!((exp.probability(3) - 1.0 / 7.0).abs() < 1e-12);
+        assert!((exp.mean() - 11.0 / 7.0).abs() < 1e-12);
+
+        // λ = 3 on {1,2,3}: the e^{-λ} factor cancels, leaving weights
+        // λ^γ/γ! = 3, 9/2, 9/2 (sum 12), so
+        // E[Γ] = (3 + 9 + 27/2) / 12 = 17/8.
+        let poi = SparsityPmf::truncated_poisson(3.0, 3).unwrap();
+        assert!((poi.probability(1) - 3.0 / 12.0).abs() < 1e-12);
+        assert!((poi.probability(2) - 4.5 / 12.0).abs() < 1e-12);
+        assert!((poi.probability(3) - 4.5 / 12.0).abs() < 1e-12);
+        assert!((poi.mean() - 17.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn expectation_of_min_2gamma_k() {
         // E[min(2Γ, k)] with k = 3 and uniform Γ: (2 + 3 + 3)/3.
         let u = SparsityPmf::uniform(3).unwrap();

@@ -259,6 +259,29 @@ mod tests {
     }
 
     #[test]
+    fn pmf_driven_trace_moments_track_the_source_pmf() {
+        // Long traces driven by the bracketing PMFs must reproduce the
+        // source mean sparsity — the moment the cache_scaling bench trusts
+        // when it converts a PMF into an edit trace. (Scattered positions
+        // always change, so measured γ equals the drawn edit count exactly.)
+        let k = 12;
+        for pmf in [
+            SparsityPmf::truncated_exponential(0.6, k).unwrap(),
+            SparsityPmf::truncated_poisson(5.0, k).unwrap(),
+        ] {
+            let expected = pmf.mean();
+            let config = TraceConfig::new(k, 4001, EditModel::PmfDriven(pmf));
+            let trace: VersionTrace<Gf256> =
+                VersionTrace::generate(&config, &mut StdRng::seed_from_u64(11));
+            let measured = trace.sparsity.iter().sum::<usize>() as f64 / trace.sparsity.len() as f64;
+            assert!(
+                (measured - expected).abs() < 0.1,
+                "measured mean {measured} vs pmf mean {expected}"
+            );
+        }
+    }
+
+    #[test]
     fn empirical_pmf_absent_for_single_version() {
         let config = TraceConfig::new(4, 1, EditModel::Scattered { edits: 1 });
         let trace: VersionTrace<Gf256> = VersionTrace::generate(&config, &mut rng());

@@ -13,7 +13,7 @@
 //! | [`erasure`] | `sec-erasure` | systematic / non-systematic Cauchy MDS codes, sparse recovery, read planning |
 //! | [`versioning`] | `sec-versioning` | delta archives, Basic/Optimized/Reversed SEC, I/O model |
 //! | [`store`] | `sec-store` | simulated distributed storage, placement, failures, repair |
-//! | [`engine`] | `sec-engine` | concurrent serving layer: sharded locks, lock-free planning, version cache |
+//! | [`engine`] | `sec-engine` | concurrent serving layer: sharded locks, lock-free planning, delta cache |
 //! | [`analysis`] | `sec-analysis` | static resilience, availability, average-I/O, expected-I/O |
 //! | [`workload`] | `sec-workload` | sparsity PMFs and synthetic edit traces |
 //!
@@ -59,6 +59,7 @@ pub use sec_engine::{ObjectId, SecCluster, SecEngine};
 pub use sec_erasure::{ByteCodec, ByteShards, CodeParams, DecodeScratch, GeneratorForm, SecCode};
 pub use sec_store::{ByteDistributedStore, DistributedStore, Placement, PlacementStrategy};
 pub use sec_versioning::{
-    ArchiveConfig, ByteVersionedArchive, EncodingStrategy, IoModel, VersionCache, VersionedArchive,
+    ArchiveConfig, ByteVersionedArchive, CheckpointPolicy, DeltaCache, EncodingStrategy, IoModel,
+    VersionedArchive,
 };
-pub use sec_workload::SparsityPmf;
+pub use sec_workload::{SparsityPmf, ZipfPmf};
