@@ -49,6 +49,14 @@
 //! cache and the mean read amplification, which the checkpoint policy
 //! bounds by `1 + c` (in units of `k` block reads).
 //!
+//! A ninth series measures *server scaling*: the [`sec_net::Server`] TCP
+//! front-end on loopback under the closed-loop load generator, swept over
+//! connection counts (1 → 10k), pipeline depths (1 vs 16 outstanding
+//! `GET`s), and cache modes (exact delta-cache hits vs capacity-zero full
+//! decodes). Rows report sustained req/s plus p50/p99/max microseconds —
+//! the end-to-end reactor + parser + batched-dispatch cost around the same
+//! engine the other series measure in isolation.
+//!
 //! Run with `cargo run --release -p sec-bench --bin throughput`. Pass
 //! `--smoke` for a quick CI-sized run (4 KiB shards only) and `--out <path>`
 //! to change the JSON destination.
@@ -431,6 +439,83 @@ fn fill(buf: &mut [u8], mut seed: u64) {
 
 fn mb_per_s(object_bytes: usize, ns: f64) -> f64 {
     (object_bytes as f64 / 1e6) / (ns / 1e9)
+}
+
+/// One server-scaling data point: the TCP front-end serving wire `GET`s to
+/// the loopback load generator at one (connections, pipeline, cache mode)
+/// combination.
+struct ServerScalingSample {
+    connections: usize,
+    pipeline: usize,
+    cached: bool,
+    requests: u64,
+    errors: u64,
+    req_per_s: f64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    backend: &'static str,
+}
+
+/// Measures end-to-end wire throughput: a [`sec_net::Server`] over a (6, 3)
+/// Basic-SEC cluster on loopback, hammered by the closed-loop generator in
+/// [`sec_net::load`] with `connections` sockets each keeping `pipeline`
+/// `GET`s outstanding (`pipeline: 1` is the one-request-per-flush baseline).
+/// `cached: true` requests only the newest version of each object, so after
+/// the first touch every retrieval is an exact delta-cache hit and the
+/// reactor/parser/syscall path dominates; `cached: false` runs a
+/// capacity-zero cache and sweeps every stored version, so each request
+/// pays a full `k`-shard decode.
+fn measure_server_scaling(
+    connections: usize,
+    pipeline: usize,
+    cached: bool,
+    duration: Duration,
+) -> ServerScalingSample {
+    use sec_net::{load, Server, ServerConfig};
+    let objects = 16u64;
+    let versions = 4usize;
+    let payload = 3 * 256usize;
+    let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
+        .expect("(6,3) fits in GF(256)");
+    let capacity = if cached { 8 } else { 0 };
+    let cluster = Arc::new(SecCluster::with_cache(config, 4, capacity).expect("cluster builds"));
+    for id in 0..objects {
+        let history: Vec<Vec<u8>> = (0..versions)
+            .map(|v| (0..payload).map(|i| (id as usize + v * 31 + i) as u8).collect())
+            .collect();
+        cluster.append_all(ObjectId(id), &history).expect("populate");
+    }
+    let handle = Server::start(Arc::clone(&cluster), "127.0.0.1:0", ServerConfig::default())
+        .expect("server starts on loopback");
+    let targets: Vec<(ObjectId, usize)> = if cached {
+        (0..objects).map(|id| (ObjectId(id), versions)).collect()
+    } else {
+        (0..objects)
+            .flat_map(|id| (1..=versions).map(move |v| (ObjectId(id), v)))
+            .collect()
+    };
+    let load_config = load::LoadConfig {
+        connections,
+        pipeline,
+        duration,
+        open_loop_rate: None,
+        seed: 0x5ec,
+    };
+    let report = load::run_get_load(handle.local_addr(), &targets, &load_config).expect("load run");
+    handle.shutdown().expect("clean shutdown");
+    ServerScalingSample {
+        connections: report.connections,
+        pipeline: report.pipeline,
+        cached,
+        requests: report.requests,
+        errors: report.errors,
+        req_per_s: report.req_per_sec,
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+        max_us: report.max_us,
+        backend: report.backend,
+    }
 }
 
 struct Args {
@@ -843,6 +928,43 @@ fn main() -> std::io::Result<()> {
         }
     }
 
+    // ---- server scaling: the TCP front-end under loopback load -------------
+    // Both ends of every connection live in this process, so the fd budget
+    // is two descriptors per connection plus headroom for the reactor.
+    let nofile = sec_net::sys::raise_nofile(40_000);
+    let max_connections = ((nofile.saturating_sub(256)) / 2) as usize;
+    let server_duration = if args.smoke {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(2)
+    };
+    let connection_levels: &[usize] = if args.smoke {
+        &[1, 64, 1000]
+    } else {
+        &[1, 64, 1000, 10_000]
+    };
+    let mut server_modes: Vec<(usize, usize, bool)> = Vec::new();
+    for &conns in connection_levels {
+        let conns = conns.min(max_connections).max(1);
+        for pipeline in [1usize, 16] {
+            if !server_modes.contains(&(conns, pipeline, true)) {
+                server_modes.push((conns, pipeline, true));
+            }
+        }
+    }
+    // Cold reads (capacity-zero cache, every version swept) at one mid-size
+    // connection count: the decode cost, not the reactor, is the subject.
+    let cold_pipelines: &[usize] = if args.smoke { &[16] } else { &[1, 16] };
+    for &pipeline in cold_pipelines {
+        server_modes.push((64.min(max_connections).max(1), pipeline, false));
+    }
+    let server_scaling: Vec<ServerScalingSample> = server_modes
+        .iter()
+        .map(|&(conns, pipeline, cached)| {
+            measure_server_scaling(conns, pipeline, cached, server_duration)
+        })
+        .collect();
+
     // Human-readable table.
     println!(
         "{:<16} {:<14} {:>4} {:>4} {:>12} {:>14} {:>12}",
@@ -929,6 +1051,57 @@ fn main() -> std::io::Result<()> {
         );
     }
 
+    println!(
+        "\n{:<12} {:>9} {:>7} {:>12} {:>8} {:>12} {:>9} {:>9} {:>9} {:>7}",
+        "connections",
+        "pipeline",
+        "mode",
+        "requests",
+        "errors",
+        "req/s",
+        "p50_us",
+        "p99_us",
+        "max_us",
+        "backend"
+    );
+    for s in &server_scaling {
+        println!(
+            "{:<12} {:>9} {:>7} {:>12} {:>8} {:>12.0} {:>9} {:>9} {:>9} {:>7}",
+            s.connections,
+            s.pipeline,
+            if s.cached { "cached" } else { "cold" },
+            s.requests,
+            s.errors,
+            s.req_per_s,
+            s.p50_us,
+            s.p99_us,
+            s.max_us,
+            s.backend
+        );
+    }
+    // Headline: the pipelining gain at the largest cached connection count.
+    let cached_at = |conns: usize, pipeline: usize| {
+        server_scaling
+            .iter()
+            .filter(|s| s.cached && s.pipeline == pipeline)
+            .min_by_key(|s| s.connections.abs_diff(conns))
+    };
+    let top_conns = server_scaling
+        .iter()
+        .filter(|s| s.cached)
+        .map(|s| s.connections)
+        .max()
+        .unwrap_or(1);
+    if let (Some(unpipelined), Some(pipelined)) = (cached_at(top_conns, 1), cached_at(top_conns, 16)) {
+        println!(
+            "\nwire GETs @ {} connections: pipelined {:.0} req/s vs unpipelined {:.0} req/s → {:.1}×",
+            pipelined.connections,
+            pipelined.req_per_s,
+            unpipelined.req_per_s,
+            pipelined.req_per_s / unpipelined.req_per_s.max(1.0)
+        );
+    }
+
     // Headline speedup: byte vs per-symbol encode for the (6,3) code at the
     // largest measured shard size.
     let headline_size = *sizes.last().expect("at least one size");
@@ -978,7 +1151,7 @@ fn main() -> std::io::Result<()> {
     // JSON emission (hand-rolled; the workspace has no serde).
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"schema\": \"sec-bench-throughput/v6\",").unwrap();
+    writeln!(json, "  \"schema\": \"sec-bench-throughput/v7\",").unwrap();
     writeln!(json, "  \"smoke\": {},", args.smoke).unwrap();
     writeln!(json, "  \"active_kernel\": \"{auto_kernel}\",").unwrap();
     writeln!(json, "  \"headline_shard_bytes\": {headline_size},").unwrap();
@@ -1101,6 +1274,29 @@ fn main() -> std::io::Result<()> {
             s.checkpoints_written,
             s.read_amplification,
             s.retrievals_per_s
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"server_scaling\": [").unwrap();
+    for (idx, s) in server_scaling.iter().enumerate() {
+        let comma = if idx + 1 == server_scaling.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"engine\": \"sec-net\", \"n\": 6, \"k\": 3, \"strategy\": \"basic-sec\", \
+             \"backend\": \"{}\", \"connections\": {}, \"pipeline\": {}, \"mode\": \"{}\", \
+             \"requests\": {}, \"errors\": {}, \"req_per_s\": {:.1}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"max_us\": {}}}{comma}",
+            s.backend,
+            s.connections,
+            s.pipeline,
+            if s.cached { "cached" } else { "cold" },
+            s.requests,
+            s.errors,
+            s.req_per_s,
+            s.p50_us,
+            s.p99_us,
+            s.max_us
         )
         .unwrap();
     }

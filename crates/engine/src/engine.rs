@@ -775,6 +775,133 @@ impl SecEngine {
         })
     }
 
+    /// Retrieves a batch of versions under **one** archive lock acquisition
+    /// and **one** entry-metadata snapshot, instead of re-locking and
+    /// re-snapshotting per request the way a loop over
+    /// [`SecEngine::get_version`] would.
+    ///
+    /// Requests are served in order against the shared snapshot, and each
+    /// result lands in the delta cache before the next request probes it —
+    /// so a batch of identical versions decodes once and serves the rest as
+    /// exact hits, and a batch of neighbouring versions pays only the delta
+    /// chain between them. This is the engine half of the network server's
+    /// pipelined `GET` dispatch.
+    ///
+    /// Per-request outcomes are independent: one invalid version yields an
+    /// `Err` in its slot without failing the rest of the batch.
+    pub fn get_versions(&self, versions: &[usize]) -> Vec<Result<EngineRetrieval, StoreError>> {
+        if versions.is_empty() {
+            return Vec::new();
+        }
+        let archive = self.read_archive();
+        let checks: Vec<Option<StoreError>> = versions
+            .iter()
+            .map(|&l| check_version(&archive, l).err())
+            .collect();
+        // One snapshot serves every valid request in the batch; for Reversed
+        // SEC the returned pin keeps the archive read lock held until the
+        // whole batch is served, exactly as long as the snapshot is in use.
+        let (strategy, object_len, entries, _pin) = self.snapshot_entries(archive);
+        versions
+            .iter()
+            .zip(checks)
+            .map(|(&l, check)| match check {
+                Some(e) => Err(e),
+                None => {
+                    self.metrics.add_retrieval();
+                    self.serve_from_snapshot(strategy, object_len, &entries, l)
+                }
+            })
+            .collect()
+    }
+
+    /// Serves one already-validated version against a snapshot taken by
+    /// [`SecEngine::snapshot_entries`]: the same cache-probe / walk-from-base
+    /// / full-walk ladder as [`SecEngine::get_version`], minus the archive
+    /// lock acquisition.
+    fn serve_from_snapshot(
+        &self,
+        strategy: EncodingStrategy,
+        object_len: usize,
+        entries: &[(StoredPayload, usize)],
+        l: usize,
+    ) -> Result<EngineRetrieval, StoreError> {
+        let base = match strategy {
+            EncodingStrategy::BasicSec | EncodingStrategy::OptimizedSec => {
+                self.cache.nearest_at_most(self.cache_object, l)
+            }
+            EncodingStrategy::ReversedSec => self.cache.nearest_at_least(self.cache_object, l),
+            EncodingStrategy::NonDifferential => {
+                self.cache.get(self.cache_object, l).map(|data| (l, data))
+            }
+        };
+        if let Some((base_version, data)) = base {
+            if base_version == l {
+                return Ok(EngineRetrieval {
+                    version: l,
+                    data,
+                    io_reads: 0,
+                    cached: true,
+                });
+            }
+            let k = self.codec.code().k();
+            let base_shards = ByteShards::from_flat(&data, k);
+            let (out, base_used) = match strategy {
+                EncodingStrategy::ReversedSec => walk_version_from_tail(
+                    l,
+                    base_version,
+                    base_shards,
+                    // audit: panic ok — `idx` comes from the walk, which stays within 0..entries.len()
+                    |idx| self.read_entry(idx, entries[idx].0, entries[idx].1),
+                )
+                .map(|out| (out, true))?,
+                _ => walk_version_from_base(
+                    strategy,
+                    entries.len(),
+                    // audit: panic ok — `idx` comes from the walk, which stays within 0..entries.len()
+                    |idx| entries[idx].0,
+                    l,
+                    base_version,
+                    base_shards,
+                    // audit: panic ok — `idx` comes from the walk, which stays within 0..entries.len()
+                    |idx| self.read_entry(idx, entries[idx].0, entries[idx].1),
+                )?,
+            };
+            if base_used {
+                let applied = out.entries_read as u64;
+                // audit: atomic ok — statistic
+                self.deltas_applied.fetch_add(applied, Ordering::Relaxed);
+            }
+            let data = self
+                .cache
+                .insert(self.cache_object, l, trim_object(&out.shards, object_len));
+            return Ok(EngineRetrieval {
+                version: l,
+                data,
+                io_reads: out.io_reads,
+                cached: base_used,
+            });
+        }
+        let out = walk_version(
+            strategy,
+            entries.len(),
+            // audit: panic ok — `idx` comes from walk_version, which stays within 0..entries.len()
+            |idx| entries[idx].0,
+            l,
+            // audit: panic ok — `idx` comes from walk_version, which stays within 0..entries.len()
+            |idx| self.read_entry(idx, entries[idx].0, entries[idx].1),
+        )?;
+        let data = self
+            .cache
+            .insert(self.cache_object, l, trim_object(&out.shards, object_len));
+        Ok(EngineRetrieval {
+            version: l,
+            data,
+            io_reads: out.io_reads,
+            cached: false,
+        })
+    }
+
     /// Serves version `l` by extending a cached decoded neighbour: forward
     /// over the deltas `base_version + 1..=l` (Basic/Optimized), or backward
     /// from a newer tail by un-applying `l + 1..=base_version` (Reversed).

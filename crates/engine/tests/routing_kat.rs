@@ -1,0 +1,87 @@
+//! Known-answer tests pinning `SecCluster`'s object→shard routing.
+//!
+//! The wire protocol addresses objects by id (or by name, via
+//! `ObjectId::from_name`), and clients may cache routing decisions — so the
+//! SplitMix64-based `shard_of` mapping is a **wire-stable contract**: these
+//! exact values must survive refactors. If a change breaks them on purpose
+//! it must bump the protocol docs and this file together.
+
+use sec_engine::{ObjectId, SecCluster};
+use sec_erasure::GeneratorForm;
+use sec_versioning::{ArchiveConfig, EncodingStrategy};
+
+fn cluster(shards: usize) -> SecCluster {
+    let config = ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
+        .expect("valid archive config");
+    SecCluster::new(config, shards).expect("cluster")
+}
+
+#[test]
+fn shard_routing_is_pinned_for_fixed_ids() {
+    // (id, shard at S=4, shard at S=8); S=1 maps everything to 0.
+    let expected: &[(u64, usize, usize)] = &[
+        (0, 3, 7),
+        (1, 1, 1),
+        (2, 2, 6),
+        (3, 1, 5),
+        (7, 3, 7),
+        (42, 1, 5),
+        (0xdead_beef, 3, 3),
+        (u64::MAX, 0, 0),
+    ];
+    let s1 = cluster(1);
+    let s4 = cluster(4);
+    let s8 = cluster(8);
+    for &(id, at4, at8) in expected {
+        assert_eq!(s1.shard_of(ObjectId(id)), 0, "id {id:#x} at S=1");
+        assert_eq!(s4.shard_of(ObjectId(id)), at4, "id {id:#x} at S=4");
+        assert_eq!(s8.shard_of(ObjectId(id)), at8, "id {id:#x} at S=8");
+    }
+}
+
+#[test]
+fn named_objects_route_through_fnv_then_splitmix() {
+    // (name, FNV-1a id, shard at S=4, shard at S=8) — the same values the
+    // wire protocol produces for `GET <name> <ver>`.
+    let expected: &[(&str, u64, usize, usize)] = &[
+        ("alpha", 0x8ac6_25bb_85ed_202b, 1, 1),
+        ("omega", 0x3460_cbae_3ad8_be88, 2, 2),
+        ("object-17", 0xbdb3_152c_fde3_1921, 1, 1),
+        ("sec", 0x823b_7c19_5ce1_fb72, 1, 1),
+    ];
+    let s4 = cluster(4);
+    let s8 = cluster(8);
+    for &(name, id, at4, at8) in expected {
+        let object = ObjectId::from_name(name);
+        assert_eq!(object, ObjectId(id), "{name} hashes to a pinned id");
+        assert_eq!(s4.shard_of(object), at4, "{name} at S=4");
+        assert_eq!(s8.shard_of(object), at8, "{name} at S=8");
+    }
+}
+
+#[test]
+fn routing_matches_where_objects_actually_land() {
+    // The pinned mapping is not just a pure function: appending an object
+    // must make it readable, and shard-scoped failures must hit exactly the
+    // objects pinned to that shard.
+    let cluster = cluster(4);
+    for id in [0u64, 1, 2, 3, 7, 42] {
+        cluster
+            .append_all(ObjectId(id), &[vec![id as u8; 48]])
+            .expect("append");
+    }
+    // Ids 1, 3 and 42 are pinned to shard 1 (above); fail all of shard 1's
+    // nodes and exactly those objects must become unreadable.
+    for node in 0..6 {
+        cluster.fail_node(1, node).expect("fail");
+    }
+    for id in [0u64, 1, 2, 3, 7, 42] {
+        let read = cluster.get_version(ObjectId(id), 1);
+        let pinned_to_shard_1 = matches!(id, 1 | 3 | 42);
+        assert_eq!(
+            read.is_err(),
+            pinned_to_shard_1,
+            "id {id} readability after shard 1 died"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! `sec-netserver` — stand up a [`sec_net::Server`] over a freshly
+//! populated [`SecCluster`] and serve until told to stop.
+//!
+//! ```text
+//! sec-netserver [--addr HOST:PORT] [--shards S] [--workers W] [--cache C]
+//!               [--objects O] [--versions V] [--payload BYTES]
+//! ```
+//!
+//! The cluster is pre-populated with `--objects` objects (ids `0..O`), each
+//! holding `--versions` versions of `--payload` bytes, so load generators
+//! can `GET` immediately. Once listening, the process prints
+//! `READY <addr>` on stdout (port 0 in `--addr` picks a free port — the
+//! printed address carries the real one) and then blocks on stdin: a
+//! `shutdown` line or EOF triggers the graceful drain, after which
+//! `SHUTDOWN CLEAN` is printed.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use sec_engine::{ObjectId, SecCluster};
+use sec_erasure::GeneratorForm;
+use sec_net::{Server, ServerConfig};
+use sec_versioning::{ArchiveConfig, EncodingStrategy};
+
+struct Args {
+    addr: String,
+    shards: usize,
+    workers: usize,
+    cache: usize,
+    objects: u64,
+    versions: usize,
+    payload: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 4,
+            workers: 0,
+            cache: 8,
+            objects: 16,
+            versions: 4,
+            payload: 3 * 256,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--shards" => args.shards = parse("--shards", &value("--shards")?)?,
+            "--workers" => args.workers = parse("--workers", &value("--workers")?)?,
+            "--cache" => args.cache = parse("--cache", &value("--cache")?)?,
+            "--objects" => args.objects = parse("--objects", &value("--objects")?)?,
+            "--versions" => args.versions = parse("--versions", &value("--versions")?)?,
+            "--payload" => args.payload = parse("--payload", &value("--payload")?)?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: sec-netserver [--addr HOST:PORT] [--shards S] [--workers W] \
+                     [--cache C] [--objects O] [--versions V] [--payload BYTES]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("bad value for {name}: {raw}"))
+}
+
+fn populate(cluster: &SecCluster, objects: u64, versions: usize, payload: usize) {
+    for id in 0..objects {
+        let history: Vec<Vec<u8>> = (0..versions)
+            .map(|v| (0..payload).map(|i| (id as usize + v * 31 + i) as u8).collect())
+            .collect();
+        if let Err(e) = cluster.append_all(ObjectId(id), &history) {
+            eprintln!("populate object {id}: {e}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match ArchiveConfig::new(6, 3, GeneratorForm::NonSystematic, EncodingStrategy::BasicSec)
+    {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("archive config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cluster = match SecCluster::with_cache(config, args.shards, args.cache) {
+        Ok(cluster) => Arc::new(cluster),
+        Err(e) => {
+            eprintln!("cluster: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    populate(&cluster, args.objects, args.versions, args.payload);
+
+    let raised = sec_net::sys::raise_nofile(40_000);
+    let server_config = ServerConfig {
+        workers: args.workers,
+        ..ServerConfig::default()
+    };
+    let handle = match Server::start(Arc::clone(&cluster), args.addr.as_str(), server_config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("listen on {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.local_addr().to_string();
+    eprintln!(
+        "serving {} objects x {} versions on {addr} (fd limit {raised})",
+        args.objects, args.versions
+    );
+    println!("READY {addr}");
+
+    // Block until the driver says stop (or closes our stdin).
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(line) if line.trim().eq_ignore_ascii_case("shutdown") => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    match handle.shutdown() {
+        Ok(()) => {
+            println!("SHUTDOWN CLEAN");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shutdown: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

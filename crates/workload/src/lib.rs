@@ -12,7 +12,10 @@
 //!   model) that produce actual symbol-level version sequences whose measured
 //!   sparsity can be fed back into the analytical machinery;
 //! * [`zipf`] — Zipf popularity PMFs over recency ranks, used by the
-//!   `cache_scaling` bench series to draw skewed version-read targets.
+//!   `cache_scaling` bench series to draw skewed version-read targets;
+//! * [`arrivals`] — open-loop request arrival processes (Poisson
+//!   interarrivals and slotted truncated-Poisson counts) consumed by the
+//!   network load generator's open-loop mode.
 //!
 //! # Example
 //!
@@ -30,10 +33,12 @@
 #![warn(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod pmf;
 pub mod traces;
 pub mod zipf;
 
+pub use arrivals::{ArrivalProcess, SlottedArrivals};
 pub use pmf::SparsityPmf;
 pub use traces::{EditModel, TraceConfig, VersionTrace};
 pub use zipf::ZipfPmf;
